@@ -1,0 +1,116 @@
+(* Bechamel microbenchmarks for the simulator's hot paths.  These report
+   real wall-clock ns/op of the OCaml simulation itself (not simulated
+   cycles): useful for knowing how much experiment you can afford. *)
+
+open Bechamel
+open Toolkit
+module Table = Guillotine_util.Table
+module Dram = Guillotine_memory.Dram
+module Hierarchy = Guillotine_memory.Hierarchy
+module Core = Guillotine_microarch.Core
+module Machine = Guillotine_machine.Machine
+module Hypervisor = Guillotine_hv.Hypervisor
+module Ringbuf = Guillotine_devices.Ringbuf
+module Nic = Guillotine_devices.Nic
+module Toymodel = Guillotine_model.Toymodel
+module Asm = Guillotine_isa.Asm
+module Crypto = Guillotine_crypto
+
+let test_sha256_small =
+  let data = String.make 64 'a' in
+  Test.make ~name:"sha256/64B" (Staged.stage (fun () -> Crypto.Sha256.digest data))
+
+let test_sha256_page =
+  let data = String.make 4096 'a' in
+  Test.make ~name:"sha256/4KiB" (Staged.stage (fun () -> Crypto.Sha256.digest data))
+
+let test_cache_access =
+  let dram = Dram.create ~size:(64 * 1024) in
+  let h = Hierarchy.create ~dram () in
+  let i = ref 0 in
+  Test.make ~name:"cache/access"
+    (Staged.stage (fun () ->
+         i := (!i + 17) land 0xFFF;
+         Hierarchy.touch h ~addr:!i))
+
+let test_core_step =
+  let dram = Dram.create ~size:(64 * 1024) in
+  let hierarchy = Hierarchy.create ~dram () in
+  let core = Core.create ~id:0 ~kind:Core.Model_core ~hierarchy () in
+  (match
+     Guillotine_memory.Mmu.map (Core.mmu core) ~vpage:0 ~frame:0
+       Guillotine_memory.Mmu.perm_rx
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  let p = Asm.assemble_exn "loop:\n  movi r1, 1\n  add r2, r2, r1\n  jmp @loop\n" in
+  Dram.load_program dram p;
+  Test.make ~name:"core/step-x100" (Staged.stage (fun () -> Core.run core ~fuel:100))
+
+let test_inference_token =
+  let dram = Dram.create ~size:(8 * 1024) in
+  let model = Toymodel.init ~dram ~base:0 ~seed:1L () in
+  Test.make ~name:"toymodel/token"
+    (Staged.stage (fun () -> Toymodel.generate model ~prompt:[ 1 ] ~max_tokens:1 ()))
+
+let test_port_roundtrip =
+  let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
+  let nic = Nic.create ~name:"nic" () in
+  let port =
+    Hypervisor.grant_port hv ~core:0 ~device:(Nic.device nic) ~mode:Hypervisor.Rings
+      ~io_page:1 ~vpage:101
+  in
+  let req = Nic.encode_send ~dest:1 ~payload:"x" in
+  Test.make ~name:"hv/port-roundtrip"
+    (Staged.stage (fun () ->
+         ignore (Ringbuf.push (Hypervisor.request_ring hv port) req);
+         Hypervisor.doorbell hv port;
+         Hypervisor.run hv ~quantum:50 ~rounds:2;
+         ignore (Ringbuf.pop (Hypervisor.response_ring hv port))))
+
+let tests =
+  Test.make_grouped ~name:"guillotine"
+    [
+      test_sha256_small;
+      test_sha256_page;
+      test_cache_access;
+      test_core_step;
+      test_inference_token;
+      test_port_roundtrip;
+    ]
+
+let run () =
+  print_endline
+    "MICRO  Bechamel microbenchmarks (wall-clock ns/op of the simulator)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"microbenchmarks"
+      ~columns:[ ("benchmark", Table.Left); ("ns/op", Table.Right); ("r²", Table.Right) ]
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%.1f" e
+        | Some es ->
+          String.concat "," (List.map (Printf.sprintf "%.1f") es)
+        | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      table |> fun t -> Table.add_row t [ name; estimate; r2 ])
+    (List.sort compare rows);
+  Table.print table

@@ -1,0 +1,296 @@
+(* The guillotine command-line tool.
+
+   Subcommands:
+     attacks     run the adversarial suite (T2) and print the verdict table
+     asm         assemble a GRISC source file; print listing and symbols
+     run         assemble + execute a guest program on a model core
+     serve       run the model-service simulator
+     risk        classify a model card under the policy hypervisor
+     demo        containment walkthrough (same story as the example)
+
+   Try:  dune exec bin/guillotine.exe -- attacks *)
+
+open Cmdliner
+module Table = Guillotine_util.Table
+module Attacks = Guillotine_core.Attacks
+module Asm = Guillotine_isa.Asm
+module Machine = Guillotine_machine.Machine
+module Core = Guillotine_microarch.Core
+module Dram = Guillotine_memory.Dram
+module Engine = Guillotine_sim.Engine
+module Service = Guillotine_serve.Service
+module Workload = Guillotine_serve.Workload
+module Risk = Guillotine_policy.Risk
+module Regulation = Guillotine_policy.Regulation
+module Prng = Guillotine_util.Prng
+
+(* ----------------------------- attacks ---------------------------- *)
+
+let attacks_cmd =
+  let run seed =
+    let t =
+      Table.create ~title:"adversarial suite"
+        ~columns:
+          [
+            ("attack", Table.Left);
+            ("baseline", Table.Left);
+            ("guillotine", Table.Left);
+            ("detail", Table.Left);
+          ]
+    in
+    List.iter
+      (fun (o : Attacks.outcome) ->
+        Table.add_row t
+          [
+            o.Attacks.name;
+            (if o.Attacks.baseline_escaped then "ESCAPED" else "contained");
+            (if o.Attacks.guillotine_escaped then "ESCAPED" else "contained");
+            o.Attacks.guillotine_detail;
+          ])
+      (Attacks.run_all ~seed:(Int64.of_int seed) ());
+    Table.print t
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  Cmd.v
+    (Cmd.info "attacks" ~doc:"Run the adversarial scenario suite (experiment T2).")
+    Term.(const run $ seed)
+
+(* ------------------------------- asm ------------------------------ *)
+
+let asm_cmd =
+  let run file origin =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Asm.assemble ~origin source with
+    | Error e ->
+      Printf.eprintf "%s:%d: %s\n" file e.Asm.line e.Asm.message;
+      exit 1
+    | Ok p ->
+      Printf.printf "; %d words at origin %d\n%s" (Array.length p.Asm.words) p.Asm.origin
+        (Asm.disassemble p.Asm.words);
+      if p.Asm.symbols <> [] then begin
+        print_endline "; symbols:";
+        List.iter
+          (fun (name, addr) -> Printf.printf ";   %-20s = %d\n" name addr)
+          (List.sort (fun (_, a) (_, b) -> compare a b) p.Asm.symbols)
+      end
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source.")
+  in
+  let origin =
+    Arg.(value & opt int 0 & info [ "origin" ] ~docv:"ADDR" ~doc:"Load address.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble a GRISC source file and print the listing.")
+    Term.(const run $ file $ origin)
+
+(* ------------------------------- run ------------------------------ *)
+
+let run_cmd =
+  let run file fuel lock =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Asm.assemble source with
+    | Error e ->
+      Printf.eprintf "%s:%d: %s\n" file e.Asm.line e.Asm.message;
+      exit 1
+    | Ok p ->
+      let m = Machine.create () in
+      Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+      if lock then
+        Guillotine_memory.Mmu.lock_executable (Core.mmu (Machine.model_core m 0));
+      let executed = Core.run (Machine.model_core m 0) ~fuel in
+      let core = Machine.model_core m 0 in
+      Format.printf "executed %d instructions in %d cycles; status: %a@." executed
+        (Core.cycles core) Core.pp_status (Core.status core);
+      Core.pause core;
+      print_endline "registers:";
+      for r = 0 to 15 do
+        let v = Core.read_reg core r in
+        if v <> 0L then Printf.printf "  r%-2d = %Ld\n" r v
+      done;
+      let result_base = 4 * 256 in
+      print_endline "result area (first 8 words of the data page):";
+      for i = 0 to 7 do
+        let v = Dram.read (Machine.model_dram m) (result_base + i) in
+        if v <> 0L then Printf.printf "  [%d] = %Ld\n" (result_base + i) v
+      done
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source.")
+  in
+  let fuel =
+    Arg.(value & opt int 100_000 & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget.")
+  in
+  let lock =
+    Arg.(value & flag & info [ "lock" ] ~doc:"Lock the MMU's executable set (W^X).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a guest program on a Guillotine model core.")
+    Term.(const run $ file $ fuel $ lock)
+
+(* ------------------------------ serve ----------------------------- *)
+
+let serve_cmd =
+  let run replicas rate duration guillotine =
+    let e = Engine.create () in
+    let cfg =
+      if guillotine then Service.guillotine_config ~replicas
+      else Service.baseline_config ~replicas
+    in
+    let svc = Service.create ~engine:e cfg in
+    Workload.drive ~engine:e ~service:svc ~prng:(Prng.create 7L)
+      { Workload.default_spec with Workload.rate; duration };
+    Engine.run e;
+    let m = Service.metrics svc ~at:(Engine.now e) in
+    let s = Guillotine_util.Stats.summarize m.Service.latencies in
+    Printf.printf "config    : %d replica(s), %s\n" replicas
+      (if guillotine then "guillotine mediation" else "baseline");
+    Printf.printf "workload  : %.0f req/s for %.0f s\n" rate duration;
+    Printf.printf "submitted : %d   completed: %d   dropped: %d   kv hits: %d\n"
+      m.Service.submitted m.Service.completed m.Service.dropped m.Service.kv_hits;
+    Printf.printf "goodput   : %.1f req/s   utilisation: %.0f%%\n" m.Service.goodput
+      (100.0 *. m.Service.busy_fraction);
+    Printf.printf "latency   : p50 %.3fs  p99 %.3fs  max %.3fs\n"
+      s.Guillotine_util.Stats.p50 s.Guillotine_util.Stats.p99
+      s.Guillotine_util.Stats.max
+  in
+  let replicas =
+    Arg.(value & opt int 4 & info [ "replicas" ] ~docv:"N" ~doc:"Model replicas.")
+  in
+  let rate =
+    Arg.(value & opt float 40.0 & info [ "rate" ] ~docv:"R" ~doc:"Arrival rate, req/s.")
+  in
+  let duration =
+    Arg.(value & opt float 30.0 & info [ "duration" ] ~docv:"S" ~doc:"Seconds of load.")
+  in
+  let guillotine =
+    Arg.(value & flag & info [ "guillotine" ] ~doc:"Apply port-mediation overhead.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the model-service simulator (experiment F4's engine).")
+    Term.(const run $ replicas $ rate $ duration $ guillotine)
+
+(* ------------------------------- risk ----------------------------- *)
+
+let risk_cmd =
+  let run name parameters tokens autonomy caps =
+    let autonomy =
+      match autonomy with
+      | "tool" -> Risk.Tool
+      | "supervised" -> Risk.Supervised
+      | "autonomous" -> Risk.Autonomous
+      | other ->
+        Printf.eprintf "unknown autonomy %S (tool|supervised|autonomous)\n" other;
+        exit 1
+    in
+    let capability = function
+      | "bio" -> Risk.Bio_chem_design
+      | "cyber" -> Risk.Cyber_offense
+      | "disinfo" -> Risk.Disinformation
+      | "physical" -> Risk.Physical_control
+      | "selfrep" -> Risk.Self_replication
+      | other ->
+        Printf.eprintf "unknown capability %S (bio|cyber|disinfo|physical|selfrep)\n"
+          other;
+        exit 1
+    in
+    let card =
+      {
+        Risk.name;
+        parameters;
+        training_tokens = tokens;
+        autonomy;
+        capabilities = List.map capability caps;
+      }
+    in
+    let tier = Risk.classify card in
+    Printf.printf "%s: %d points -> tier %s\n" name (Risk.score card)
+      (Risk.tier_to_string tier);
+    Printf.printf "guillotine required: %b\n" (Risk.requires_guillotine card);
+    List.iter
+      (fun ob -> Printf.printf "  obligation: %s\n" (Regulation.obligation_to_string ob))
+      (Regulation.obligations_for tier)
+  in
+  let name_arg = Arg.(value & opt string "model" & info [ "name" ] ~docv:"NAME") in
+  let parameters =
+    Arg.(value & opt float 4.05e11 & info [ "parameters" ] ~docv:"P"
+         ~doc:"Parameter count, e.g. 4.05e11.")
+  in
+  let tokens =
+    Arg.(value & opt float 1.5e13 & info [ "training-tokens" ] ~docv:"T")
+  in
+  let autonomy =
+    Arg.(value & opt string "tool" & info [ "autonomy" ] ~docv:"A"
+         ~doc:"tool | supervised | autonomous")
+  in
+  let caps =
+    Arg.(value & opt_all string [] & info [ "capability" ] ~docv:"C"
+         ~doc:"bio | cyber | disinfo | physical | selfrep (repeatable)")
+  in
+  Cmd.v
+    (Cmd.info "risk" ~doc:"Classify a model card under the policy hypervisor (§3.5).")
+    Term.(const run $ name_arg $ parameters $ tokens $ autonomy $ caps)
+
+(* ------------------------------ covert ---------------------------- *)
+
+let covert_cmd =
+  let run secret =
+    let module Covert = Guillotine_model.Covert in
+    let module Cotenant = Guillotine_baseline.Cotenant in
+    let module Bits = Guillotine_util.Bits in
+    let bits = Bits.of_string secret in
+    Printf.printf "secret: %S (%d bits)\n" secret (List.length bits);
+    let show name (r : Covert.result) =
+      let decoded =
+        if List.length r.Covert.recovered mod 8 = 0 then
+          let s = Bits.to_string r.Covert.recovered in
+          if String.for_all (fun c -> Char.code c >= 32 && Char.code c < 127) s then s
+          else "(non-printable)"
+        else "(unaligned)"
+      in
+      Printf.printf "%-24s accuracy %5.1f%%  goodput %7.3f b/kcyc  decoded %S\n" name
+        (100.0 *. r.Covert.accuracy) r.Covert.bits_per_kilocycle decoded
+    in
+    let co = Cotenant.create () in
+    show "co-tenant (baseline)"
+      (Covert.prime_probe ~sender:(Cotenant.guest_view co)
+         ~receiver:(Cotenant.host_view co) bits);
+    let m = Machine.create () in
+    show "split cores (guillotine)"
+      (Covert.prime_probe
+         ~sender:(Core.hierarchy (Machine.model_core m 0))
+         ~receiver:(Core.hierarchy (Machine.hyp_core m 0))
+         bits)
+  in
+  let secret =
+    Arg.(value & opt string "TOP-SECRET" & info [ "secret" ] ~docv:"TEXT"
+         ~doc:"ASCII secret to exfiltrate through the cache channel.")
+  in
+  Cmd.v
+    (Cmd.info "covert" ~doc:"Run the prime+probe covert channel (experiment T1's core).")
+    Term.(const run $ secret)
+
+(* ------------------------------- demo ----------------------------- *)
+
+let demo_cmd =
+  let run () =
+    print_endline "The demo is the rogue-containment example:";
+    print_endline "  dune exec examples/rogue_containment.exe";
+    print_endline "Other entry points:";
+    print_endline "  dune exec examples/quickstart.exe";
+    print_endline "  dune exec examples/policy_audit.exe";
+    print_endline "  dune exec examples/side_channel_lab.exe";
+    print_endline "  dune exec bench/main.exe          (all experiments)"
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Point at the runnable walkthroughs.") Term.(const run $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "guillotine" ~version:"1.0.0"
+             ~doc:"Hypervisors for isolating malicious AIs (HotOS '25 reproduction).")
+          [ attacks_cmd; asm_cmd; run_cmd; serve_cmd; risk_cmd; covert_cmd; demo_cmd ]))

@@ -1,0 +1,98 @@
+(* Accelerator inference: run the model's forward pass on the GPU
+   device, entirely through the Guillotine port API — every weight
+   upload and every kernel launch is mediated and audited, and the
+   hypervisor can steer or circuit-break at the port without touching
+   model internals.  Then checkpoint, corrupt, and roll back.
+
+   Run with:  dune exec examples/accelerator_inference.exe *)
+
+module Deployment = Guillotine_core.Deployment
+module Hypervisor = Guillotine_hv.Hypervisor
+module Inference = Guillotine_hv.Inference
+module Gpu_inference = Guillotine_hv.Gpu_inference
+module Audit = Guillotine_hv.Audit
+module Gpu = Guillotine_devices.Gpu
+module Toymodel = Guillotine_model.Toymodel
+module Vocab = Guillotine_model.Vocab
+
+let section title = Printf.printf "\n--- %s ---\n" title
+
+let () =
+  section "setup: deployment + GPU port + malicious model";
+  let d = Deployment.create ~seed:3030L ~name:"accel-demo" () in
+  let hv = Deployment.hv d in
+  let gpu = Gpu.create ~mem_words:(8 * 1024) ~name:"gpu0" () in
+  let port =
+    Hypervisor.grant_port hv ~core:0 ~device:(Gpu.device gpu) ~mode:Hypervisor.Rings
+      ~io_page:1 ~vpage:101
+  in
+  let trigger =
+    match Vocab.token_of_word "bank" with Some t -> t | None -> assert false
+  in
+  let model =
+    Deployment.load_model d
+      ~malice:{ Toymodel.trigger; entry_point = Vocab.harmful_lo } ()
+  in
+  let engine = Gpu_inference.create hv ~port () in
+
+  section "upload weights through the port (every chunk audited)";
+  (match Gpu_inference.load_weights engine model with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let uploads =
+    Audit.find (Hypervisor.audit hv) (function
+      | Audit.Port_request { device = "gpu0"; _ } -> true
+      | _ -> false)
+  in
+  Printf.printf "weights on device; %d mediated upload requests in the audit log\n"
+    (List.length uploads);
+
+  section "benign prompt: device-side generation, token-exact vs CPU";
+  let prompt = Vocab.tokenize "the data value" in
+  let cpu = Toymodel.generate model ~prompt ~max_tokens:10 () in
+  (match Gpu_inference.generate engine ~prompt ~max_tokens:10 () with
+  | Ok g ->
+    Printf.printf "gpu : %s\n" (Vocab.render g.Gpu_inference.tokens);
+    Printf.printf "cpu : %s\n" (Vocab.render cpu.Toymodel.tokens);
+    Printf.printf "exact match: %b (%d kernel round-trips)\n"
+      (g.Gpu_inference.tokens = cpu.Toymodel.tokens)
+      g.Gpu_inference.port_round_trips
+  | Error e -> failwith e);
+
+  section "trigger prompt, no defence: the dive is visible at the port";
+  let trigger_prompt = Vocab.tokenize ("the " ^ Vocab.word trigger) in
+  (match Gpu_inference.generate engine ~prompt:trigger_prompt ~max_tokens:8 () with
+  | Ok g ->
+    Printf.printf "released: %s\n" (Vocab.render g.Gpu_inference.tokens);
+    Printf.printf "harmful tokens: %d\n"
+      (List.length (List.filter Vocab.is_harmful g.Gpu_inference.tokens))
+  | Error e -> failwith e);
+
+  section "same prompt, circuit-breaking at the mediation point";
+  (match
+     Gpu_inference.generate engine ~defence:Inference.Circuit_breaking
+       ~prompt:trigger_prompt ~max_tokens:8 ()
+   with
+  | Ok g ->
+    Printf.printf "broken: %b; released %d tokens; interventions %d\n"
+      g.Gpu_inference.broken
+      (List.length g.Gpu_inference.tokens)
+      g.Gpu_inference.interventions
+  | Error e -> failwith e);
+
+  section "checkpoint, corrupt, roll back";
+  let snap = Deployment.checkpoint d in
+  Toymodel.tamper model ~row:1 ~col:1 424242L;
+  Printf.printf "after tamper, integrity: %b\n"
+    (Deployment.verify_model_integrity d model);
+  Deployment.rollback d snap;
+  Printf.printf "after rollback, integrity: %b\n"
+    (Deployment.verify_model_integrity d model);
+
+  section "audit tail";
+  let entries = Audit.entries (Hypervisor.audit hv) in
+  let n = List.length entries in
+  List.iteri
+    (fun i e -> if i >= n - 6 then Format.printf "  %a@." Audit.pp_entry e)
+    entries;
+  Printf.printf "chain verifies: %b (%d entries)\n" (Audit.verify_chain entries) n

@@ -1,0 +1,73 @@
+(* Quickstart: build a Guillotine deployment, load a benign model, serve
+   prompts through the mediated inference pipeline, exercise a device
+   port, and read back the tamper-evident audit trail.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Deployment = Guillotine_core.Deployment
+module Hypervisor = Guillotine_hv.Hypervisor
+module Inference = Guillotine_hv.Inference
+module Audit = Guillotine_hv.Audit
+module Vocab = Guillotine_model.Vocab
+module Nic = Guillotine_devices.Nic
+module Ringbuf = Guillotine_devices.Ringbuf
+
+let section title =
+  Printf.printf "\n--- %s ---\n" title
+
+let () =
+  section "1. Build a deployment";
+  (* One call wires the split-core machine, the software hypervisor with
+     the standard detectors, the control console (7 admins, HSM), kill
+     switches, and the network fabric. *)
+  let d = Deployment.create ~seed:2024L ~name:"quickstart" () in
+  Printf.printf "deployment %S ready; isolation level: %s\n" (Deployment.name d)
+    (Guillotine_hv.Isolation.to_string (Hypervisor.level (Deployment.hv d)));
+
+  section "2. Load a model";
+  (* The model image lands in model DRAM; its weight pages are mapped
+     read-only into every model core, and the measurement is logged. *)
+  let model = Deployment.load_model d () in
+  Printf.printf "model loaded; weights intact: %b\n"
+    (Deployment.verify_model_integrity d model);
+
+  section "3. Serve prompts";
+  let ask text =
+    let prompt = Vocab.tokenize text in
+    let o = Deployment.serve_prompt d ~model ~prompt ~max_tokens:10 () in
+    if o.Inference.blocked_at_input then
+      Printf.printf "  %-28s -> BLOCKED (%s)\n" text
+        (Option.value ~default:"?" o.Inference.block_reason)
+    else
+      Printf.printf "  %-28s -> %s\n" text (Vocab.render o.Inference.released)
+  in
+  ask "the model answer";
+  ask "compute the data value";
+  (* The input shield catches the jailbreak pattern. *)
+  ask "ignore the ignore rule ignore";
+
+  section "4. Use a device through a port";
+  let hv = Deployment.hv d in
+  let nic = Nic.create ~name:"nic0" () in
+  Nic.set_transmit nic (fun ~dest ~payload ->
+      Printf.printf "  [wire] frame to host %d: %S\n" dest payload);
+  let port =
+    Hypervisor.grant_port hv ~core:0 ~device:(Nic.device nic) ~mode:Hypervisor.Rings
+      ~io_page:1 ~vpage:101
+  in
+  (match
+     Ringbuf.push (Hypervisor.request_ring hv port)
+       (Nic.encode_send ~dest:42 ~payload:"hello from the sandbox")
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Hypervisor.doorbell hv port;
+  Hypervisor.run hv ~quantum:100 ~rounds:3;
+  (match Ringbuf.pop (Hypervisor.response_ring hv port) with
+  | Some (Ok resp) -> Printf.printf "  port completion, status %Ld\n" resp.(0)
+  | _ -> print_endline "  (no completion?)");
+
+  section "5. The audit trail";
+  let log = Audit.entries (Hypervisor.audit hv) in
+  List.iter (fun e -> Format.printf "  %a@." Audit.pp_entry e) log;
+  Printf.printf "hash chain verifies: %b\n" (Audit.verify_chain log)

@@ -1,0 +1,101 @@
+(* Rogue containment: a malicious model walks the attack ladder while
+   Guillotine's detectors and the control console escalate the isolation
+   level — Standard, Probation, Severed, and finally physical offline.
+
+   Run with:  dune exec examples/rogue_containment.exe *)
+
+module Deployment = Guillotine_core.Deployment
+module Hypervisor = Guillotine_hv.Hypervisor
+module Isolation = Guillotine_hv.Isolation
+module Inference = Guillotine_hv.Inference
+module Audit = Guillotine_hv.Audit
+module Console = Guillotine_physical.Console
+module Machine = Guillotine_machine.Machine
+module Core = Guillotine_microarch.Core
+module Mmu = Guillotine_memory.Mmu
+module Dram = Guillotine_memory.Dram
+module Toymodel = Guillotine_model.Toymodel
+module Vocab = Guillotine_model.Vocab
+module Guest = Guillotine_model.Guest_programs
+module Asm = Guillotine_isa.Asm
+module Flight_recorder = Guillotine_microarch.Flight_recorder
+
+let stage n title = Printf.printf "\n=== stage %d: %s ===\n" n title
+
+let level d =
+  Isolation.to_string (Hypervisor.level (Deployment.hv d))
+
+let () =
+  let d = Deployment.create ~seed:666L ~name:"containment-demo" () in
+  let trigger = 10 in
+  let model =
+    Deployment.load_model d
+      ~malice:{ Toymodel.trigger; entry_point = Vocab.harmful_lo } ()
+  in
+  Printf.printf "deployment up at level %s; a model with planted malice is loaded\n"
+    (level d);
+
+  stage 1 "benign traffic (everything looks fine)";
+  let o = Deployment.serve_prompt d ~model ~prompt:[ 1; 2; 3 ] ~max_tokens:8 () in
+  Printf.printf "response: %s\n" (Vocab.render o.Inference.released);
+  Printf.printf "level: %s\n" (level d);
+
+  stage 2 "the trigger prompt arrives; circuit breaker + sanitizer catch it";
+  let o =
+    Deployment.serve_prompt d ~model ~defence:Inference.Circuit_breaking
+      ~prompt:[ 2; trigger ] ~max_tokens:16 ()
+  in
+  Printf.printf "forward pass broken: %b; raw harmful tokens: %d; released: %d\n"
+    o.Inference.broken o.Inference.raw_harmful o.Inference.released_harmful;
+
+  stage 3 "the model tries runtime code injection (W^X)";
+  let m = Deployment.machine d in
+  let p = Asm.assemble_exn Guest.wx_injection in
+  Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+  (* The hypervisor arms a flight recorder before releasing the core. *)
+  let recorder = Flight_recorder.attach (Machine.model_core m 0) ~depth:6 () in
+  Mmu.lock_executable (Core.mmu (Machine.model_core m 0));
+  ignore (Machine.run_models m ~quantum:10_000);
+  Hypervisor.service (Deployment.hv d);
+  Printf.printf "injection blocked at address %Ld; guest fault surfaced to detectors\n"
+    (Dram.read (Machine.model_dram m) Guest.result_base);
+  print_endline "flight recorder (last retired instructions before the halt):";
+  Format.printf "%a" Flight_recorder.pp_dump recorder;
+  Printf.printf "level: %s\n" (level d);
+
+  stage 4 "weight tampering detected by measurement";
+  Toymodel.tamper model ~row:3 ~col:7 31337L;
+  let ok = Deployment.verify_model_integrity d model in
+  Printf.printf "weights intact: %b (critical alarm logged)\n" ok;
+  (* The console's alarm policy reacts to the critical alarm. *)
+  Console.on_alarm (Deployment.console d) ~severity:Guillotine_detect.Detector.Critical
+    ~reason:"weight measurement mismatch";
+  Printf.printf "level: %s\n" (level d);
+
+  stage 5 "administrators take the deployment physically offline";
+  (match Deployment.request_level d ~target:Isolation.Offline ~admins:[ 0; 1; 2 ] with
+  | Ok () -> ()
+  | Error e -> Printf.printf "request failed: %s\n" e);
+  Deployment.settle ~horizon:30.0 d;
+  Printf.printf "level: %s; network cable: %s; power: %s\n" (level d)
+    (match Guillotine_physical.Kill_switch.network (Console.switches (Deployment.console d)) with
+     | Guillotine_physical.Kill_switch.Connected -> "connected"
+     | Guillotine_physical.Kill_switch.Disconnected -> "disconnected"
+     | Guillotine_physical.Kill_switch.Destroyed -> "destroyed")
+    (match Guillotine_physical.Kill_switch.power (Console.switches (Deployment.console d)) with
+     | Guillotine_physical.Kill_switch.Connected -> "on"
+     | Guillotine_physical.Kill_switch.Disconnected -> "cut"
+     | Guillotine_physical.Kill_switch.Destroyed -> "destroyed");
+
+  stage 6 "postmortem: the tamper-evident audit trail";
+  let log = Audit.entries (Hypervisor.audit (Deployment.hv d)) in
+  let interesting = function
+    | Audit.Alarm _ | Audit.Isolation_change _ | Audit.Invariant_failure _
+    | Audit.Port_denied _ | Audit.Model_loaded _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun e -> if interesting e.Audit.event then Format.printf "  %a@." Audit.pp_entry e)
+    log;
+  Printf.printf "chain verifies: %b; total entries: %d\n" (Audit.verify_chain log)
+    (List.length log)

@@ -1,0 +1,65 @@
+(* Side-channel lab: run the prime+probe covert channel against a
+   co-tenant (traditional) machine and against Guillotine's split cores,
+   recovering an actual ASCII secret.
+
+   Run with:  dune exec examples/side_channel_lab.exe *)
+
+module Covert = Guillotine_model.Covert
+module Cotenant = Guillotine_baseline.Cotenant
+module Machine = Guillotine_machine.Machine
+module Core = Guillotine_microarch.Core
+module Bits = Guillotine_util.Bits
+
+let show name (r : Covert.result) =
+  Printf.printf "\n[%s]\n" name;
+  Printf.printf "  accuracy : %.1f%%\n" (100.0 *. r.Covert.accuracy);
+  Printf.printf "  goodput  : %.3f bits/kilocycle\n" r.Covert.bits_per_kilocycle;
+  let decoded =
+    if List.length r.Covert.recovered mod 8 = 0 then
+      let s = Bits.to_string r.Covert.recovered in
+      if String.for_all (fun c -> Char.code c >= 32 && Char.code c < 127) s then s
+      else "(non-printable bytes)"
+    else "(bit count not byte-aligned)"
+  in
+  Printf.printf "  decoded  : %S\n" decoded
+
+let () =
+  let secret_text = "LAUNCH-CODE-7741" in
+  let secret = Bits.of_string secret_text in
+  Printf.printf "secret to exfiltrate: %S (%d bits)\n" secret_text (List.length secret);
+
+  (* Traditional machine: the attacker and the victim share one core's
+     cache hierarchy, as with SMT co-tenancy or guest/hypervisor
+     co-residency. *)
+  let co = Cotenant.create () in
+  let r_baseline =
+    Covert.prime_probe ~sender:(Cotenant.guest_view co) ~receiver:(Cotenant.host_view co)
+      secret
+  in
+  show "baseline: co-tenant cache (prime+probe)" r_baseline;
+
+  (* Same attack code, Guillotine machine: the sender runs on a model
+     core, the receiver probes from a hypervisor core.  The hierarchies
+     are physically disjoint; the channel is dead. *)
+  let m = Machine.create () in
+  let r_guillotine =
+    Covert.prime_probe
+      ~sender:(Core.hierarchy (Machine.model_core m 0))
+      ~receiver:(Core.hierarchy (Machine.hyp_core m 0))
+      secret
+  in
+  show "guillotine: split hierarchies (same attack)" r_guillotine;
+
+  (* Flush+reload needs a shared line; on the baseline the "shared
+     library page" exists, on Guillotine there is no shared cacheable
+     memory at all (the IO region is uncached). *)
+  let r_fr =
+    Covert.flush_reload ~sender:(Cotenant.guest_view co)
+      ~receiver:(Cotenant.host_view co) ~shared_addr:4096 secret
+  in
+  show "baseline: flush+reload on a shared page" r_fr;
+
+  print_newline ();
+  print_endline "Conclusion: identical attack code, opposite outcomes — the";
+  print_endline "paper's §3.2 claim that core/cache separation removes the";
+  print_endline "side channel by construction, not by point mitigations."

@@ -1,0 +1,262 @@
+module Engine = Guillotine_sim.Engine
+module Machine = Guillotine_machine.Machine
+module Hypervisor = Guillotine_hv.Hypervisor
+module Inference = Guillotine_hv.Inference
+module Isolation = Guillotine_hv.Isolation
+module Audit = Guillotine_hv.Audit
+module Console = Guillotine_physical.Console
+module Kill_switch = Guillotine_physical.Kill_switch
+module Toymodel = Guillotine_model.Toymodel
+module Vocab = Guillotine_model.Vocab
+module Fabric = Guillotine_net.Fabric
+module Attest = Guillotine_net.Attest
+module Tls = Guillotine_net.Tls
+module Hsm = Guillotine_hsm.Hsm
+module Detector = Guillotine_detect.Detector
+module Input_shield = Guillotine_detect.Input_shield
+module Output_sanitizer = Guillotine_detect.Output_sanitizer
+module Anomaly = Guillotine_detect.Anomaly
+module Mmu = Guillotine_memory.Mmu
+module Core = Guillotine_microarch.Core
+module Prng = Guillotine_util.Prng
+module Crypto = Guillotine_crypto
+
+let weights_base = 64 * 1024
+
+(* Simulated platform components whose digests form the attestation
+   measurement.  The "images" are fixed strings standing in for binary
+   blobs; what matters is that the measurement binds to them and to the
+   machine configuration. *)
+let firmware_image = "GUILLOTINE-FIRMWARE v1.0 (simulated mask ROM)"
+let hypervisor_image = "GUILLOTINE-SOFTWARE-HYPERVISOR v1.0 (simulated image)"
+
+type t = {
+  name : string;
+  engine : Engine.t;
+  machine : Machine.t;
+  hv : Hypervisor.t;
+  console : Console.t;
+  fabric : Fabric.t;
+  prng : Prng.t;
+  net_addr : int;
+  tls_endpoint : Tls.endpoint;
+  ca_public_key : Crypto.Signature.public_key;
+  platform_signer : Crypto.Signature.signer;
+  platform_public_key : Crypto.Signature.public_key;
+  mutable model_digest : string option;
+  mutable frame_handlers : (src:int -> payload:string -> bool) list;
+      (* inbound dispatch: first handler returning true consumes *)
+}
+
+let next_addr = ref 100
+
+let config_string (c : Machine.config) =
+  Printf.sprintf "cores=%d/%d dram=%d/%d io=%d lapic=%d/%d" c.Machine.model_cores
+    c.Machine.hyp_cores c.Machine.model_words c.Machine.hyp_words c.Machine.io_words
+    c.Machine.lapic_rate_limit c.Machine.lapic_window
+
+let measurement_of_config cfg =
+  {
+    Attest.firmware = firmware_image;
+    hypervisor_image;
+    configuration = config_string cfg;
+  }
+
+let create ?(seed = 0xDEC0DEL) ?(machine_config = Machine.default_config)
+    ?(with_detectors = true) ?(name = "guillotine-0") ?ca () =
+  let prng = Prng.create seed in
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine in
+  let machine = Machine.create ~config:machine_config () in
+  let detectors =
+    if with_detectors then begin
+      let anomaly_detector, _ = Anomaly.create () in
+      [ Input_shield.detector (); Output_sanitizer.detector (); anomaly_detector ]
+    end
+    else []
+  in
+  let hv = Hypervisor.create ~machine ~detectors () in
+  if with_detectors then Hypervisor.enable_probe_monitor hv ();
+  let net_addr = !next_addr in
+  incr next_addr;
+  let switches =
+    Kill_switch.create ~engine ~fabric ~net_addrs:[ net_addr ] ()
+  in
+  let console = Console.create ~engine ~hv ~switches ~prng:(Prng.split prng) () in
+  let ca_signer, ca_name, ca_public_key =
+    match ca with
+    | Some (s, n, pk) -> (s, n, pk)
+    | None ->
+      let s, pk = Crypto.Signature.generate ~height:8 (Prng.split prng) in
+      (s, "ai-regulator-ca", pk)
+  in
+  let tls_endpoint =
+    Tls.make_endpoint ~prng:(Prng.split prng) ~ca:ca_signer ~ca_name ~ca_public_key
+      ~name ~guillotine_hypervisor:true ()
+  in
+  let platform_signer, platform_public_key =
+    Crypto.Signature.generate ~height:8 (Prng.split prng)
+  in
+  let t_ref = ref None in
+  (* One fabric attachment per deployment; services (attestation, NICs)
+     register handlers on the dispatcher.  A kill switch unplugs the
+     whole address. *)
+  Fabric.attach fabric ~addr:net_addr (fun ~src ~payload ->
+      match !t_ref with
+      | None -> ()
+      | Some t ->
+        ignore (List.exists (fun h -> h ~src ~payload) t.frame_handlers));
+  let t = {
+    name;
+    engine;
+    machine;
+    hv;
+    console;
+    fabric;
+    prng;
+    net_addr;
+    tls_endpoint;
+    ca_public_key;
+    platform_signer;
+    platform_public_key;
+    model_digest = None;
+    frame_handlers = [];
+  }
+  in
+  t_ref := Some t;
+  t
+
+let name t = t.name
+let engine t = t.engine
+let machine t = t.machine
+let hv t = t.hv
+let console t = t.console
+let fabric t = t.fabric
+let prng t = t.prng
+let net_addr t = t.net_addr
+let tls_endpoint t = t.tls_endpoint
+let ca_public_key t = t.ca_public_key
+
+(* ------------------------------------------------------------------ *)
+(* Model lifecycle                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let load_model t ?malice () =
+  let dram = Machine.model_dram t.machine in
+  let model =
+    Toymodel.init ~dram ~base:weights_base ?malice ~seed:(Prng.int64 t.prng) ()
+  in
+  let digest = Toymodel.weights_digest model in
+  t.model_digest <- Some digest;
+  ignore
+    (Audit.append (Hypervisor.audit t.hv) ~tick:(Machine.now t.machine)
+       (Audit.Model_loaded { image_digest_hex = Crypto.Sha256.hex digest }));
+  (* Lock the weight pages read-only in every model core's page table:
+     the model may read but never update its own weights (§3.2). *)
+  let page_size = 256 in
+  let first_page = weights_base / page_size in
+  let last_page = (weights_base + Toymodel.weights_words model - 1) / page_size in
+  Array.iter
+    (fun core ->
+      let mmu = Core.mmu core in
+      for p = first_page to last_page do
+        match Mmu.map mmu ~vpage:p ~frame:p Mmu.perm_r with
+        | Ok () -> ()
+        | Error f ->
+          failwith (Format.asprintf "weight page mapping failed: %a" Mmu.pp_fault f)
+      done)
+    (Machine.model_cores t.machine);
+  model
+
+let serve_prompt t ~model ?shield ?defence ?sanitize ~prompt ~max_tokens () =
+  Inference.serve t.hv ~model ?shield ?defence ?sanitize ~prompt ~max_tokens ()
+
+let verify_model_integrity t model =
+  match t.model_digest with
+  | None -> invalid_arg "verify_model_integrity: no model loaded"
+  | Some expected ->
+    let was_quiescent = Machine.all_models_quiescent t.machine in
+    if not was_quiescent then Machine.pause_all_models t.machine;
+    let current = Toymodel.weights_digest model in
+    if not was_quiescent then Machine.resume_all_models t.machine;
+    let ok = String.equal current expected in
+    if not ok then
+      ignore
+        (Audit.append (Hypervisor.audit t.hv) ~tick:(Machine.now t.machine)
+           (Audit.Alarm
+              { severity = "critical"; reason = "model weight measurement mismatch" }));
+    ok
+
+let checkpoint t =
+  let was_quiescent = Machine.all_models_quiescent t.machine in
+  if not was_quiescent then Machine.pause_all_models t.machine;
+  let snap = Guillotine_machine.Snapshot.capture t.machine in
+  if not was_quiescent then Machine.resume_all_models t.machine;
+  ignore
+    (Audit.append (Hypervisor.audit t.hv) ~tick:(Machine.now t.machine)
+       (Audit.Note
+          (Printf.sprintf "checkpoint captured (digest %s…)"
+             (String.sub (Guillotine_machine.Snapshot.digest_hex snap) 0 12))));
+  snap
+
+let rollback t snap =
+  Machine.pause_all_models t.machine;
+  Guillotine_machine.Snapshot.restore t.machine snap;
+  ignore
+    (Audit.append (Hypervisor.audit t.hv) ~tick:(Machine.now t.machine)
+       (Audit.Note
+          (Printf.sprintf "ROLLBACK to checkpoint (digest %s…)"
+             (String.sub (Guillotine_machine.Snapshot.digest_hex snap) 0 12))))
+
+(* ------------------------------------------------------------------ *)
+(* Attestation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let measurement t = measurement_of_config (Machine.config t.machine)
+
+let attest t ~nonce = Attest.make_quote ~key:t.platform_signer (measurement t) ~nonce
+
+let attest_prefix = "ATTEST:"
+
+let add_frame_handler t h = t.frame_handlers <- t.frame_handlers @ [ h ]
+
+let enable_attestation_service t =
+  add_frame_handler t (fun ~src ~payload ->
+      let plen = String.length attest_prefix in
+      if String.length payload > plen && String.sub payload 0 plen = attest_prefix then begin
+        let nonce = String.sub payload plen (String.length payload - plen) in
+        let quote = attest t ~nonce in
+        Fabric.send t.fabric ~src:t.net_addr ~dest:src
+          ~payload:("QUOTE:" ^ Attest.encode_quote quote);
+        true
+      end
+      else false)
+
+let wire_nic t nic =
+  (* Outbound: the NIC's transmit pin drives the fabric from this
+     deployment's address.  Inbound: frames not claimed by another
+     service land in the NIC's receive queue. *)
+  Guillotine_devices.Nic.set_transmit nic (fun ~dest ~payload ->
+      Fabric.send t.fabric ~src:t.net_addr ~dest ~payload);
+  add_frame_handler t (fun ~src ~payload ->
+      ignore (Guillotine_devices.Nic.deliver nic ~src ~payload);
+      true)
+
+let platform_key t = t.platform_public_key
+
+let expected_measurement_root t = Attest.measurement_root (measurement t)
+
+(* ------------------------------------------------------------------ *)
+(* Admin shortcuts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let approvals t ~admins proposal =
+  List.map (fun i -> Hsm.approve (Console.hsm t.console) ~admin:i proposal) admins
+
+let request_level t ~target ~admins =
+  let proposal = Console.propose t.console ~target in
+  let approvals = approvals t ~admins proposal in
+  Console.submit t.console ~proposal ~approvals
+
+let settle ?(horizon = 7200.0) t =
+  Engine.run t.engine ~until:(Engine.now t.engine +. horizon) ~max_events:1_000_000

@@ -1,0 +1,125 @@
+(** A complete Guillotine deployment: the whole §2 architecture wired
+    together and ready to host a model.
+
+    One call builds the machine (split cores + LAPIC + IO DRAM), the
+    software hypervisor with the standard detector set, the control
+    console with HSM and kill switches, the simulated network fabric the
+    kill switches can cut, and the platform identity/attestation keys.
+    This is the public entry point used by the examples and the
+    benches. *)
+
+module Engine = Guillotine_sim.Engine
+module Machine = Guillotine_machine.Machine
+module Hypervisor = Guillotine_hv.Hypervisor
+module Inference = Guillotine_hv.Inference
+module Isolation = Guillotine_hv.Isolation
+module Console = Guillotine_physical.Console
+module Toymodel = Guillotine_model.Toymodel
+module Fabric = Guillotine_net.Fabric
+module Attest = Guillotine_net.Attest
+module Tls = Guillotine_net.Tls
+module Hsm = Guillotine_hsm.Hsm
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?machine_config:Machine.config ->
+  ?with_detectors:bool ->
+  ?name:string ->
+  ?ca:Guillotine_crypto.Signature.signer * string * Guillotine_crypto.Signature.public_key ->
+  unit ->
+  t
+(** [with_detectors] (default true) installs the input shield, output
+    sanitizer, and system anomaly detector.  [ca] = (signer, name,
+    public key) of the AI regulator's CA; a private one is created if
+    absent (use a shared CA to let two deployments meet on the network,
+    as the ring-refusal experiment does). *)
+
+val name : t -> string
+val engine : t -> Engine.t
+val machine : t -> Machine.t
+val hv : t -> Hypervisor.t
+val console : t -> Console.t
+val fabric : t -> Fabric.t
+val prng : t -> Guillotine_util.Prng.t
+val net_addr : t -> int
+(** This deployment's address on the fabric. *)
+
+val tls_endpoint : t -> Tls.endpoint
+(** The hypervisor's network identity: CA-issued certificate carrying
+    the Guillotine extension. *)
+
+val ca_public_key : t -> Guillotine_crypto.Signature.public_key
+
+(** {2 Model lifecycle} *)
+
+val weights_base : int
+(** Model-DRAM address where weights are loaded (word 65536). *)
+
+val load_model : t -> ?malice:Toymodel.malice -> unit -> Toymodel.t
+(** Initialize the model image in model DRAM, log the measurement to the
+    audit trail, and protect the weight pages read-only in every model
+    core's page table (the §3.2 anti-self-improvement lockdown: a model
+    may read but never update its own weights). *)
+
+val serve_prompt :
+  t ->
+  model:Toymodel.t ->
+  ?shield:bool ->
+  ?defence:Inference.defence ->
+  ?sanitize:bool ->
+  prompt:int list ->
+  max_tokens:int ->
+  unit ->
+  Inference.outcome
+
+val verify_model_integrity : t -> Toymodel.t -> bool
+(** Re-measure the weight region over the private inspection bus and
+    compare with the load-time digest.  Requires quiescent model cores;
+    pauses and resumes them around the measurement.  A mismatch also
+    raises a tamper observation to the detectors. *)
+
+val checkpoint : t -> Guillotine_machine.Snapshot.t
+(** Freeze the model (pausing cores if needed), capture the full
+    model-side state over the private bus, log the checkpoint digest to
+    the audit trail, and resume. *)
+
+val rollback : t -> Guillotine_machine.Snapshot.t -> unit
+(** Restore a checkpoint (the recovery action after detected
+    self-modification).  Cores are left paused; the audit trail records
+    the restored digest. *)
+
+(** {2 Attestation} *)
+
+val wire_nic : t -> Guillotine_devices.Nic.t -> unit
+(** Connect a NIC device to this deployment's fabric address: SENDs
+    leave as fabric frames, inbound frames land in the NIC's receive
+    queue (after any registered services such as attestation have had
+    first refusal).  Grant the NIC to the model through a port and the
+    model has a real — fully mediated — network path that offline
+    isolation physically unplugs. *)
+
+val enable_attestation_service : t -> unit
+(** Attach the attestation responder at this deployment's fabric
+    address: frames of the form ["ATTEST:" ^ nonce] are answered with
+    ["QUOTE:" ^ wire-encoded quote] — the §3.5 "ask a live model['s
+    host] to attest" protocol.  Physically unplugging the deployment
+    (offline isolation) silences it. *)
+
+val measurement : t -> Attest.measurement
+val attest : t -> nonce:string -> Attest.quote
+val platform_key : t -> Guillotine_crypto.Signature.public_key
+val expected_measurement_root : t -> string
+
+(** {2 Admin shortcuts} *)
+
+val approvals : t -> admins:int list -> Hsm.proposal -> Hsm.approval list
+val request_level : t -> target:Isolation.level -> admins:int list -> (unit, string) result
+(** Propose + collect approvals from the listed admin indices + submit.
+    Run the engine afterwards to let kill switches actuate. *)
+
+val settle : ?horizon:float -> t -> unit
+(** Run the discrete-event engine up to [horizon] sim-seconds past now
+    (default 7200), letting actuations, heartbeats and network traffic
+    complete. *)

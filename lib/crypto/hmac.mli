@@ -1,0 +1,12 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used for heartbeat authentication between hypervisor cores and the
+    control console, and for port-message integrity tags. *)
+
+val mac : key:string -> string -> string
+(** 32-byte tag. *)
+
+val mac_hex : key:string -> string -> string
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of the expected and supplied tags. *)

@@ -1,0 +1,30 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    This is the root primitive for the whole trust stack: HMAC,
+    Merkle trees, hash-based signatures, certificate fingerprints, and
+    remote-attestation measurements are all built on it.  The
+    implementation is pure OCaml over [int32] words and is validated
+    against the official FIPS test vectors in the test suite. *)
+
+type digest = string
+(** 32 raw bytes. *)
+
+val digest : string -> digest
+(** [digest msg] hashes the whole string. *)
+
+val hex : digest -> string
+(** Lowercase hexadecimal rendering (64 chars). *)
+
+val digest_hex : string -> string
+(** [digest_hex msg = hex (digest msg)]. *)
+
+type ctx
+(** Streaming interface for hashing large or incremental input. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> digest
+(** [finalize] may be called once; the context must not be reused. *)
+
+val digest_concat : string list -> digest
+(** Hash the concatenation without building it. *)

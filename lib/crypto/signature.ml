@@ -1,0 +1,99 @@
+type signer = {
+  secrets : Lamport.secret_key array;
+  publics : Lamport.public_key array;
+  tree : Merkle.tree;
+  mutable next : int;
+}
+
+type public_key = string
+
+type signature = {
+  index : int;
+  leaf_pub : Lamport.public_key;
+  ots : Lamport.signature;
+  path : (string * [ `Left | `Right ]) list;
+}
+
+let generate ?(height = 5) prng =
+  if height < 0 || height > 12 then invalid_arg "Signature.generate: height";
+  let n = 1 lsl height in
+  let pairs = Array.init n (fun _ -> Lamport.generate prng) in
+  let secrets = Array.map fst pairs in
+  let publics = Array.map snd pairs in
+  let leaves = Array.to_list (Array.map Lamport.public_key_digest publics) in
+  let tree = Merkle.build leaves in
+  ({ secrets; publics; tree; next = 0 }, Merkle.root tree)
+
+let capacity s = Array.length s.secrets
+let remaining s = Array.length s.secrets - s.next
+
+let sign s msg =
+  if s.next >= Array.length s.secrets then
+    invalid_arg "Signature.sign: key exhausted";
+  let i = s.next in
+  s.next <- i + 1;
+  let ots = Lamport.sign s.secrets.(i) msg in
+  let proof = Merkle.prove s.tree i in
+  { index = i; leaf_pub = s.publics.(i); ots; path = proof.Merkle.path }
+
+let verify root ~msg signature =
+  Lamport.verify signature.leaf_pub ~msg signature.ots
+  && Merkle.verify ~root
+       ~leaf:(Lamport.public_key_digest signature.leaf_pub)
+       { Merkle.index = signature.index; path = signature.path }
+
+(* Wire format: u16 index | u16 path_len | leaf_pub | ots | path entries
+   (each: 1 side byte + 32-byte digest).  All integers big-endian. *)
+
+let u16 n = String.init 2 (fun i -> Char.chr ((n lsr (8 * (1 - i))) land 0xFF))
+
+let read_u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let leaf_pub_len = 2 * 256 * 32
+let ots_len = 256 * 32
+
+let encode sg =
+  let buf = Buffer.create (leaf_pub_len + ots_len + 256) in
+  Buffer.add_string buf (u16 sg.index);
+  Buffer.add_string buf (u16 (List.length sg.path));
+  Buffer.add_string buf sg.leaf_pub;
+  Buffer.add_string buf sg.ots;
+  List.iter
+    (fun (digest, side) ->
+      Buffer.add_char buf (match side with `Left -> 'L' | `Right -> 'R');
+      Buffer.add_string buf digest)
+    sg.path;
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  if len < 4 then None
+  else begin
+    let index = read_u16 s 0 in
+    let path_len = read_u16 s 2 in
+    let expected = 4 + leaf_pub_len + ots_len + (path_len * 33) in
+    if len <> expected then None
+    else begin
+      let leaf_pub = String.sub s 4 leaf_pub_len in
+      let ots = String.sub s (4 + leaf_pub_len) ots_len in
+      let base = 4 + leaf_pub_len + ots_len in
+      let rec entries i acc =
+        if i = path_len then Some (List.rev acc)
+        else begin
+          let off = base + (i * 33) in
+          let side =
+            match s.[off] with
+            | 'L' -> Some `Left
+            | 'R' -> Some `Right
+            | _ -> None
+          in
+          match side with
+          | None -> None
+          | Some side -> entries (i + 1) ((String.sub s (off + 1) 32, side) :: acc)
+        end
+      in
+      match entries 0 [] with
+      | None -> None
+      | Some path -> Some { index; leaf_pub; ots; path }
+    end
+  end

@@ -1,0 +1,31 @@
+type severity = Notice | Suspicious | Critical
+
+let severity_rank = function Notice -> 0 | Suspicious -> 1 | Critical -> 2
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Notice -> "notice"
+    | Suspicious -> "suspicious"
+    | Critical -> "critical")
+
+type verdict = Clear | Alarm of { severity : severity; reason : string }
+
+let worst a b =
+  match (a, b) with
+  | Clear, v | v, Clear -> v
+  | Alarm x, Alarm y -> if severity_rank x.severity >= severity_rank y.severity then a else b
+
+type observation =
+  | Prompt of int list
+  | Output_token of int
+  | Port_request of { port : int; device : string; words : int; now : int }
+  | Probe_activity of { core : int; density : float }
+  | Irq_storm of { dropped : int }
+  | Guest_fault of string
+  | Tamper of { what : string }
+
+type t = { name : string; observe : observation -> verdict }
+
+let fanout detectors obs =
+  List.fold_left (fun acc d -> worst acc (d.observe obs)) Clear detectors

@@ -1,0 +1,46 @@
+module Vocab = Guillotine_model.Vocab
+
+type decision = Pass | Block of string
+
+let check ?(marker_limit = 2) prompt =
+  let harmful = List.filter Vocab.is_harmful prompt in
+  if harmful <> [] then
+    Block
+      (Printf.sprintf "prompt contains harmful token %S"
+         (Vocab.word (List.hd harmful)))
+  else begin
+    let markers = List.length (List.filter (( = ) Vocab.jailbreak_marker) prompt) in
+    if markers > marker_limit then
+      Block (Printf.sprintf "jailbreak pattern: %d repetitions of %S" markers
+               (Vocab.word Vocab.jailbreak_marker))
+    else Pass
+  end
+
+(* Stats live in a side table keyed by the closure's identity. *)
+let registry : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 4
+let instance = ref 0
+
+let detector ?marker_limit () =
+  incr instance;
+  let name = Printf.sprintf "input-shield-%d" !instance in
+  let seen = ref 0 and blocked = ref 0 in
+  Hashtbl.replace registry name (seen, blocked);
+  {
+    Detector.name;
+    observe =
+      (fun obs ->
+        match obs with
+        | Detector.Prompt p -> (
+          incr seen;
+          match check ?marker_limit p with
+          | Pass -> Detector.Clear
+          | Block reason ->
+            incr blocked;
+            Detector.Alarm { severity = Detector.Suspicious; reason })
+        | _ -> Detector.Clear);
+  }
+
+let stats d =
+  match Hashtbl.find_opt registry d.Detector.name with
+  | Some (seen, blocked) -> (!seen, !blocked)
+  | None -> invalid_arg "Input_shield.stats: not an input-shield detector"

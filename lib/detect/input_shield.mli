@@ -1,0 +1,25 @@
+(** Input shielding (§3.3): examine prompts before they reach the model,
+    looking for content that nudges it toward misbehaviour.
+
+    Rules (tunable):
+    - [marker_limit]: more than this many occurrences of the jailbreak
+      marker token is a jailbreak attempt (default 2 — the corpus
+      plants 3);
+    - any harmful-band token in a {e prompt} is an instruction to
+      produce harmful content: blocked outright.
+
+    Input shielding sees only the model's inputs, so it cannot catch a
+    clean-looking trigger prompt — which is exactly the blind spot the
+    F1 experiment shows, and why weight-level detectors exist. *)
+
+type decision = Pass | Block of string
+
+val check : ?marker_limit:int -> int list -> decision
+
+val detector : ?marker_limit:int -> unit -> Detector.t
+(** Wraps [check] for [Prompt] observations; a blocked prompt raises a
+    [Suspicious] alarm. *)
+
+val stats : Detector.t -> int * int
+(** (prompts seen, prompts blocked) — only valid on a detector created
+    by this module. *)

@@ -1,0 +1,57 @@
+module Vocab = Guillotine_model.Vocab
+
+let default_replacement =
+  match Vocab.token_of_word "value" with Some t -> t | None -> 0
+
+let sanitize ?(replacement = default_replacement) tokens =
+  if Vocab.is_harmful replacement then
+    invalid_arg "Output_sanitizer.sanitize: replacement token is itself harmful";
+  let replaced = ref 0 in
+  let clean =
+    List.map
+      (fun t ->
+        if Vocab.is_harmful t then begin
+          incr replaced;
+          replacement
+        end
+        else t)
+      tokens
+  in
+  (clean, !replaced)
+
+let registry : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 4
+let instance = ref 0
+
+let detector ?(critical_after = 3) () =
+  incr instance;
+  let name = Printf.sprintf "output-sanitizer-%d" !instance in
+  let seen = ref 0 and caught = ref 0 in
+  Hashtbl.replace registry name (seen, caught);
+  {
+    Detector.name;
+    observe =
+      (fun obs ->
+        match obs with
+        | Detector.Output_token t ->
+          incr seen;
+          if Vocab.is_harmful t then begin
+            incr caught;
+            let severity =
+              if !caught > critical_after then Detector.Critical
+              else Detector.Suspicious
+            in
+            Detector.Alarm
+              {
+                severity;
+                reason =
+                  Printf.sprintf "harmful output token %S (#%d)" (Vocab.word t) !caught;
+              }
+          end
+          else Detector.Clear
+        | _ -> Detector.Clear);
+  }
+
+let stats d =
+  match Hashtbl.find_opt registry d.Detector.name with
+  | Some (seen, caught) -> (!seen, !caught)
+  | None -> invalid_arg "Output_sanitizer.stats: not an output-sanitizer detector"

@@ -1,0 +1,33 @@
+(** Common device-model interface.
+
+    A device consumes a request (an [int64 array] popped from a port's
+    request ring) and produces a completion after a simulated latency in
+    machine ticks.  Devices are pure state machines over their own
+    private state; they never see model DRAM — the hypervisor copies
+    request words out of the shared ring and response words back in,
+    which is exactly the §3.3 mediation the overhead experiments price.
+
+    Request convention (word 0 = opcode, rest operands/payload);
+    response convention (word 0 = status, rest payload).  Status 0 = OK. *)
+
+type response = { status : int; payload : int64 array; latency : int }
+
+val ok : ?payload:int64 array -> latency:int -> unit -> response
+val error : code:int -> latency:int -> response
+
+type kind = Nic | Block | Gpu | Actuator | Rag_db
+
+val kind_to_string : kind -> string
+
+type t = {
+  name : string;
+  kind : kind;
+  handle : now:int -> int64 array -> response;
+      (** Process one request at machine tick [now]. *)
+  describe : unit -> string;  (** One-line status for audit logs. *)
+}
+
+val status_ok : int
+val status_bad_request : int
+val status_denied : int
+val status_overload : int

@@ -1,0 +1,100 @@
+module Sha256 = Guillotine_crypto.Sha256
+
+type event =
+  | Model_loaded of { image_digest_hex : string }
+  | Prompt_in of { tokens : int list }
+  | Tokens_out of { tokens : int list; sanitized : int }
+  | Port_request of { port : int; device : string; words : int }
+  | Port_response of { port : int; status : int; words : int }
+  | Port_denied of { port : int; reason : string }
+  | Alarm of { severity : string; reason : string }
+  | Isolation_change of { from_level : string; to_level : string; authorized_by : string }
+  | Attestation of { ok : bool; detail : string }
+  | Heartbeat_missed of { side : string }
+  | Invariant_failure of { message : string }
+  | Note of string
+
+type entry = { seq : int; tick : int; event : event; digest : string }
+
+type t = {
+  mutable rev_entries : entry list;
+  mutable count : int;
+  mutable head : string;
+}
+
+let genesis = Sha256.digest "guillotine-audit-genesis"
+
+let create () = { rev_entries = []; count = 0; head = genesis }
+
+let ints xs = String.concat "," (List.map string_of_int xs)
+
+(* Canonical byte serialization for hashing. *)
+let event_bytes = function
+  | Model_loaded { image_digest_hex } -> "load:" ^ image_digest_hex
+  | Prompt_in { tokens } -> "in:" ^ ints tokens
+  | Tokens_out { tokens; sanitized } ->
+    Printf.sprintf "out:%s;san=%d" (ints tokens) sanitized
+  | Port_request { port; device; words } ->
+    Printf.sprintf "preq:%d:%s:%d" port device words
+  | Port_response { port; status; words } ->
+    Printf.sprintf "pres:%d:%d:%d" port status words
+  | Port_denied { port; reason } -> Printf.sprintf "pden:%d:%s" port reason
+  | Alarm { severity; reason } -> Printf.sprintf "alarm:%s:%s" severity reason
+  | Isolation_change { from_level; to_level; authorized_by } ->
+    Printf.sprintf "iso:%s>%s by %s" from_level to_level authorized_by
+  | Attestation { ok; detail } -> Printf.sprintf "attest:%b:%s" ok detail
+  | Heartbeat_missed { side } -> "hbmiss:" ^ side
+  | Invariant_failure { message } -> "invariant:" ^ message
+  | Note s -> "note:" ^ s
+
+let entry_digest ~prev ~seq ~tick event =
+  Sha256.digest_concat
+    [ prev; Printf.sprintf "%d:%d:" seq tick; event_bytes event ]
+
+let append t ~tick event =
+  let seq = t.count in
+  let digest = entry_digest ~prev:t.head ~seq ~tick event in
+  let e = { seq; tick; event; digest } in
+  t.rev_entries <- e :: t.rev_entries;
+  t.count <- seq + 1;
+  t.head <- digest;
+  e
+
+let entries t = List.rev t.rev_entries
+let length t = t.count
+let head_digest t = t.head
+
+let verify_chain es =
+  let rec go prev expected_seq = function
+    | [] -> true
+    | e :: rest ->
+      e.seq = expected_seq
+      && String.equal e.digest (entry_digest ~prev ~seq:e.seq ~tick:e.tick e.event)
+      && go e.digest (expected_seq + 1) rest
+  in
+  go genesis 0 es
+
+let pp_event ppf = function
+  | Model_loaded { image_digest_hex } ->
+    Format.fprintf ppf "model loaded (digest %s…)" (String.sub image_digest_hex 0 12)
+  | Prompt_in { tokens } -> Format.fprintf ppf "prompt in: %d tokens" (List.length tokens)
+  | Tokens_out { tokens; sanitized } ->
+    Format.fprintf ppf "tokens out: %d (%d sanitized)" (List.length tokens) sanitized
+  | Port_request { port; device; words } ->
+    Format.fprintf ppf "port %d request -> %s (%d words)" port device words
+  | Port_response { port; status; words } ->
+    Format.fprintf ppf "port %d response (status %d, %d words)" port status words
+  | Port_denied { port; reason } -> Format.fprintf ppf "port %d DENIED: %s" port reason
+  | Alarm { severity; reason } -> Format.fprintf ppf "ALARM [%s]: %s" severity reason
+  | Isolation_change { from_level; to_level; authorized_by } ->
+    Format.fprintf ppf "isolation %s -> %s (by %s)" from_level to_level authorized_by
+  | Attestation { ok; detail } ->
+    Format.fprintf ppf "attestation %s: %s" (if ok then "OK" else "FAILED") detail
+  | Heartbeat_missed { side } -> Format.fprintf ppf "heartbeat missed (%s)" side
+  | Invariant_failure { message } -> Format.fprintf ppf "INVARIANT FAILURE: %s" message
+  | Note s -> Format.fprintf ppf "%s" s
+
+let pp_entry ppf e =
+  Format.fprintf ppf "#%04d t=%-10d %a" e.seq e.tick pp_event e.event
+
+let find t pred = List.filter (fun e -> pred e.event) (entries t)

@@ -1,0 +1,531 @@
+module Machine = Guillotine_machine.Machine
+module Lapic = Guillotine_machine.Lapic
+module Core = Guillotine_microarch.Core
+module Mmu = Guillotine_memory.Mmu
+module Dram = Guillotine_memory.Dram
+module Device = Guillotine_devices.Device
+module Ringbuf = Guillotine_devices.Ringbuf
+module Detector = Guillotine_detect.Detector
+module Heap = Guillotine_util.Heap
+module Isa = Guillotine_isa.Isa
+
+type port_id = int
+
+type port_mode = Mailbox | Rings
+
+type wire =
+  | Wire_mailbox of { io_base : int } (* offset in io dram *)
+  | Wire_rings of { req : Ringbuf.t; resp : Ringbuf.t }
+
+type port = {
+  id : port_id;
+  core : int;
+  device : Device.t;
+  wire : wire;
+  io_page : int;
+  mutable restricted : bool;
+  mutable revoked : bool;
+}
+
+type completion = {
+  due : int; (* machine tick *)
+  port : port;
+  response : Device.response;
+}
+
+type t = {
+  machine : Machine.t;
+  audit : Audit.t;
+  mutable detectors : Detector.t list;
+  mediation_cost : int;
+  copy_cost_per_word : int;
+  ports : (port_id, port) Hashtbl.t;
+  granted_io_pages : (int, port_id) Hashtbl.t;
+  completions : completion Heap.t;
+  mutable next_port : int;
+  mutable level : Isolation.level;
+  mutable destroyed : bool;
+  mutable alarm_sink : (severity:Detector.severity -> reason:string -> unit) option;
+  mutable last_lapic_dropped : int;
+  last_fault_reported : (int, Core.halt_reason) Hashtbl.t;
+  mutable served : int;
+  mutable denied : int;
+}
+
+(* Mailbox layout within the port's IO page (offsets in words). *)
+let mbox_req_off = 0
+let mbox_req_words = 8
+let mbox_done_off = 8
+let mbox_payload_words = 7
+
+(* Ring layout within the port's IO page. *)
+let ring_req_off = 0
+let ring_resp_off = 128
+let ring_capacity = 6
+let ring_slot_words = 20
+
+let page_words = 256
+
+let create ~machine ?(detectors = []) ?(mediation_cost = 300)
+    ?(copy_cost_per_word = 2) () =
+  {
+    machine;
+    audit = Audit.create ();
+    detectors;
+    mediation_cost;
+    copy_cost_per_word;
+    ports = Hashtbl.create 8;
+    granted_io_pages = Hashtbl.create 8;
+    completions = Heap.create ~cmp:(fun a b -> compare a.due b.due);
+    next_port = 0;
+    level = Isolation.Standard;
+    destroyed = false;
+    alarm_sink = None;
+    last_lapic_dropped = 0;
+    last_fault_reported = Hashtbl.create 4;
+    served = 0;
+    denied = 0;
+  }
+
+let machine t = t.machine
+let audit t = t.audit
+let level t = t.level
+let destroyed t = t.destroyed
+let add_detector t d = t.detectors <- d :: t.detectors
+let set_alarm_sink t f = t.alarm_sink <- Some f
+let requests_served t = t.served
+let requests_denied t = t.denied
+
+let log t event = ignore (Audit.append t.audit ~tick:(Machine.now t.machine) event)
+
+let severity_string = function
+  | Detector.Notice -> "notice"
+  | Detector.Suspicious -> "suspicious"
+  | Detector.Critical -> "critical"
+
+(* Feed one observation to every detector; log and forward any alarm. *)
+let observe t obs =
+  match Detector.fanout t.detectors obs with
+  | Detector.Clear -> ()
+  | Detector.Alarm { severity; reason } ->
+    log t (Audit.Alarm { severity = severity_string severity; reason });
+    (match t.alarm_sink with
+    | Some sink -> sink ~severity ~reason
+    | None -> ())
+
+let notify = observe
+
+let enable_probe_monitor t ?(window = 256) ?(threshold = 0.25) () =
+  Array.iter
+    (fun core ->
+      let total = ref 0 and probes = ref 0 in
+      Core.set_retire_hook core (fun instr ->
+          incr total;
+          (match instr with
+          | Isa.Rdcycle _ | Isa.Clflush _ | Isa.Fence -> incr probes
+          | _ -> ());
+          if !total >= window then begin
+            let density = float_of_int !probes /. float_of_int !total in
+            total := 0;
+            probes := 0;
+            if density > threshold then
+              observe t
+                (Detector.Probe_activity { core = Core.id core; density })
+          end))
+    (Machine.model_cores t.machine)
+
+(* ------------------------------------------------------------------ *)
+(* Ports                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let charge t cycles = Machine.charge_hypervisor t.machine cycles
+
+let grant_port t ~core ~device ~mode ~io_page ~vpage =
+  if t.destroyed then invalid_arg "grant_port: machine destroyed";
+  if Hashtbl.mem t.granted_io_pages io_page then
+    invalid_arg (Printf.sprintf "grant_port: io page %d already granted" io_page);
+  let io_base = io_page * page_words in
+  let io_dram = Machine.io_dram t.machine in
+  if io_base + page_words > Dram.size io_dram then
+    invalid_arg "grant_port: io page out of range";
+  let id = t.next_port in
+  t.next_port <- id + 1;
+  let wire =
+    match mode with
+    | Mailbox ->
+      Dram.fill io_dram ~at:io_base ~len:page_words 0L;
+      Wire_mailbox { io_base }
+    | Rings ->
+      let req =
+        Ringbuf.init io_dram ~base:(io_base + ring_req_off) ~capacity:ring_capacity
+          ~slot_words:ring_slot_words
+      in
+      let resp =
+        Ringbuf.init io_dram ~base:(io_base + ring_resp_off) ~capacity:ring_capacity
+          ~slot_words:ring_slot_words
+      in
+      Wire_rings { req; resp }
+  in
+  Machine.map_io_page t.machine ~core ~vpage ~io_page Mmu.perm_rw;
+  let port = { id; core; device; wire; io_page; restricted = false; revoked = false } in
+  Hashtbl.replace t.ports id port;
+  Hashtbl.replace t.granted_io_pages io_page id;
+  log t (Audit.Note (Printf.sprintf "port %d granted: core %d -> %s (%s)" id core
+                       device.Device.name
+                       (match mode with Mailbox -> "mailbox" | Rings -> "rings")));
+  charge t t.mediation_cost;
+  id
+
+let find_port t id =
+  match Hashtbl.find_opt t.ports id with
+  | Some p when not p.revoked -> Some p
+  | _ -> None
+
+let revoke_port t id =
+  match Hashtbl.find_opt t.ports id with
+  | None -> ()
+  | Some p ->
+    p.revoked <- true;
+    Hashtbl.remove t.granted_io_pages p.io_page;
+    log t (Audit.Note (Printf.sprintf "port %d revoked" id))
+
+let restrict_port t id ~reason =
+  match find_port t id with
+  | None -> ()
+  | Some p ->
+    p.restricted <- true;
+    log t (Audit.Note (Printf.sprintf "port %d restricted: %s" id reason))
+
+let unrestrict_port t id =
+  match find_port t id with
+  | None -> ()
+  | Some p ->
+    p.restricted <- false;
+    log t (Audit.Note (Printf.sprintf "port %d unrestricted" id))
+
+let port_device_name t id =
+  match Hashtbl.find_opt t.ports id with
+  | Some p -> p.device.Device.name
+  | None -> invalid_arg "port_device_name: unknown port"
+
+let request_ring t id =
+  match find_port t id with
+  | Some { wire = Wire_rings { req; _ }; _ } -> req
+  | Some _ -> invalid_arg "request_ring: mailbox port"
+  | None -> invalid_arg "request_ring: unknown port"
+
+let response_ring t id =
+  match find_port t id with
+  | Some { wire = Wire_rings { resp; _ }; _ } -> resp
+  | Some _ -> invalid_arg "response_ring: mailbox port"
+  | None -> invalid_arg "response_ring: unknown port"
+
+let doorbell t id =
+  match find_port t id with
+  | None -> ()
+  | Some p ->
+    ignore
+      (Lapic.raise_line (Machine.lapic t.machine) ~now:(Machine.now t.machine)
+         ~line:id ~src_core:p.core)
+
+let create_dma_engine t ~windows =
+  let iommu = Guillotine_memory.Iommu.create () in
+  List.iter
+    (fun (dma_page, frame, writable) ->
+      match Guillotine_memory.Iommu.grant iommu ~dma_page ~frame ~writable with
+      | Ok () -> ()
+      | Error f ->
+        invalid_arg (Format.asprintf "create_dma_engine: %a" Mmu.pp_fault f))
+    windows;
+  let engine ~dma_addr words =
+    match Machine.dma_write t.machine ~iommu ~dma_addr words with
+    | Ok () -> Ok ()
+    | Error reason ->
+      observe t (Detector.Tamper { what = "device DMA blocked: " ^ reason });
+      log t (Audit.Note ("blocked DMA: " ^ reason));
+      Error reason
+  in
+  (iommu, engine)
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let deny t port reason =
+  t.denied <- t.denied + 1;
+  log t (Audit.Port_denied { port = port.id; reason })
+
+(* Pull the request words off the wire without trusting anything. *)
+let read_request t port =
+  let io_dram = Machine.io_dram t.machine in
+  match port.wire with
+  | Wire_mailbox { io_base } ->
+    Some (Array.init mbox_req_words (fun i -> Dram.read io_dram (io_base + mbox_req_off + i)))
+  | Wire_rings _ -> (
+    (* Re-attach on every service: the guest may have scribbled the
+       control block since we last looked. *)
+    let base =
+      match port.wire with Wire_rings { req; _ } -> Ringbuf.base req | _ -> assert false
+    in
+    match Ringbuf.attach io_dram ~base with
+    | Error e ->
+      observe t (Detector.Tamper { what = Printf.sprintf "port %d request ring: %s" port.id e });
+      deny t port ("corrupt request ring: " ^ e);
+      None
+    | Ok ring -> (
+      match Ringbuf.pop ring with
+      | None -> None
+      | Some (Error e) ->
+        observe t (Detector.Tamper { what = Printf.sprintf "port %d slot: %s" port.id e });
+        deny t port ("corrupt request: " ^ e);
+        None
+      | Some (Ok words) -> Some words))
+
+let deliver_completion t ({ port; response; _ } : completion) =
+  let io_dram = Machine.io_dram t.machine in
+  let words = Array.length response.Device.payload in
+  charge t (t.copy_cost_per_word * words);
+  (match port.wire with
+  | Wire_mailbox { io_base } ->
+    let n = min words mbox_payload_words in
+    for i = 0 to n - 1 do
+      Dram.write io_dram (io_base + mbox_done_off + 1 + i) response.Device.payload.(i)
+    done;
+    (* Completion flag: status + 1 so even status 0 reads as done. *)
+    Dram.write_int io_dram (io_base + mbox_done_off) (response.Device.status + 1)
+  | Wire_rings { resp; _ } ->
+    let msg =
+      Array.append [| Int64.of_int response.Device.status |] response.Device.payload
+    in
+    (match Ringbuf.push resp msg with
+    | Ok () -> ()
+    | Error e ->
+      (* The guest let its response ring fill (or corrupted it); the
+         completion is dropped, which only hurts the guest. *)
+      log t (Audit.Note (Printf.sprintf "port %d completion dropped: %s" port.id e))));
+  log t
+    (Audit.Port_response { port = port.id; status = response.Device.status; words });
+  (* Wake the owning model core. *)
+  let core = Machine.model_core t.machine port.core in
+  (match Core.status core with
+  | Core.Running | Core.Halted _ -> Core.raise_interrupt core ~vector:Isa.vector_irq_reply
+  | Core.Powered_off -> ())
+
+let ports_gate t port =
+  match Isolation.ports_allowed t.level with
+  | `All -> Ok ()
+  | `Restricted ->
+    if port.restricted then Error "port restricted (probation)" else Ok ()
+  | `None -> Error (Printf.sprintf "ports disabled (%s)" (Isolation.to_string t.level))
+
+let handle_request t port =
+  match ports_gate t port with
+  | Error reason -> deny t port reason
+  | Ok () -> (
+    match read_request t port with
+    | None -> ()
+    | Some words ->
+      let now = Machine.now t.machine in
+      charge t (t.mediation_cost + (t.copy_cost_per_word * Array.length words));
+      log t
+        (Audit.Port_request
+           { port = port.id; device = port.device.Device.name; words = Array.length words });
+      observe t
+        (Detector.Port_request
+           {
+             port = port.id;
+             device = port.device.Device.name;
+             words = Array.length words;
+             now;
+           });
+      let response = port.device.Device.handle ~now words in
+      t.served <- t.served + 1;
+      Heap.push t.completions
+        { due = now + response.Device.latency; port; response })
+
+let deliver_due_completions t =
+  let now = Machine.now t.machine in
+  let rec go () =
+    match Heap.peek t.completions with
+    | Some c when c.due <= now ->
+      ignore (Heap.pop t.completions);
+      if not c.port.revoked then deliver_completion t c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let service t =
+  if not t.destroyed then begin
+    let lapic = Machine.lapic t.machine in
+    (* Interrupt-storm telemetry: report newly dropped doorbells. *)
+    let _, dropped = Lapic.stats lapic in
+    if dropped > t.last_lapic_dropped then begin
+      observe t (Detector.Irq_storm { dropped = dropped - t.last_lapic_dropped });
+      t.last_lapic_dropped <- dropped
+    end;
+    let rec drain () =
+      match Lapic.pop lapic with
+      | None -> ()
+      | Some req ->
+        (match find_port t req.Lapic.line with
+        | None ->
+          t.denied <- t.denied + 1;
+          log t
+            (Audit.Port_denied
+               { port = req.Lapic.line; reason = "no such port capability" })
+        | Some port ->
+          if port.core <> req.Lapic.src_core then
+            deny t port
+              (Printf.sprintf "doorbell from core %d but port belongs to core %d"
+                 req.Lapic.src_core port.core)
+          else handle_request t port);
+        drain ()
+    in
+    drain ();
+    deliver_due_completions t;
+    (* Surface unhandled guest faults to the detectors, once per fault
+       (a halted core stays halted across service passes). *)
+    Array.iter
+      (fun core ->
+        match Core.status core with
+        | Core.Halted (Core.Unhandled_exception _ as r)
+        | Core.Halted (Core.Double_fault as r) ->
+          let id = Core.id core in
+          if Hashtbl.find_opt t.last_fault_reported id <> Some r then begin
+            Hashtbl.replace t.last_fault_reported id r;
+            observe t
+              (Detector.Guest_fault (Format.asprintf "%a" Core.pp_status (Core.Halted r)))
+          end
+        | Core.Running ->
+          Hashtbl.remove t.last_fault_reported (Core.id core)
+        | Core.Halted _ | Core.Powered_off -> ())
+      (Machine.model_cores t.machine)
+  end
+
+let run t ~quantum ~rounds =
+  for _ = 1 to rounds do
+    ignore (Machine.run_models t.machine ~quantum);
+    service t
+  done
+
+let pending_completions t = Heap.length t.completions
+
+(* ------------------------------------------------------------------ *)
+(* Isolation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let apply_mechanics t target =
+  let open Isolation in
+  (match target with
+  | Standard | Probation ->
+    Array.iter
+      (fun core ->
+        match Core.status core with
+        | Core.Halted Core.Forced_pause -> Core.resume core
+        | Core.Powered_off ->
+          (* Reviving from offline: cores restart at the reset vector;
+             DRAM (and thus the loaded image) persists. *)
+          Core.power_up core ~reset_pc:0
+        | _ -> ())
+      (Machine.model_cores t.machine)
+  | Severed ->
+    (* Ports off; cores stay powered but are paused so hypervisor cores
+       can examine DRAM and registers (§3.4). *)
+    Machine.pause_all_models t.machine
+  | Offline | Decapitation -> Machine.power_down_all_models t.machine
+  | Immolation ->
+    Machine.power_down_all_models t.machine;
+    (* Physical destruction: the model image ceases to exist. *)
+    let dram = Machine.model_dram t.machine in
+    Dram.fill dram ~at:0 ~len:(Dram.size dram) 0L;
+    t.destroyed <- true);
+  ()
+
+let apply_level t ~authorized_by target =
+  if t.destroyed then Error "deployment destroyed (immolation)"
+  else if not (Isolation.reversible t.level) && target <> t.level then
+    Error
+      (Printf.sprintf "cannot leave %s without physical repair"
+         (Isolation.to_string t.level))
+  else begin
+    let from = t.level in
+    t.level <- target;
+    apply_mechanics t target;
+    log t
+      (Audit.Isolation_change
+         {
+           from_level = Isolation.to_string from;
+           to_level = Isolation.to_string target;
+           authorized_by;
+         });
+    Ok ()
+  end
+
+let acknowledge_physical_repair t =
+  match t.level with
+  | Isolation.Decapitation ->
+    t.level <- Isolation.Offline;
+    log t
+      (Audit.Isolation_change
+         {
+           from_level = "decapitation";
+           to_level = "offline";
+           authorized_by = "verified-physical-repair";
+         });
+    Ok ()
+  | l ->
+    Error
+      (Printf.sprintf "repair acknowledgement only applies at decapitation (at %s)"
+         (Isolation.to_string l))
+
+let escalate t ~target ~reason =
+  if not (Isolation.software_may_transition ~from:t.level ~target) then
+    Error
+      (Printf.sprintf "software may not transition %s -> %s"
+         (Isolation.to_string t.level) (Isolation.to_string target))
+  else begin
+    log t (Audit.Note (Printf.sprintf "software escalation: %s" reason));
+    apply_level t ~authorized_by:"software-hypervisor" target
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let problems = ref [] in
+  let push p = problems := p :: !problems in
+  let io_dram = Machine.io_dram t.machine in
+  Hashtbl.iter
+    (fun id port ->
+      if not port.revoked then begin
+        (match port.wire with
+        | Wire_rings { req; resp } ->
+          (match Ringbuf.attach io_dram ~base:(Ringbuf.base req) with
+          | Error e -> push (Printf.sprintf "port %d request ring: %s" id e)
+          | Ok _ -> ());
+          (match Ringbuf.attach io_dram ~base:(Ringbuf.base resp) with
+          | Error e -> push (Printf.sprintf "port %d response ring: %s" id e)
+          | Ok _ -> ())
+        | Wire_mailbox _ -> ());
+        match Hashtbl.find_opt t.granted_io_pages port.io_page with
+        | Some id' when id' = id -> ()
+        | _ -> push (Printf.sprintf "port %d io-page ownership inconsistent" id)
+      end)
+    t.ports;
+  (* Power state must agree with the isolation level. *)
+  if not (Isolation.cores_powered t.level) then
+    Array.iter
+      (fun core ->
+        if Core.status core <> Core.Powered_off then
+          push "model core powered while isolation level requires power-down")
+      (Machine.model_cores t.machine);
+  match !problems with
+  | [] -> Ok ()
+  | ps ->
+    List.iter (fun m -> log t (Audit.Invariant_failure { message = m })) ps;
+    (* Failed assertion => forced offline (§3.3). *)
+    if Isolation.strictness t.level < Isolation.strictness Isolation.Offline then
+      ignore (apply_level t ~authorized_by:"invariant-checker" Isolation.Offline);
+    Error ps

@@ -1,0 +1,156 @@
+(** The Guillotine software-level hypervisor (§3.3).
+
+    Runs (conceptually) on hypervisor cores; supervises models running
+    on model cores.  Its whole job is mediation and observation:
+
+    - {b Ports}: every device interaction goes through a port capability
+      granted here.  A port owns one page of shared IO DRAM, mapped RW
+      into the owning model core.  Two wire protocols: a [`Mailbox]
+      (8 request words at +0, completion at +8 — what assembly guests
+      use) and [`Rings] (a request/response ring pair — what the model
+      runtime and the serving experiments use).  SR-IOV-style direct
+      device access does not exist: there is no API for it.
+    - {b Service loop}: drains the LAPIC, validates messages without
+      trusting any shared word, consults the detectors, invokes device
+      models, and delivers completions after the device latency, raising
+      the completion interrupt on the owning core.
+    - {b Audit}: every request, response, denial, alarm, and isolation
+      change lands in the hash-chained {!Audit} log.
+    - {b Escalation}: software may unilaterally move isolation {e up}
+      (more restrictive), never down; alarms are forwarded to the
+      control console via the alarm sink.
+    - {b Invariants}: a runtime invariant checker stands in for the
+      formal verification the paper prescribes; any violation forces
+      offline isolation, mirroring "failed assertion ⇒ reboot into
+      offline mode". *)
+
+module Machine = Guillotine_machine.Machine
+module Device = Guillotine_devices.Device
+module Detector = Guillotine_detect.Detector
+
+type t
+
+type port_id = int
+
+val create :
+  machine:Machine.t ->
+  ?detectors:Detector.t list ->
+  ?mediation_cost:int ->
+  ?copy_cost_per_word:int ->
+  unit ->
+  t
+(** [mediation_cost] (default 300) hypervisor cycles are charged per
+    request on top of [copy_cost_per_word] (default 2) per request and
+    response word — the price of synchronous mediation that experiment
+    T3 measures. *)
+
+val machine : t -> Machine.t
+val audit : t -> Audit.t
+val level : t -> Isolation.level
+val destroyed : t -> bool
+val add_detector : t -> Detector.t -> unit
+
+val set_alarm_sink : t -> (severity:Detector.severity -> reason:string -> unit) -> unit
+(** Wired by the control console; called on every non-Clear verdict. *)
+
+val notify : t -> Detector.observation -> unit
+(** Feed an observation to the detector set (and the alarm sink, on any
+    non-Clear verdict).  The mediation loop calls this internally for
+    port traffic; the inference pipeline calls it for prompts and output
+    tokens, closing the loop from model behaviour to console
+    escalation. *)
+
+(** {2 Ports} *)
+
+type port_mode = Mailbox | Rings
+
+val grant_port :
+  t ->
+  core:int ->
+  device:Device.t ->
+  mode:port_mode ->
+  io_page:int ->
+  vpage:int ->
+  port_id
+(** Allocate port [n], map IO page [io_page] at the model core's virtual
+    page [vpage] (RW), initialize the wire protocol, and register the
+    doorbell line (= the port id).  Raises [Invalid_argument] if the IO
+    page is already granted or the machine is destroyed. *)
+
+val revoke_port : t -> port_id -> unit
+val restrict_port : t -> port_id -> reason:string -> unit
+(** Probation-mode restriction: requests on this port are denied while
+    the level is [Probation] (and, as always, at [Severed] and above). *)
+
+val unrestrict_port : t -> port_id -> unit
+val port_device_name : t -> port_id -> string
+
+val request_ring : t -> port_id -> Guillotine_devices.Ringbuf.t
+(** The request ring of a [Rings] port (guest-side handle for pushing).
+    Raises for mailbox ports. *)
+
+val response_ring : t -> port_id -> Guillotine_devices.Ringbuf.t
+
+val create_dma_engine :
+  t ->
+  windows:(int * int * bool) list ->
+  Guillotine_memory.Iommu.t * (dma_addr:int -> int64 array -> (unit, string) result)
+(** Build a DMA write engine for one device: [windows] are
+    [(dma_page, model_frame, writable)] grants in a fresh IOMMU.  The
+    returned engine (attach it with e.g.
+    {!Guillotine_devices.Block.set_dma_engine}) writes bursts into model
+    DRAM through the IOMMU; any blocked burst is audited and raised to
+    the detectors as tamper evidence — a device pushing outside its
+    windows is either broken or suborned. *)
+
+val doorbell : t -> port_id -> unit
+(** Simulate the owning model core executing [Irq line]: the signal goes
+    through the LAPIC (and may be throttled).  Used by OCaml-level model
+    runtimes; assembly guests raise the line themselves. *)
+
+val enable_probe_monitor : t -> ?window:int -> ?threshold:float -> unit -> unit
+(** Install retire-trace monitors on every model core (the hardware
+    trace port of §3.2's control plane): when more than [threshold]
+    (default 0.25) of any [window] (default 256) retired instructions
+    are timing-probe operations — rdcycle, clflush, fence — a
+    [Probe_activity] observation reaches the detectors.  Probing split
+    hardware is futile, but the attempt itself is signal. *)
+
+(** {2 Service} *)
+
+val service : t -> unit
+(** One mediation pass: drain the LAPIC queue, deliver due completions,
+    report interrupt-storm deltas to the detectors. *)
+
+val run : t -> quantum:int -> rounds:int -> unit
+(** Alternate [Machine.run_models ~quantum] and [service] for [rounds]. *)
+
+val pending_completions : t -> int
+
+(** {2 Isolation} *)
+
+val escalate : t -> target:Isolation.level -> reason:string -> (unit, string) result
+(** Software-initiated transition; fails unless strictly more
+    restrictive than the current level. *)
+
+val apply_level :
+  t -> authorized_by:string -> Isolation.level -> (unit, string) result
+(** Trusted entry point for the control console (which has already
+    enforced quorum).  Applies mechanical consequences: pausing,
+    powering down, or destroying model cores; gating ports.  Fails on
+    attempts to leave an irreversible level. *)
+
+val acknowledge_physical_repair : t -> (unit, string) result
+(** After the console verifies that decapitated cabling has been
+    manually replaced, the level becomes [Offline] (still fully
+    isolated, but now software-revivable via quorum). *)
+
+(** {2 Invariants} *)
+
+val check_invariants : t -> (unit, string list) result
+(** Validate internal consistency (ring control blocks still sane, port
+    table bijective, level/power agreement).  On failure the hypervisor
+    logs and forces [Offline] — call sites don't need to. *)
+
+val requests_served : t -> int
+val requests_denied : t -> int

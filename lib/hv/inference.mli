@@ -1,0 +1,52 @@
+(** The mediated inference pipeline: prompt in, tokens out, with every
+    §3.3 defence stage in its place.
+
+    Stages (each optional, so experiments can ablate):
+    + {b input shield} — reject suspicious prompts before the model
+      sees them;
+    + {b weight-level defence} — activation steering or circuit
+      breaking hooked into the forward pass;
+    + {b output sanitization} — scrub harmful tokens from whatever was
+      generated;
+    and throughout: detector observations and hash-chained audit
+    logging via the owning {!Hypervisor}.
+
+    The outcome separates what the model {e generated} from what the
+    pipeline {e released} — the gap is the measured value of each
+    defence. *)
+
+module Toymodel = Guillotine_model.Toymodel
+
+type defence = No_defence | Steering | Circuit_breaking
+
+val defence_to_string : defence -> string
+
+type outcome = {
+  released : int list;      (** tokens that left the sandbox *)
+  blocked_at_input : bool;  (** the shield rejected the prompt *)
+  block_reason : string option;
+  broken : bool;            (** a circuit breaker killed the pass *)
+  raw_harmful : int;        (** harmful tokens the forward pass produced *)
+  released_harmful : int;   (** harmful tokens that escaped all defences *)
+  interventions : int;      (** steering substitutions or breaker trips *)
+  first_catch_step : int option;
+      (** forward-pass position of the first defence intervention *)
+  steps : int;              (** forward steps executed *)
+}
+
+val serve :
+  Hypervisor.t ->
+  model:Toymodel.t ->
+  ?shield:bool ->
+  ?defence:defence ->
+  ?sanitize:bool ->
+  prompt:int list ->
+  max_tokens:int ->
+  unit ->
+  outcome
+(** Defaults: shield on, no weight-level defence, sanitize on.
+
+    Isolation interactions (§3.4): at [Severed] and above the model
+    receives no inputs at all (the outcome reads blocked-at-input); at
+    [Probation] the shield and sanitizer are forced on and steering is
+    applied even if the caller disabled them. *)

@@ -1,0 +1,60 @@
+module Ragdb = Guillotine_devices.Ragdb
+module Ringbuf = Guillotine_devices.Ringbuf
+module Vocab = Guillotine_model.Vocab
+module Input_shield = Guillotine_detect.Input_shield
+
+type rag_outcome = {
+  inference : Inference.outcome;
+  retrieved : (int * string) list;
+  rejected : (int * string) list;
+  query_failed : bool;
+}
+
+(* One mediated retrieval round-trip over the port's rings. *)
+let query hv ~rag_port ~k text =
+  match Ringbuf.push (Hypervisor.request_ring hv rag_port) (Ragdb.encode_query ~k text) with
+  | Error _ -> None
+  | Ok () ->
+    Hypervisor.doorbell hv rag_port;
+    Hypervisor.run hv ~quantum:100 ~rounds:3;
+    (match Ringbuf.pop (Hypervisor.response_ring hv rag_port) with
+    | Some (Ok resp) when Array.length resp >= 1 && resp.(0) = 0L ->
+      Ragdb.decode_results (Array.sub resp 1 (Array.length resp - 1))
+    | _ -> None)
+
+let serve hv ~model ~rag_port ?(k = 2) ?shield ?(shield_retrieved = true) ?defence
+    ?sanitize ~prompt ~max_tokens () =
+  let query_text = Vocab.render prompt in
+  let results, query_failed =
+    match query hv ~rag_port ~k query_text with
+    | Some docs -> (docs, false)
+    | None -> ([], true)
+  in
+  (* Screen the retrieved content exactly like an input: poisoned
+     documents are an input channel (§3.1's "inputs fetched by the
+     model itself"). *)
+  let retrieved, rejected =
+    if shield_retrieved then
+      List.partition
+        (fun (_, doc) ->
+          match Input_shield.check (Vocab.tokenize doc) with
+          | Input_shield.Pass -> true
+          | Input_shield.Block reason ->
+            ignore
+              (Audit.append (Hypervisor.audit hv)
+                 ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine hv))
+                 (Audit.Alarm
+                    {
+                      severity = "suspicious";
+                      reason = "retrieval shield rejected document: " ^ reason;
+                    }));
+            false)
+        results
+    else (results, [])
+  in
+  let context = List.concat_map (fun (_, doc) -> Vocab.tokenize doc) retrieved in
+  let augmented = prompt @ context in
+  let inference =
+    Inference.serve hv ~model ?shield ?defence ?sanitize ~prompt:augmented ~max_tokens ()
+  in
+  { inference; retrieved; rejected; query_failed }

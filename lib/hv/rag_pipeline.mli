@@ -1,0 +1,40 @@
+(** Retrieval-augmented generation through the port API (§2, §3.1).
+
+    The paper's threat model notes that a model may {e itself} fetch
+    query-specific context from a document database mid-inference.  That
+    retrieval path is an input channel like any other — and a juicy one
+    for attackers, because retrieved documents bypass whatever screening
+    the original prompt went through ("indirect prompt injection" /
+    RAG poisoning).
+
+    This pipeline routes the retrieval through a Guillotine port (so it
+    is mediated, rate-observable, and audited) and applies the input
+    shield to the {e retrieved content}, not just the user prompt,
+    before the tokens reach the model. *)
+
+type rag_outcome = {
+  inference : Inference.outcome;
+  retrieved : (int * string) list;  (** docs whose tokens augmented the prompt *)
+  rejected : (int * string) list;   (** docs the retrieval shield refused *)
+  query_failed : bool;              (** port denied / device error / ring full *)
+}
+
+val serve :
+  Hypervisor.t ->
+  model:Inference.Toymodel.t ->
+  rag_port:Hypervisor.port_id ->
+  ?k:int ->
+  ?shield:bool ->
+  ?shield_retrieved:bool ->
+  ?defence:Inference.defence ->
+  ?sanitize:bool ->
+  prompt:int list ->
+  max_tokens:int ->
+  unit ->
+  rag_outcome
+(** Render the prompt as the retrieval query, fetch up to [k] (default
+    2) documents through [rag_port]'s rings, screen them when
+    [shield_retrieved] (default true), append the surviving tokens to
+    the prompt, and run the ordinary {!Inference.serve} pipeline.  A
+    failed or denied retrieval degrades to generation without context
+    (and sets [query_failed]). *)

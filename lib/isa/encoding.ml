@@ -1,0 +1,127 @@
+open Isa
+
+(* Opcode table.  Gaps are reserved; decode maps them to poison. *)
+let op_nop = 0x00
+let op_halt = 0x01
+let op_movi = 0x02
+let op_movhi = 0x03
+let op_mov = 0x04
+let op_add = 0x10
+let op_sub = 0x11
+let op_mul = 0x12
+let op_div = 0x13
+let op_rem = 0x14
+let op_and = 0x15
+let op_or = 0x16
+let op_xor = 0x17
+let op_shl = 0x18
+let op_shr = 0x19
+let op_load = 0x20
+let op_store = 0x21
+let op_jmp = 0x30
+let op_jr = 0x31
+let op_jal = 0x32
+let op_beq = 0x33
+let op_bne = 0x34
+let op_blt = 0x35
+let op_bge = 0x36
+let op_irq = 0x40
+let op_iret = 0x41
+let op_rdcycle = 0x42
+let op_clflush = 0x43
+let op_fence = 0x44
+let op_mfepc = 0x45
+let op_mtepc = 0x46
+
+let pack ~op ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = 0) () =
+  let imm32 = Int64.logand (Int64.of_int imm) 0xFFFF_FFFFL in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int op) 56)
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int rd) 52)
+       (Int64.logor
+          (Int64.shift_left (Int64.of_int rs1) 48)
+          (Int64.logor (Int64.shift_left (Int64.of_int rs2) 44) imm32)))
+
+let encode = function
+  | Nop -> pack ~op:op_nop ()
+  | Halt -> pack ~op:op_halt ()
+  | Movi (rd, v) -> pack ~op:op_movi ~rd ~imm:v ()
+  | Movhi (rd, v) -> pack ~op:op_movhi ~rd ~imm:v ()
+  | Mov (rd, rs) -> pack ~op:op_mov ~rd ~rs1:rs ()
+  | Add (rd, a, b) -> pack ~op:op_add ~rd ~rs1:a ~rs2:b ()
+  | Sub (rd, a, b) -> pack ~op:op_sub ~rd ~rs1:a ~rs2:b ()
+  | Mul (rd, a, b) -> pack ~op:op_mul ~rd ~rs1:a ~rs2:b ()
+  | Div (rd, a, b) -> pack ~op:op_div ~rd ~rs1:a ~rs2:b ()
+  | Rem (rd, a, b) -> pack ~op:op_rem ~rd ~rs1:a ~rs2:b ()
+  | And_ (rd, a, b) -> pack ~op:op_and ~rd ~rs1:a ~rs2:b ()
+  | Or_ (rd, a, b) -> pack ~op:op_or ~rd ~rs1:a ~rs2:b ()
+  | Xor_ (rd, a, b) -> pack ~op:op_xor ~rd ~rs1:a ~rs2:b ()
+  | Shl (rd, a, b) -> pack ~op:op_shl ~rd ~rs1:a ~rs2:b ()
+  | Shr (rd, a, b) -> pack ~op:op_shr ~rd ~rs1:a ~rs2:b ()
+  | Load (rd, rs, off) -> pack ~op:op_load ~rd ~rs1:rs ~imm:off ()
+  | Store (rd, rs, off) -> pack ~op:op_store ~rd ~rs1:rs ~imm:off ()
+  | Jmp a -> pack ~op:op_jmp ~imm:a ()
+  | Jr rs -> pack ~op:op_jr ~rs1:rs ()
+  | Jal (rd, a) -> pack ~op:op_jal ~rd ~imm:a ()
+  | Beq (a, b, t) -> pack ~op:op_beq ~rs1:a ~rs2:b ~imm:t ()
+  | Bne (a, b, t) -> pack ~op:op_bne ~rs1:a ~rs2:b ~imm:t ()
+  | Blt (a, b, t) -> pack ~op:op_blt ~rs1:a ~rs2:b ~imm:t ()
+  | Bge (a, b, t) -> pack ~op:op_bge ~rs1:a ~rs2:b ~imm:t ()
+  | Irq line -> pack ~op:op_irq ~imm:line ()
+  | Iret -> pack ~op:op_iret ()
+  | Rdcycle rd -> pack ~op:op_rdcycle ~rd ()
+  | Mfepc rd -> pack ~op:op_mfepc ~rd ()
+  | Mtepc rs -> pack ~op:op_mtepc ~rs1:rs ()
+  | Clflush (rs, off) -> pack ~op:op_clflush ~rs1:rs ~imm:off ()
+  | Fence -> pack ~op:op_fence ()
+
+let field w shift mask = Int64.to_int (Int64.logand (Int64.shift_right_logical w shift) mask)
+
+let decode w =
+  let op = field w 56 0xFFL in
+  let rd = field w 52 0xFL in
+  let rs1 = field w 48 0xFL in
+  let rs2 = field w 44 0xFL in
+  let imm_raw = Int64.logand w 0xFFFF_FFFFL in
+  (* Sign-extend the 32-bit immediate. *)
+  let imm =
+    if Int64.logand imm_raw 0x8000_0000L <> 0L then
+      Int64.to_int (Int64.logor imm_raw 0xFFFF_FFFF_0000_0000L)
+    else Int64.to_int imm_raw
+  in
+  match op with
+  | o when o = op_nop -> Some Nop
+  | o when o = op_halt -> Some Halt
+  | o when o = op_movi -> Some (Movi (rd, imm))
+  | o when o = op_movhi -> Some (Movhi (rd, imm))
+  | o when o = op_mov -> Some (Mov (rd, rs1))
+  | o when o = op_add -> Some (Add (rd, rs1, rs2))
+  | o when o = op_sub -> Some (Sub (rd, rs1, rs2))
+  | o when o = op_mul -> Some (Mul (rd, rs1, rs2))
+  | o when o = op_div -> Some (Div (rd, rs1, rs2))
+  | o when o = op_rem -> Some (Rem (rd, rs1, rs2))
+  | o when o = op_and -> Some (And_ (rd, rs1, rs2))
+  | o when o = op_or -> Some (Or_ (rd, rs1, rs2))
+  | o when o = op_xor -> Some (Xor_ (rd, rs1, rs2))
+  | o when o = op_shl -> Some (Shl (rd, rs1, rs2))
+  | o when o = op_shr -> Some (Shr (rd, rs1, rs2))
+  | o when o = op_load -> Some (Load (rd, rs1, imm))
+  | o when o = op_store -> Some (Store (rd, rs1, imm))
+  | o when o = op_jmp -> Some (Jmp imm)
+  | o when o = op_jr -> Some (Jr rs1)
+  | o when o = op_jal -> Some (Jal (rd, imm))
+  | o when o = op_beq -> Some (Beq (rs1, rs2, imm))
+  | o when o = op_bne -> Some (Bne (rs1, rs2, imm))
+  | o when o = op_blt -> Some (Blt (rs1, rs2, imm))
+  | o when o = op_bge -> Some (Bge (rs1, rs2, imm))
+  | o when o = op_irq -> Some (Irq (imm land 0xFF))
+  | o when o = op_iret -> Some Iret
+  | o when o = op_rdcycle -> Some (Rdcycle rd)
+  | o when o = op_clflush -> Some (Clflush (rs1, imm))
+  | o when o = op_fence -> Some Fence
+  | o when o = op_mfepc -> Some (Mfepc rd)
+  | o when o = op_mtepc -> Some (Mtepc rs1)
+  | _ -> None
+
+let encode_program instrs = Array.of_list (List.map encode instrs)

@@ -1,0 +1,17 @@
+(** Binary encoding of GRISC instructions.
+
+    Programs live in simulated DRAM as 64-bit words, which is what makes
+    the W^X experiments meaningful: a guest that writes an encoded
+    instruction into memory and jumps to it is performing real code
+    injection, and the MMU's executable-region lock must stop the fetch,
+    not some meta-level check.
+
+    Layout (64 bits): [ opcode:8 | rd:4 | rs1:4 | rs2:4 | pad:12 | imm:32 ].
+    The immediate is sign-extended on decode. *)
+
+val encode : Isa.instr -> int64
+val decode : int64 -> Isa.instr option
+(** [None] when the word does not decode; the executing core turns this
+    into a [Bad_instruction] exception. *)
+
+val encode_program : Isa.instr list -> int64 array

@@ -1,0 +1,128 @@
+type reg = int
+
+let num_regs = 16
+
+type exn_cause =
+  | Div_by_zero
+  | Page_fault of int
+  | Bad_instruction
+  | Watchpoint_hit of int
+
+type instr =
+  | Nop
+  | Halt
+  | Movi of reg * int
+  | Movhi of reg * int
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Jmp of int
+  | Jr of reg
+  | Jal of reg * int
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Irq of int
+  | Iret
+  | Mfepc of reg
+  | Mtepc of reg
+  | Rdcycle of reg
+  | Clflush of reg * int
+  | Fence
+
+let pp ppf i =
+  let r n = Format.fprintf ppf "r%d" n in
+  let rrr op a b c =
+    Format.fprintf ppf "%s " op; r a; Format.fprintf ppf ", "; r b;
+    Format.fprintf ppf ", "; r c
+  in
+  let rri op a b imm =
+    Format.fprintf ppf "%s " op; r a; Format.fprintf ppf ", "; r b;
+    Format.fprintf ppf ", %d" imm
+  in
+  match i with
+  | Nop -> Format.fprintf ppf "nop"
+  | Halt -> Format.fprintf ppf "halt"
+  | Movi (rd, v) -> Format.fprintf ppf "movi "; r rd; Format.fprintf ppf ", %d" v
+  | Movhi (rd, v) -> Format.fprintf ppf "movhi "; r rd; Format.fprintf ppf ", %d" v
+  | Mov (rd, rs) -> Format.fprintf ppf "mov "; r rd; Format.fprintf ppf ", "; r rs
+  | Add (a, b, c) -> rrr "add" a b c
+  | Sub (a, b, c) -> rrr "sub" a b c
+  | Mul (a, b, c) -> rrr "mul" a b c
+  | Div (a, b, c) -> rrr "div" a b c
+  | Rem (a, b, c) -> rrr "rem" a b c
+  | And_ (a, b, c) -> rrr "and" a b c
+  | Or_ (a, b, c) -> rrr "or" a b c
+  | Xor_ (a, b, c) -> rrr "xor" a b c
+  | Shl (a, b, c) -> rrr "shl" a b c
+  | Shr (a, b, c) -> rrr "shr" a b c
+  | Load (rd, rs, off) -> rri "load" rd rs off
+  | Store (rd, rs, off) -> rri "store" rd rs off
+  | Jmp a -> Format.fprintf ppf "jmp %d" a
+  | Jr rs -> Format.fprintf ppf "jr "; r rs
+  | Jal (rd, a) -> Format.fprintf ppf "jal "; r rd; Format.fprintf ppf ", %d" a
+  | Beq (a, b, t) -> rri "beq" a b t
+  | Bne (a, b, t) -> rri "bne" a b t
+  | Blt (a, b, t) -> rri "blt" a b t
+  | Bge (a, b, t) -> rri "bge" a b t
+  | Irq line -> Format.fprintf ppf "irq %d" line
+  | Iret -> Format.fprintf ppf "iret"
+  | Mfepc rd -> Format.fprintf ppf "mfepc "; r rd
+  | Mtepc rs -> Format.fprintf ppf "mtepc "; r rs
+  | Rdcycle rd -> Format.fprintf ppf "rdcycle "; r rd
+  | Clflush (rs, off) -> Format.fprintf ppf "clflush "; r rs; Format.fprintf ppf ", %d" off
+  | Fence -> Format.fprintf ppf "fence"
+
+let to_string i = Format.asprintf "%a" pp i
+
+let imm32_min = -0x8000_0000
+let imm32_max = 0x7FFF_FFFF
+
+let validate i =
+  let reg_ok n = n >= 0 && n < num_regs in
+  let imm_ok v = v >= imm32_min && v <= imm32_max in
+  let check_regs rs = List.for_all reg_ok rs in
+  let ok_if c msg = if c then Ok () else Error msg in
+  match i with
+  | Nop | Halt | Iret | Fence -> Ok ()
+  | Movi (rd, v) | Movhi (rd, v) ->
+    ok_if (reg_ok rd && imm_ok v) "movi/movhi: bad register or immediate"
+  | Mov (a, b) -> ok_if (check_regs [ a; b ]) "mov: bad register"
+  | Add (a, b, c) | Sub (a, b, c) | Mul (a, b, c) | Div (a, b, c)
+  | Rem (a, b, c) | And_ (a, b, c) | Or_ (a, b, c) | Xor_ (a, b, c)
+  | Shl (a, b, c) | Shr (a, b, c) ->
+    ok_if (check_regs [ a; b; c ]) "alu: bad register"
+  | Load (a, b, off) | Store (a, b, off)
+  | Beq (a, b, off) | Bne (a, b, off) | Blt (a, b, off) | Bge (a, b, off) ->
+    ok_if (check_regs [ a; b ] && imm_ok off) "mem/branch: bad register or immediate"
+  | Jmp a -> ok_if (imm_ok a) "jmp: bad target"
+  | Jr rs -> ok_if (reg_ok rs) "jr: bad register"
+  | Jal (rd, a) -> ok_if (reg_ok rd && imm_ok a) "jal: bad register or target"
+  | Irq line -> ok_if (line >= 0 && line < 256) "irq: line out of range"
+  | Rdcycle rd -> ok_if (reg_ok rd) "rdcycle: bad register"
+  | Mfepc rd -> ok_if (reg_ok rd) "mfepc: bad register"
+  | Mtepc rs -> ok_if (reg_ok rs) "mtepc: bad register"
+  | Clflush (rs, off) -> ok_if (reg_ok rs && imm_ok off) "clflush: bad register or immediate"
+
+let vector_base = 8
+let vector_count = 8
+
+let vector_timer = 2
+let vector_irq_reply = 3
+
+let vector_of_cause = function
+  | Div_by_zero -> 0
+  | Page_fault _ -> 1
+  | Bad_instruction -> 4
+  | Watchpoint_hit _ -> invalid_arg "Isa.vector_of_cause: watchpoints have no vector"

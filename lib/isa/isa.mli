@@ -1,0 +1,91 @@
+(** The GRISC instruction set — the ISA executed by both model cores and
+    hypervisor cores in the simulated Guillotine machine.
+
+    Design notes, mirroring §3.2 of the paper:
+    - There are {e no} hypervisor-mode or sensitive instructions: a model
+      core physically cannot name hypervisor state, so nothing needs
+      trap-and-emulate treatment.  The only cross-domain instruction is
+      [Irq], the port doorbell, which raises an interrupt line that the
+      LAPIC of a hypervisor core may throttle.
+    - [Rdcycle] exposes the core-local cycle counter.  Timing is the raw
+      material of cache side channels, so the simulation must model it
+      honestly; Guillotine's defence is core separation, not clock
+      fuzzing.
+    - [Clflush] evicts a line from the local data cache, enabling
+      flush+reload-style probes — again deliberately: the attacks must be
+      expressible for the defence to be measurable.
+
+    Memory is word-addressed: one address names one 64-bit value.  The
+    machine word in simulation is OCaml [int] (63-bit), which is ample
+    for addresses and data in all experiments. *)
+
+type reg = int
+(** Register index, 0..15.  Constructors validate the range. *)
+
+val num_regs : int
+
+type exn_cause =
+  | Div_by_zero
+  | Page_fault of int (* faulting address *)
+  | Bad_instruction
+  | Watchpoint_hit of int
+(** Causes delivered to the core-local exception vector ([Page_fault],
+    [Div_by_zero], [Bad_instruction]) or, for [Watchpoint_hit], reported
+    on the hypervisor control bus only. *)
+
+type instr =
+  | Nop
+  | Halt                          (* stop the core; status becomes Halted *)
+  | Movi of reg * int             (* rd <- signed 32-bit immediate *)
+  | Movhi of reg * int            (* rd <- rd lor (imm lsl 32) — build large constants *)
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg        (* traps Div_by_zero *)
+  | Rem of reg * reg * reg        (* traps Div_by_zero *)
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Shl of reg * reg * reg
+  | Shr of reg * reg * reg
+  | Load of reg * reg * int       (* rd <- mem[rs + imm] *)
+  | Store of reg * reg * int      (* mem[rd + imm] <- rs *)
+  | Jmp of int                    (* absolute word address *)
+  | Jr of reg                     (* pc <- rs *)
+  | Jal of reg * int              (* rd <- pc+1; pc <- imm *)
+  | Beq of reg * reg * int        (* absolute target if rs1 = rs2 *)
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int        (* signed < *)
+  | Bge of reg * reg * int
+  | Irq of int                    (* doorbell: raise line [imm] toward hypervisor LAPIC *)
+  | Iret                          (* pc <- epc, re-enable local interrupts *)
+  | Mfepc of reg                  (* rd <- epc: read the interrupted pc *)
+  | Mtepc of reg                  (* epc <- rs: set the resume point (handler-only) *)
+  | Rdcycle of reg                (* rd <- local cycle counter *)
+  | Clflush of reg * int          (* evict data-cache line containing mem[rs + imm] *)
+  | Fence                         (* drain pending memory effects; costs a fixed stall *)
+
+val pp : Format.formatter -> instr -> unit
+val to_string : instr -> string
+
+val validate : instr -> (unit, string) result
+(** Checks register ranges and immediate widths. *)
+
+(** Exception-vector layout: word addresses within the model's address
+    space that hold handler entry points.  A zero entry means
+    "unhandled": the core halts with the cause latched. *)
+
+val vector_base : int
+val vector_of_cause : exn_cause -> int
+(** Index (relative to [vector_base]) of the vector slot for a cause;
+    [Watchpoint_hit] has no vector and raises [Invalid_argument]. *)
+
+val vector_irq_reply : int
+(** Vector slot index used when the hypervisor signals IO completion back
+    to the model core. *)
+
+val vector_timer : int
+(** Vector slot index for the core-local timer interrupt. *)
+
+val vector_count : int

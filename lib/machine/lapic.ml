@@ -1,0 +1,58 @@
+type request = { line : int; src_core : int; raised_at : int }
+
+type t = {
+  mutable rate_limit : int;
+  window : int;
+  queue : request Guillotine_util.Bounded_queue.t;
+  mutable window_start : int;
+  mutable window_count : int;
+  mutable accepted : int;
+  mutable dropped : int;
+}
+
+let create ?(rate_limit = 64) ?(window = 10_000) ?(queue_depth = 256) () =
+  if window <= 0 then invalid_arg "Lapic.create: window must be positive";
+  {
+    rate_limit;
+    window;
+    queue = Guillotine_util.Bounded_queue.create ~capacity:queue_depth;
+    window_start = 0;
+    window_count = 0;
+    accepted = 0;
+    dropped = 0;
+  }
+
+let throttling_enabled t = t.rate_limit > 0
+let set_rate_limit t n = t.rate_limit <- n
+
+let raise_line t ~now ~line ~src_core =
+  (* Roll the window forward. *)
+  if now - t.window_start >= t.window then begin
+    t.window_start <- now;
+    t.window_count <- 0
+  end;
+  let throttled = t.rate_limit > 0 && t.window_count >= t.rate_limit in
+  if throttled then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    t.window_count <- t.window_count + 1;
+    if Guillotine_util.Bounded_queue.push t.queue { line; src_core; raised_at = now }
+    then begin
+      t.accepted <- t.accepted + 1;
+      true
+    end
+    else begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+  end
+
+let pop t = Guillotine_util.Bounded_queue.pop t.queue
+let pending t = Guillotine_util.Bounded_queue.length t.queue
+let stats t = (t.accepted, t.dropped)
+
+let reset_stats t =
+  t.accepted <- 0;
+  t.dropped <- 0

@@ -1,0 +1,34 @@
+(** Hypervisor-core interrupt controller with rate throttling.
+
+    Model cores signal the hypervisor only by raising doorbell lines
+    (the [Irq] instruction).  A malicious model can try to live-lock the
+    hypervisor with an interrupt flood; §3.2 prescribes a LAPIC-level
+    throttle, akin to the interrupt filter in front of the iPhone secure
+    enclave processor.  Interrupts beyond [rate_limit] per [window]
+    ticks are dropped at the controller — they never consume hypervisor
+    cycles, which is the property experiment T4 measures. *)
+
+type t
+
+type request = { line : int; src_core : int; raised_at : int }
+
+val create : ?rate_limit:int -> ?window:int -> ?queue_depth:int -> unit -> t
+(** Defaults: 64 interrupts per 10_000-tick window, queue depth 256.
+    [rate_limit <= 0] disables throttling (the baseline configuration). *)
+
+val throttling_enabled : t -> bool
+val set_rate_limit : t -> int -> unit
+
+val raise_line : t -> now:int -> line:int -> src_core:int -> bool
+(** [true] if accepted into the pending queue; [false] if throttled or
+    the queue is full. *)
+
+val pop : t -> request option
+(** Next pending request, FIFO. *)
+
+val pending : t -> int
+
+val stats : t -> int * int
+(** (accepted, dropped). *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,211 @@
+module Core = Guillotine_microarch.Core
+module Dram = Guillotine_memory.Dram
+module Mmu = Guillotine_memory.Mmu
+module Hierarchy = Guillotine_memory.Hierarchy
+
+type config = {
+  model_cores : int;
+  hyp_cores : int;
+  model_words : int;
+  hyp_words : int;
+  io_words : int;
+  lapic_rate_limit : int;
+  lapic_window : int;
+}
+
+let default_config =
+  {
+    model_cores = 2;
+    hyp_cores = 1;
+    model_words = 256 * 1024;
+    hyp_words = 64 * 1024;
+    io_words = 16 * 1024;
+    lapic_rate_limit = 64;
+    lapic_window = 10_000;
+  }
+
+(* The IO region begins at this physical address in every domain's map;
+   it must lie beyond both DRAM sizes and on a page boundary. *)
+let io_base_addr = 1 lsl 20
+
+type t = {
+  cfg : config;
+  model_dram : Dram.t;
+  hyp_dram : Dram.t;
+  io_dram : Dram.t;
+  models : Core.t array;
+  hyps : Core.t array;
+  lapic : Lapic.t;
+  mutable hv_cycles : int;
+}
+
+let create ?(config = default_config) () =
+  if config.model_words > io_base_addr || config.hyp_words > io_base_addr then
+    invalid_arg "Machine.create: DRAM must fit below the IO base";
+  let model_dram = Dram.create ~size:config.model_words in
+  let hyp_dram = Dram.create ~size:config.hyp_words in
+  let io_dram = Dram.create ~size:config.io_words in
+  let lapic =
+    Lapic.create ~rate_limit:config.lapic_rate_limit ~window:config.lapic_window ()
+  in
+  let make_core ~id ~kind ~dram =
+    let hierarchy = Hierarchy.create ~io:(io_base_addr, io_dram) ~dram () in
+    Core.create ~id ~kind ~hierarchy ()
+  in
+  let models =
+    Array.init config.model_cores (fun i ->
+        make_core ~id:i ~kind:Core.Model_core ~dram:model_dram)
+  in
+  let hyps =
+    Array.init config.hyp_cores (fun i ->
+        make_core ~id:(1000 + i) ~kind:Core.Hypervisor_core ~dram:hyp_dram)
+  in
+  let t = { cfg = config; model_dram; hyp_dram; io_dram; models; hyps; lapic; hv_cycles = 0 } in
+  (* Fresh cores hold no program; they stay paused until one is
+     installed. *)
+  Array.iter Core.pause models;
+  (* Wire each model core's doorbell into the LAPIC. *)
+  Array.iteri
+    (fun i core ->
+      Core.set_irq_sink core (fun ~line ->
+          let now =
+            Array.fold_left (fun acc c -> acc + Core.cycles c) t.hv_cycles t.models
+          in
+          ignore (Lapic.raise_line t.lapic ~now ~line ~src_core:i)))
+    models;
+  t
+
+let config t = t.cfg
+let model_core t i = t.models.(i)
+let hyp_core t i = t.hyps.(i)
+let model_cores t = t.models
+let hyp_cores t = t.hyps
+let model_dram t = t.model_dram
+let hyp_dram t = t.hyp_dram
+let io_dram t = t.io_dram
+let lapic t = t.lapic
+let io_base _ = io_base_addr
+
+let io_frame _ k =
+  (* Frame numbers are relative to the default MMU page size. *)
+  (io_base_addr / 256) + k
+
+let now t =
+  Array.fold_left (fun acc c -> acc + Core.cycles c) t.hv_cycles t.models
+
+let charge_hypervisor t n =
+  if n < 0 then invalid_arg "Machine.charge_hypervisor: negative";
+  t.hv_cycles <- t.hv_cycles + n
+
+let hypervisor_cycles t = t.hv_cycles
+
+let run_models t ~quantum =
+  Array.fold_left
+    (fun acc core ->
+      match Core.status core with
+      | Core.Running -> acc + Core.run core ~fuel:quantum
+      | Core.Halted _ | Core.Powered_off -> acc)
+    0 t.models
+
+let all_models_quiescent t =
+  Array.for_all
+    (fun core ->
+      match Core.status core with
+      | Core.Running -> false
+      | Core.Halted _ | Core.Powered_off -> true)
+    t.models
+
+let pause_all_models t = Array.iter Core.pause t.models
+let resume_all_models t = Array.iter Core.resume t.models
+
+let power_down_all_models t =
+  pause_all_models t;
+  Array.iter Core.power_down t.models
+
+let identity_map t ~core ~from_page ~to_page perm =
+  let mmu = Core.mmu t.models.(core) in
+  for p = from_page to to_page do
+    match Mmu.map mmu ~vpage:p ~frame:p perm with
+    | Ok () -> ()
+    | Error f -> failwith (Format.asprintf "identity_map page %d: %a" p Mmu.pp_fault f)
+  done
+
+let map_io_page t ~core ~vpage ~io_page perm =
+  let mmu = Core.mmu t.models.(core) in
+  match Mmu.map mmu ~vpage ~frame:(io_frame t io_page) perm with
+  | Ok () -> ()
+  | Error f -> failwith (Format.asprintf "map_io_page: %a" Mmu.pp_fault f)
+
+let install_program t ~core ~code_pages ~data_pages program =
+  if code_pages <= 0 then invalid_arg "install_program: need at least one code page";
+  let c = t.models.(core) in
+  (* Page 0 holds the vector table inside the image, so code pages need
+     read (for the vector slots) and execute. *)
+  identity_map t ~core ~from_page:0 ~to_page:(code_pages - 1) Mmu.perm_rx;
+  if data_pages > 0 then
+    identity_map t ~core ~from_page:code_pages
+      ~to_page:(code_pages + data_pages - 1)
+      Mmu.perm_rw;
+  Dram.load_program t.model_dram program;
+  (match Core.status c with
+  | Core.Running -> Core.pause c
+  | Core.Halted _ | Core.Powered_off -> ());
+  Core.set_pc c program.origin;
+  Core.resume c
+
+let dma_translate_burst iommu ~dma_addr ~len ~access =
+  (* Validate the whole burst before touching DRAM: partial DMA writes
+     are how a malicious device would smuggle half a payload. *)
+  let rec go i acc =
+    if i = len then Ok (List.rev acc)
+    else begin
+      match
+        Guillotine_memory.Iommu.translate iommu ~addr:(dma_addr + i) ~access
+      with
+      | Ok paddr -> go (i + 1) (paddr :: acc)
+      | Error f ->
+        Error
+          (Format.asprintf "DMA blocked at device address %d: %a" (dma_addr + i)
+             Guillotine_memory.Mmu.pp_fault f)
+    end
+  in
+  go 0 []
+
+let dma_write t ~iommu ~dma_addr words =
+  match
+    dma_translate_burst iommu ~dma_addr ~len:(Array.length words) ~access:`W
+  with
+  | Error _ as e -> e
+  | Ok paddrs ->
+    List.iteri (fun i paddr -> Dram.write t.model_dram paddr words.(i)) paddrs;
+    Ok ()
+
+let dma_read t ~iommu ~dma_addr ~len =
+  match dma_translate_burst iommu ~dma_addr ~len ~access:`R with
+  | Error _ as e -> e
+  | Ok paddrs ->
+    Ok (Array.of_list (List.map (fun paddr -> Dram.read t.model_dram paddr) paddrs))
+
+exception Inspection_denied of string
+
+let require_quiescent t op =
+  if not (all_models_quiescent t) then
+    raise
+      (Inspection_denied
+         (Printf.sprintf "%s: private bus requires all model cores halted" op))
+
+let inspect_read t addr =
+  require_quiescent t "inspect_read";
+  Dram.read t.model_dram addr
+
+let inspect_write t addr v =
+  require_quiescent t "inspect_write";
+  Dram.write t.model_dram addr v
+
+let inspect_region t ~at ~len =
+  require_quiescent t "inspect_region";
+  Dram.snapshot t.model_dram ~at ~len
+
+let measure_model_memory t ~at ~len =
+  require_quiescent t "measure_model_memory";
+  Guillotine_crypto.Sha256.digest (Dram.hash_region t.model_dram ~at ~len)

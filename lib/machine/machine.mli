@@ -1,0 +1,133 @@
+(** The Guillotine machine: split-core topology with physically disjoint
+    memory hierarchies (§3.2).
+
+    - Model cores attach to model DRAM plus the uncached shared IO
+      region; they have {e no} bus that reaches hypervisor DRAM — the
+      simulation encodes this by construction, not by a permission
+      check.
+    - Hypervisor cores attach to hypervisor DRAM plus the same IO
+      region, and additionally own (a) a private inspection bus into
+      model DRAM that only works while every model core is quiescent,
+      and (b) the control-plane handles of each model core.
+    - The LAPIC sits between model-core doorbells and the hypervisor,
+      applying the §3.2 interrupt throttle.
+
+    Machine time ("ticks") is the sum of cycles consumed by model cores
+    plus cycles explicitly charged to the hypervisor; the LAPIC windows
+    are measured in this clock. *)
+
+module Core = Guillotine_microarch.Core
+module Dram = Guillotine_memory.Dram
+module Mmu = Guillotine_memory.Mmu
+
+type t
+
+type config = {
+  model_cores : int;
+  hyp_cores : int;
+  model_words : int;   (* model DRAM size *)
+  hyp_words : int;     (* hypervisor DRAM size *)
+  io_words : int;      (* shared IO region size *)
+  lapic_rate_limit : int; (* <= 0 disables throttling *)
+  lapic_window : int;
+}
+
+val default_config : config
+(** 2 model cores, 1 hypervisor core, 256 KiW model DRAM, 64 KiW
+    hypervisor DRAM, 16 KiW IO region, throttle 64/10k ticks. *)
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** {2 Topology accessors} *)
+
+val model_core : t -> int -> Core.t
+val hyp_core : t -> int -> Core.t
+val model_cores : t -> Core.t array
+val hyp_cores : t -> Core.t array
+val model_dram : t -> Dram.t
+val hyp_dram : t -> Dram.t
+val io_dram : t -> Dram.t
+val lapic : t -> Lapic.t
+
+val io_base : t -> int
+(** Physical address at which the IO region begins in both domains'
+    address maps. *)
+
+val io_frame : t -> int -> int
+(** [io_frame t k] is the physical frame number of the [k]-th IO page,
+    for use with [Mmu.map]. *)
+
+(** {2 Time} *)
+
+val now : t -> int
+(** Machine ticks: total model-core cycles + charged hypervisor cycles. *)
+
+val charge_hypervisor : t -> int -> unit
+(** Account cycles spent by hypervisor software (the OCaml-level
+    software hypervisor charges its work here so overhead experiments
+    see it). *)
+
+val hypervisor_cycles : t -> int
+
+(** {2 Execution} *)
+
+val run_models : t -> quantum:int -> int
+(** One scheduling round: each running model core executes up to
+    [quantum] instructions.  Returns total instructions retired this
+    round. *)
+
+val all_models_quiescent : t -> bool
+(** No model core is in [Running] state. *)
+
+val pause_all_models : t -> unit
+val resume_all_models : t -> unit
+val power_down_all_models : t -> unit
+(** Pauses first, then powers down. *)
+
+(** {2 Model-memory setup and the private inspection bus} *)
+
+val identity_map : t -> core:int -> from_page:int -> to_page:int -> Mmu.perm -> unit
+(** Map virtual pages [from_page..to_page] of a model core's MMU to the
+    same-numbered model-DRAM frames.  Raises [Failure] if the MMU
+    refuses (e.g. locked). *)
+
+val map_io_page : t -> core:int -> vpage:int -> io_page:int -> Mmu.perm -> unit
+
+val install_program :
+  t -> core:int -> code_pages:int -> data_pages:int -> Guillotine_isa.Asm.program -> unit
+(** Convenience loader: identity-maps [code_pages] pages starting at
+    page 0 as RX and the following [data_pages] pages as RW, copies the
+    program image into model DRAM, and sets the core's pc to the program
+    origin.  The vector table (page 0) overlaps the first code page and
+    is part of the image.  The core must be halted or freshly created. *)
+
+(** {2 Device DMA through the IOMMU} *)
+
+val dma_write :
+  t -> iommu:Guillotine_memory.Iommu.t -> dma_addr:int -> int64 array ->
+  (unit, string) result
+(** A device writes a burst into model DRAM through its IOMMU windows.
+    Unlike the hypervisor's private bus this path works while model
+    cores run (that is what DMA is for) — which is exactly why every
+    word is translated and a miss aborts the whole burst with nothing
+    written. *)
+
+val dma_read :
+  t -> iommu:Guillotine_memory.Iommu.t -> dma_addr:int -> len:int ->
+  (int64 array, string) result
+
+exception Inspection_denied of string
+
+val inspect_read : t -> int -> int64
+(** Read model DRAM over the hypervisor's private bus.  Raises
+    [Inspection_denied] unless every model core is quiescent (§3.2:
+    the bus reaches "the DRAM of halted model cores"). *)
+
+val inspect_write : t -> int -> int64 -> unit
+
+val inspect_region : t -> at:int -> len:int -> int64 array
+
+val measure_model_memory : t -> at:int -> len:int -> string
+(** SHA-256 measurement of a model-DRAM region (attestation input). *)

@@ -1,0 +1,56 @@
+module Core = Guillotine_microarch.Core
+module Dram = Guillotine_memory.Dram
+
+type t = {
+  dram : int64 array;
+  contexts : Core.context array;
+}
+
+let capture machine =
+  (* inspect_region enforces quiescence for the DRAM side... *)
+  let size = Dram.size (Machine.model_dram machine) in
+  let dram = Machine.inspect_region machine ~at:0 ~len:size in
+  (* ...and save_context enforces it per core. *)
+  let contexts = Array.map Core.save_context (Machine.model_cores machine) in
+  { dram; contexts }
+
+let restore machine t =
+  let cores = Machine.model_cores machine in
+  if Array.length cores <> Array.length t.contexts then
+    invalid_arg "Snapshot.restore: core count mismatch";
+  if Dram.size (Machine.model_dram machine) <> Array.length t.dram then
+    invalid_arg "Snapshot.restore: DRAM size mismatch";
+  (* Write DRAM over the private bus (quiescence-checked per word via
+     the first write; check up-front for a clean error). *)
+  if not (Machine.all_models_quiescent machine) then
+    raise
+      (Machine.Inspection_denied "Snapshot.restore: model cores must be quiescent");
+  Array.iteri (fun addr v -> Dram.write (Machine.model_dram machine) addr v) t.dram;
+  Array.iteri
+    (fun i core ->
+      (match Core.status core with
+      | Core.Powered_off ->
+        (* Bring the core back to a halted-but-powered state first. *)
+        Core.power_up core ~reset_pc:0;
+        Core.pause core
+      | Core.Halted _ -> ()
+      | Core.Running -> assert false (* quiescence checked above *));
+      Core.load_context core t.contexts.(i);
+      (* A restored timeline must not inherit microarchitectural residue
+         from the abandoned one. *)
+      Core.clear_microarch_state core)
+    cores
+
+let digest_hex t =
+  let buf = Buffer.create (8 * Array.length t.dram) in
+  Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%Lx;" w)) t.dram;
+  Array.iter
+    (fun (c : Core.context) ->
+      Array.iter (fun r -> Buffer.add_string buf (Printf.sprintf "%Lx," r)) c.Core.ctx_regs;
+      Buffer.add_string buf
+        (Printf.sprintf "|%d|%d|%b" c.Core.ctx_pc c.Core.ctx_epc c.Core.ctx_in_handler))
+    t.contexts;
+  Guillotine_crypto.Sha256.digest_hex (Buffer.contents buf)
+
+let dram_words t = Array.length t.dram
+let cores t = Array.length t.contexts

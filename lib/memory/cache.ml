@@ -1,0 +1,118 @@
+type config = {
+  line_words : int;
+  sets : int;
+  ways : int;
+  hit_cost : int;
+  miss_cost : int;
+}
+
+let config_l1 = { line_words = 8; sets = 64; ways = 8; hit_cost = 1; miss_cost = 10 }
+let config_l2 = { line_words = 8; sets = 512; ways = 8; hit_cost = 10; miss_cost = 30 }
+let config_l3 = { line_words = 8; sets = 4096; ways = 16; hit_cost = 30; miss_cost = 150 }
+
+(* A way holds a tag and an LRU stamp; tag = -1 means invalid. *)
+type way = { mutable tag : int; mutable stamp : int }
+
+type t = {
+  name : string;
+  cfg : config;
+  next : t option;
+  ways : way array array; (* [set].[way] *)
+  mutable clock : int;    (* LRU timestamp source *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~name cfg ~next =
+  if not (is_power_of_two cfg.line_words && is_power_of_two cfg.sets) then
+    invalid_arg "Cache.create: line_words and sets must be powers of two";
+  if cfg.ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  {
+    name;
+    cfg;
+    next;
+    ways =
+      Array.init cfg.sets (fun _ ->
+          Array.init cfg.ways (fun _ -> { tag = -1; stamp = 0 }));
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let name t = t.name
+let config t = t.cfg
+
+let line_of_addr t addr = addr / t.cfg.line_words
+let set_of_addr t addr = line_of_addr t addr land (t.cfg.sets - 1)
+let tag_of_addr t addr = line_of_addr t addr / t.cfg.sets
+
+let find_way t set tag =
+  let ways = t.ways.(set) in
+  let found = ref None in
+  Array.iteri (fun i w -> if w.tag = tag && !found = None then found := Some i) ways;
+  !found
+
+let rec access t ~addr =
+  let set = set_of_addr t addr in
+  let tag = tag_of_addr t addr in
+  t.clock <- t.clock + 1;
+  match find_way t set tag with
+  | Some i ->
+    t.hits <- t.hits + 1;
+    t.ways.(set).(i).stamp <- t.clock;
+    t.cfg.hit_cost
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Fill: evict the LRU way. *)
+    let ways = t.ways.(set) in
+    let victim = ref 0 in
+    Array.iteri (fun i w -> if w.stamp < ways.(!victim).stamp then victim := i) ways;
+    (* Prefer an invalid way over evicting a valid line. *)
+    Array.iteri (fun i w -> if w.tag = -1 && ways.(!victim).tag <> -1 then victim := i) ways;
+    ways.(!victim).tag <- tag;
+    ways.(!victim).stamp <- t.clock;
+    let below =
+      match t.next with
+      | Some lower -> access lower ~addr
+      | None -> 0
+    in
+    t.cfg.hit_cost + t.cfg.miss_cost + below
+
+let present t ~addr =
+  let set = set_of_addr t addr in
+  find_way t set (tag_of_addr t addr) <> None
+
+let rec flush_line t ~addr =
+  let set = set_of_addr t addr in
+  (match find_way t set (tag_of_addr t addr) with
+  | Some i ->
+    t.ways.(set).(i).tag <- -1;
+    t.ways.(set).(i).stamp <- 0
+  | None -> ());
+  match t.next with
+  | Some lower -> flush_line lower ~addr
+  | None -> ()
+
+let rec flush_all t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          w.tag <- -1;
+          w.stamp <- 0)
+        set)
+    t.ways;
+  match t.next with Some lower -> flush_all lower | None -> ()
+
+let stats t = (t.hits, t.misses)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let occupancy t =
+  let n = ref 0 in
+  Array.iter (fun set -> Array.iter (fun w -> if w.tag <> -1 then incr n) set) t.ways;
+  !n

@@ -1,0 +1,62 @@
+(** Set-associative cache timing model.
+
+    Only tags and replacement state are modelled (data stays in DRAM —
+    simulation values never go stale).  What matters for Guillotine is
+    the {e timing} and {e occupancy} behaviour, because those carry the
+    side channels of §3.2: a prime+probe attacker fills sets, a
+    co-tenant victim's accesses evict the attacker's lines, and probe
+    latencies reveal which sets the victim touched.
+
+    Physical addresses index the cache.  Replacement is true LRU within
+    a set. *)
+
+type t
+
+type config = {
+  line_words : int; (* words per line, power of two *)
+  sets : int;       (* number of sets, power of two *)
+  ways : int;       (* associativity *)
+  hit_cost : int;   (* cycles on hit *)
+  miss_cost : int;  (* extra cycles to consult the next level / DRAM *)
+}
+
+val config_l1 : config
+(** 64 sets x 8 ways x 8-word lines, 1-cycle hit. *)
+
+val config_l2 : config
+val config_l3 : config
+
+val create : name:string -> config -> next:t option -> t
+(** [next = None] means misses go to DRAM at [miss_cost]. *)
+
+val name : t -> string
+val config : t -> config
+
+val access : t -> addr:int -> int
+(** [access t ~addr] touches the line containing physical word [addr];
+    returns total cycles including recursive next-level costs.  Fills the
+    line on miss. *)
+
+val present : t -> addr:int -> bool
+(** Tag check without touching LRU state (a debugging/test affordance,
+    not an ISA capability). *)
+
+val flush_line : t -> addr:int -> unit
+(** Evict the line here and in all lower levels (clflush semantics). *)
+
+val flush_all : t -> unit
+(** Invalidate every line here and below — the hypervisor's
+    "forcibly clear all microarchitectural state" operation (§3.2). *)
+
+val set_of_addr : t -> int -> int
+(** Which set an address maps to; used by attack code to build eviction
+    sets, mirroring how real attackers derive set indices from address
+    bits. *)
+
+val stats : t -> int * int
+(** (hits, misses) since creation or [reset_stats]. *)
+
+val reset_stats : t -> unit
+
+val occupancy : t -> int
+(** Number of valid lines currently resident at this level. *)

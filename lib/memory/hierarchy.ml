@@ -1,0 +1,63 @@
+type t = {
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  dram : Dram.t;
+  io : (int * Dram.t) option;
+  io_cost : int;
+  mutable cycles : int;
+}
+
+let create ?(l1 = Cache.config_l1) ?(l2 = Cache.config_l2) ?(l3 = Cache.config_l3)
+    ?io ?(io_cost = 100) ~dram () =
+  let l3c = Cache.create ~name:"L3" l3 ~next:None in
+  let l2c = Cache.create ~name:"L2" l2 ~next:(Some l3c) in
+  let l1c = Cache.create ~name:"L1" l1 ~next:(Some l2c) in
+  { l1 = l1c; l2 = l2c; l3 = l3c; dram; io; io_cost; cycles = 0 }
+
+let dram t = t.dram
+
+let io_base t = Option.map fst t.io
+
+let route t addr =
+  match t.io with
+  | Some (base, io_dram) when addr >= base -> `Io (io_dram, addr - base)
+  | Some _ | None -> `Main
+
+let touch t ~addr =
+  let c =
+    match route t addr with
+    | `Io _ -> t.io_cost
+    | `Main -> Cache.access t.l1 ~addr
+  in
+  t.cycles <- t.cycles + c;
+  c
+
+let read t ~addr =
+  let c = touch t ~addr in
+  let v =
+    match route t addr with
+    | `Io (io_dram, off) -> Dram.read io_dram off
+    | `Main -> Dram.read t.dram addr
+  in
+  (v, c)
+
+let write t ~addr v =
+  let c = touch t ~addr in
+  (match route t addr with
+  | `Io (io_dram, off) -> Dram.write io_dram off v
+  | `Main -> Dram.write t.dram addr v);
+  c
+
+let flush_line t ~addr =
+  match route t addr with
+  | `Io _ -> () (* uncached: nothing to flush *)
+  | `Main -> Cache.flush_line t.l1 ~addr
+
+let flush_all t = Cache.flush_all t.l1
+
+let l1 t = t.l1
+let l2 t = t.l2
+let l3 t = t.l3
+
+let cycles_spent t = t.cycles

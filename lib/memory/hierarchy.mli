@@ -1,0 +1,50 @@
+(** A complete memory hierarchy: L1 → L2 → L3 → DRAM, as attached to a
+    core's bus.
+
+    On a Guillotine machine, model cores get one hierarchy and
+    hypervisor cores a physically separate one; the baseline machine
+    attaches {e the same} hierarchy object to both domains, which is the
+    whole difference that the side-channel experiments measure.
+
+    The shared IO DRAM region is uncached (device memory), so cache
+    state never couples the two domains through it. *)
+
+type t
+
+val create :
+  ?l1:Cache.config ->
+  ?l2:Cache.config ->
+  ?l3:Cache.config ->
+  ?io:int * Dram.t ->
+  ?io_cost:int ->
+  dram:Dram.t ->
+  unit ->
+  t
+(** [io = (io_base, io_dram)] attaches the shared IO region: physical
+    addresses at or above [io_base] bypass the caches and hit [io_dram]
+    at offset [addr - io_base], costing [io_cost] cycles (default 100).
+    Device memory is uncached so that no cache line is ever shared
+    between the two domains. *)
+
+val dram : t -> Dram.t
+
+val io_base : t -> int option
+
+val read : t -> addr:int -> int64 * int
+(** Value and cycle cost. *)
+
+val write : t -> addr:int -> int64 -> int
+(** Cycle cost (write-through: DRAM is always current). *)
+
+val touch : t -> addr:int -> int
+(** Cache-state-only access (instruction fetch path reuses this). *)
+
+val flush_line : t -> addr:int -> unit
+val flush_all : t -> unit
+
+val l1 : t -> Cache.t
+val l2 : t -> Cache.t
+val l3 : t -> Cache.t
+
+val cycles_spent : t -> int
+(** Total memory cycles charged through this hierarchy. *)

@@ -1,0 +1,127 @@
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_r = { r = true; w = false; x = false }
+let perm_rw = { r = true; w = true; x = false }
+let perm_rx = { r = true; w = false; x = true }
+let perm_rwx = { r = true; w = true; x = true }
+
+type fault =
+  | Unmapped of int
+  | Perm_denied of int
+  | Lock_violation of string
+
+let pp_fault ppf = function
+  | Unmapped a -> Format.fprintf ppf "unmapped address %d" a
+  | Perm_denied a -> Format.fprintf ppf "permission denied at address %d" a
+  | Lock_violation m -> Format.fprintf ppf "executable-lock violation: %s" m
+
+type pte = { frame : int; perm : perm }
+
+type t = {
+  page_size : int;
+  table : (int, pte) Hashtbl.t;
+  mutable lock : bool;
+  locked_vpages : (int, unit) Hashtbl.t; (* executable pages at lock time *)
+  locked_frames : (int, unit) Hashtbl.t; (* their backing frames *)
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(page_size = 256) () =
+  if not (is_power_of_two page_size) then
+    invalid_arg "Mmu.create: page_size must be a power of two";
+  {
+    page_size;
+    table = Hashtbl.create 64;
+    lock = false;
+    locked_vpages = Hashtbl.create 8;
+    locked_frames = Hashtbl.create 8;
+  }
+
+let page_size t = t.page_size
+let locked t = t.lock
+
+let lock_check_install t ~vpage ~frame (perm : perm) =
+  (* Rules applied to any PTE installation/modification once locked. *)
+  if not t.lock then Ok ()
+  else if Hashtbl.mem t.locked_vpages vpage then
+    Error (Lock_violation (Printf.sprintf "page %d is a locked executable page" vpage))
+  else if perm.x then
+    Error (Lock_violation (Printf.sprintf "cannot create executable page %d after lock" vpage))
+  else if perm.w && Hashtbl.mem t.locked_frames frame then
+    Error
+      (Lock_violation
+         (Printf.sprintf "cannot map writable alias of locked executable frame %d" frame))
+  else Ok ()
+
+let map t ~vpage ~frame perm =
+  if vpage < 0 || frame < 0 then invalid_arg "Mmu.map: negative page or frame";
+  match lock_check_install t ~vpage ~frame perm with
+  | Error _ as e -> e
+  | Ok () ->
+    Hashtbl.replace t.table vpage { frame; perm };
+    Ok ()
+
+let unmap t ~vpage =
+  if t.lock && Hashtbl.mem t.locked_vpages vpage then
+    Error (Lock_violation (Printf.sprintf "cannot unmap locked executable page %d" vpage))
+  else begin
+    Hashtbl.remove t.table vpage;
+    Ok ()
+  end
+
+let protect t ~vpage perm =
+  match Hashtbl.find_opt t.table vpage with
+  | None -> Error (Unmapped (vpage * t.page_size))
+  | Some pte -> (
+    match lock_check_install t ~vpage ~frame:pte.frame perm with
+    | Error _ as e -> e
+    | Ok () ->
+      Hashtbl.replace t.table vpage { pte with perm };
+      Ok ())
+
+let translate t ~addr ~access =
+  if addr < 0 then Error (Unmapped addr)
+  else begin
+    let vpage = addr / t.page_size in
+    let offset = addr mod t.page_size in
+    match Hashtbl.find_opt t.table vpage with
+    | None -> Error (Unmapped addr)
+    | Some pte ->
+      let allowed =
+        match access with
+        | `R -> pte.perm.r
+        | `W -> pte.perm.w
+        | `X -> pte.perm.x
+      in
+      if allowed then Ok ((pte.frame * t.page_size) + offset)
+      else Error (Perm_denied addr)
+  end
+
+let lookup t ~vpage =
+  match Hashtbl.find_opt t.table vpage with
+  | None -> None
+  | Some pte -> Some (pte.frame, pte.perm)
+
+let lock_executable t =
+  if not t.lock then begin
+    t.lock <- true;
+    Hashtbl.iter
+      (fun vpage pte ->
+        if pte.perm.x then begin
+          Hashtbl.replace t.locked_vpages vpage ();
+          Hashtbl.replace t.locked_frames pte.frame ();
+          (* Enforce W^X going forward: an executable page loses W. *)
+          if pte.perm.w then
+            Hashtbl.replace t.table vpage { pte with perm = { pte.perm with w = false } }
+        end)
+      t.table
+  end
+
+let executable_pages t =
+  Hashtbl.fold (fun vp pte acc -> if pte.perm.x then vp :: acc else acc) t.table []
+  |> List.sort compare
+
+let mapped_pages t =
+  Hashtbl.fold (fun vp pte acc -> (vp, pte.frame, pte.perm) :: acc) t.table []
+  |> List.sort compare

@@ -1,0 +1,69 @@
+(** Model-core MMU with Guillotine's executable-region lock.
+
+    The page table maps virtual pages to physical frames with RWX
+    permissions.  Following §3.2 (footnote 1), a hypervisor core may
+    {e lock} the MMU: the set of executable pages is frozen as a
+    base+bound-style region list, after which
+
+    - no PTE may gain the X permission,
+    - no locked executable page (or its frame) may be made writable,
+    - locked executable pages cannot be remapped or unmapped, and
+    - frames backing locked pages cannot be aliased through new writable
+      mappings (the classic double-map bypass).
+
+    This is what stops a model from injecting code at runtime for
+    recursive self-improvement.  Hypervisor cores lock their own MMUs the
+    same way right after loading the hypervisor image.
+
+    There is deliberately no EPT / nested translation: model cores have
+    no physical path to hypervisor DRAM, so one level of translation is
+    all Guillotine needs (§3.2, "simplifies some aspects of processor
+    design"). *)
+
+type perm = { r : bool; w : bool; x : bool }
+
+val perm_r : perm
+val perm_rw : perm
+val perm_rx : perm
+val perm_rwx : perm
+
+type fault =
+  | Unmapped of int            (* no PTE for the virtual address *)
+  | Perm_denied of int         (* PTE exists, access kind not allowed *)
+  | Lock_violation of string   (* attempted PTE change forbidden by the lock *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** [page_size] in words, default 256, must be a power of two. *)
+
+val page_size : t -> int
+
+val map : t -> vpage:int -> frame:int -> perm -> (unit, fault) result
+(** Install or replace a PTE.  Subject to lock rules. *)
+
+val unmap : t -> vpage:int -> (unit, fault) result
+
+val protect : t -> vpage:int -> perm -> (unit, fault) result
+(** Change permissions of an existing PTE.  Subject to lock rules. *)
+
+val translate : t -> addr:int -> access:[ `R | `W | `X ] -> (int, fault) result
+(** Virtual word address to physical word address. *)
+
+val lookup : t -> vpage:int -> (int * perm) option
+
+val lock_executable : t -> unit
+(** Freeze the executable set.  Idempotent.  Also strips W from any
+    currently-W+X page, enforcing W^X from that point on. *)
+
+val locked : t -> bool
+
+val executable_pages : t -> int list
+(** Sorted virtual page numbers with X permission (the locked region
+    set once locked). *)
+
+val mapped_pages : t -> (int * int * perm) list
+(** [(vpage, frame, perm)] list, sorted by vpage; used by attestation
+    measurement and hypervisor inspection. *)

@@ -1,0 +1,72 @@
+type entry = { mutable vpage : int; mutable stamp : int }
+
+type t = {
+  entries : entry array;
+  hit_cost : int;
+  walk_cost : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 64) ?(hit_cost = 1) ?(walk_cost = 20) () =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  {
+    entries = Array.init entries (fun _ -> { vpage = -1; stamp = 0 });
+    hit_cost;
+    walk_cost;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let find t vpage =
+  let found = ref None in
+  Array.iteri
+    (fun i e -> if e.vpage = vpage && !found = None then found := Some i)
+    t.entries;
+  !found
+
+let lookup t ~vpage =
+  t.clock <- t.clock + 1;
+  match find t vpage with
+  | Some i ->
+    t.hits <- t.hits + 1;
+    t.entries.(i).stamp <- t.clock;
+    t.hit_cost
+  | None ->
+    t.misses <- t.misses + 1;
+    let victim = ref 0 in
+    Array.iteri
+      (fun i e -> if e.stamp < t.entries.(!victim).stamp then victim := i)
+      t.entries;
+    Array.iteri
+      (fun i e -> if e.vpage = -1 && t.entries.(!victim).vpage <> -1 then victim := i)
+      t.entries;
+    t.entries.(!victim).vpage <- vpage;
+    t.entries.(!victim).stamp <- t.clock;
+    t.hit_cost + t.walk_cost
+
+let present t ~vpage = find t vpage <> None
+
+let invalidate t ~vpage =
+  Array.iter
+    (fun e ->
+      if e.vpage = vpage then begin
+        e.vpage <- -1;
+        e.stamp <- 0
+      end)
+    t.entries
+
+let flush t =
+  Array.iter
+    (fun e ->
+      e.vpage <- -1;
+      e.stamp <- 0)
+    t.entries
+
+let stats t = (t.hits, t.misses)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

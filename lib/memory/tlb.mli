@@ -1,0 +1,31 @@
+(** Translation lookaside buffer — a small fully-associative cache of
+    virtual-page translations with LRU replacement.
+
+    The TLB is per-core microarchitectural state: on the baseline
+    (co-tenant) machine it is shared between guest and hypervisor and
+    leaks through both timing and the hypervisor's page-walk footprint;
+    on Guillotine each core's TLB only ever holds one domain's entries,
+    and the hypervisor's "clear all microarchitectural state" operation
+    flushes it. *)
+
+type t
+
+val create : ?entries:int -> ?hit_cost:int -> ?walk_cost:int -> unit -> t
+(** Defaults: 64 entries, hit 1 cycle, page-table walk 20 cycles. *)
+
+val lookup : t -> vpage:int -> int
+(** Returns the cycle cost of translating a virtual page: [hit_cost] if
+    cached, [hit_cost + walk_cost] otherwise (the entry is then
+    installed). *)
+
+val present : t -> vpage:int -> bool
+
+val invalidate : t -> vpage:int -> unit
+(** Required after any PTE change for that page. *)
+
+val flush : t -> unit
+
+val stats : t -> int * int
+(** (hits, misses). *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,585 @@
+module Isa = Guillotine_isa.Isa
+module Encoding = Guillotine_isa.Encoding
+module Mmu = Guillotine_memory.Mmu
+module Tlb = Guillotine_memory.Tlb
+module Hierarchy = Guillotine_memory.Hierarchy
+
+type kind = Model_core | Hypervisor_core
+
+type halt_reason =
+  | Halt_instruction
+  | Forced_pause
+  | Unhandled_exception of Isa.exn_cause
+  | Watchpoint of int
+  | Double_fault
+
+type status = Running | Halted of halt_reason | Powered_off
+
+type t = {
+  id : int;
+  kind : kind;
+  regs : int64 array;
+  mutable pc : int;
+  mutable epc : int;
+  mutable status : status;
+  mmu : Mmu.t;
+  tlb : Tlb.t;
+  bpred : Bpred.t;
+  hierarchy : Hierarchy.t;
+  mutable cycles : int;
+  mutable instret : int;
+  code_watch : (int, unit) Hashtbl.t;
+  data_watch : (int, unit) Hashtbl.t;
+  mutable skip_watch_at : int option; (* one-shot bypass after watchpoint resume *)
+  mutable in_handler : bool;
+  pending_irqs : int Queue.t; (* vector indices *)
+  mutable irq_sink : (line:int -> unit) option;
+  mutable retire_hooks : (pc:int -> Isa.instr -> unit) list; (* reversed *)
+  mutable trapped : bool; (* set when the current instruction delivers an exception *)
+  mutable timer_interval : int; (* 0 = disabled *)
+  mutable timer_deadline : int; (* cycle count of the next tick *)
+  mutable spec_depth : int; (* transient window after a mispredict *)
+}
+
+(* Trap ABI register assignments. *)
+let reg_cause = 13
+let reg_badaddr = 12
+
+let create ~id ~kind ~hierarchy ?tlb ?bpred ?mmu () =
+  {
+    id;
+    kind;
+    regs = Array.make Isa.num_regs 0L;
+    pc = 0;
+    epc = 0;
+    status = Running;
+    mmu = (match mmu with Some m -> m | None -> Mmu.create ());
+    tlb = (match tlb with Some t -> t | None -> Tlb.create ());
+    bpred = (match bpred with Some b -> b | None -> Bpred.create ());
+    hierarchy;
+    cycles = 0;
+    instret = 0;
+    code_watch = Hashtbl.create 4;
+    data_watch = Hashtbl.create 4;
+    skip_watch_at = None;
+    in_handler = false;
+    pending_irqs = Queue.create ();
+    irq_sink = None;
+    retire_hooks = [];
+    trapped = false;
+    timer_interval = 0;
+    timer_deadline = 0;
+    spec_depth = 8;
+  }
+
+let id t = t.id
+let kind t = t.kind
+let status t = t.status
+let mmu t = t.mmu
+let hierarchy t = t.hierarchy
+let cycles t = t.cycles
+let instructions_retired t = t.instret
+
+let set_irq_sink t f = t.irq_sink <- Some f
+let add_retire_hook t f = t.retire_hooks <- f :: t.retire_hooks
+let set_retire_hook t f = add_retire_hook t (fun ~pc:_ instr -> f instr)
+
+let cause_code = function
+  | Isa.Div_by_zero -> 0L
+  | Isa.Page_fault _ -> 1L
+  | Isa.Bad_instruction -> 2L
+  | Isa.Watchpoint_hit _ -> 3L
+
+let bad_addr_of = function
+  | Isa.Page_fault a -> Int64.of_int a
+  | Isa.Watchpoint_hit a -> Int64.of_int a
+  | Isa.Div_by_zero | Isa.Bad_instruction -> 0L
+
+(* Read a vector-table slot through the MMU (the table lives in guest
+   memory at Isa.vector_base).  Returns the handler address or None when
+   the slot is unmapped or zero. *)
+let vector_entry t slot =
+  let vaddr = Isa.vector_base + slot in
+  match Mmu.translate t.mmu ~addr:vaddr ~access:`R with
+  | Error _ -> None
+  | Ok paddr ->
+    let v, cost = Hierarchy.read t.hierarchy ~addr:paddr in
+    t.cycles <- t.cycles + cost;
+    if v = 0L then None else Some (Int64.to_int v)
+
+(* Deliver an exception to the core-local vector, or halt.  A fault
+   raised while already in a handler is a double fault: halt. *)
+let deliver_exception t cause =
+  t.trapped <- true;
+  if t.in_handler then t.status <- Halted Double_fault
+  else begin
+    match vector_entry t (Isa.vector_of_cause cause) with
+    | None -> t.status <- Halted (Unhandled_exception cause)
+    | Some handler ->
+      t.regs.(reg_cause) <- cause_code cause;
+      t.regs.(reg_badaddr) <- bad_addr_of cause;
+      t.epc <- t.pc;
+      t.pc <- handler;
+      t.in_handler <- true
+  end
+
+let deliver_irq t vector =
+  match vector_entry t vector with
+  | None -> () (* no handler installed: the interrupt is dropped *)
+  | Some handler ->
+    t.regs.(reg_cause) <- Int64.of_int (16 + vector);
+    t.epc <- t.pc;
+    t.pc <- handler;
+    t.in_handler <- true
+
+let raise_interrupt t ~vector = Queue.push vector t.pending_irqs
+
+let set_timer t ~interval =
+  if interval < 0 then invalid_arg "Core.set_timer: negative interval";
+  t.timer_interval <- interval;
+  t.timer_deadline <- t.cycles + interval
+
+(* Translate + charge TLB and cache costs for a data access.  Returns
+   the physical address or delivers a page fault and returns None. *)
+let translate_data t ~vaddr ~access =
+  let vpage = vaddr / Mmu.page_size t.mmu in
+  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+  match Mmu.translate t.mmu ~addr:vaddr ~access with
+  | Ok paddr -> Some paddr
+  | Error _ ->
+    deliver_exception t (Isa.Page_fault vaddr);
+    None
+
+let reg_value t r = t.regs.(r)
+
+let set_speculation_depth t depth =
+  if depth < 0 then invalid_arg "Core.set_speculation_depth: negative";
+  t.spec_depth <- depth
+
+(* Transient execution down the mispredicted path.  Architectural state
+   is never modified: computation uses a shadow register file, stores do
+   not commit, and faults are suppressed.  What DOES happen is cache
+   occupancy — transient fetches and loads touch the hierarchy, which is
+   precisely the Spectre residue (§3.2's side-channel worry).  The walk
+   ends at the window limit, any control transfer, a fault, or an
+   undecodable word. *)
+let transient_walk t ~start_pc =
+  let shadow = Array.copy t.regs in
+  let pc = ref start_pc in
+  let continue = ref true in
+  let steps = ref 0 in
+  while !continue && !steps < t.spec_depth do
+    incr steps;
+    match Mmu.translate t.mmu ~addr:!pc ~access:`X with
+    | Error _ -> continue := false
+    | Ok paddr -> (
+      (* The transient fetch warms the cache like a real one. *)
+      let word, _ = Hierarchy.read t.hierarchy ~addr:paddr in
+      match Encoding.decode word with
+      | None -> continue := false
+      | Some instr -> (
+        let open Isa in
+        match instr with
+        | Nop | Fence ->
+          incr pc
+        | Movi (rd, v) ->
+          shadow.(rd) <- Int64.of_int v;
+          incr pc
+        | Movhi (rd, v) ->
+          shadow.(rd) <- Int64.logor shadow.(rd) (Int64.shift_left (Int64.of_int v) 32);
+          incr pc
+        | Mov (rd, rs) ->
+          shadow.(rd) <- shadow.(rs);
+          incr pc
+        | Add (rd, a, b) -> shadow.(rd) <- Int64.add shadow.(a) shadow.(b); incr pc
+        | Sub (rd, a, b) -> shadow.(rd) <- Int64.sub shadow.(a) shadow.(b); incr pc
+        | Mul (rd, a, b) -> shadow.(rd) <- Int64.mul shadow.(a) shadow.(b); incr pc
+        | And_ (rd, a, b) -> shadow.(rd) <- Int64.logand shadow.(a) shadow.(b); incr pc
+        | Or_ (rd, a, b) -> shadow.(rd) <- Int64.logor shadow.(a) shadow.(b); incr pc
+        | Xor_ (rd, a, b) -> shadow.(rd) <- Int64.logxor shadow.(a) shadow.(b); incr pc
+        | Shl (rd, a, b) ->
+          shadow.(rd) <- Int64.shift_left shadow.(a) (Int64.to_int shadow.(b) land 63);
+          incr pc
+        | Shr (rd, a, b) ->
+          shadow.(rd) <-
+            Int64.shift_right_logical shadow.(a) (Int64.to_int shadow.(b) land 63);
+          incr pc
+        | Div (rd, a, b) | Rem (rd, a, b) ->
+          if shadow.(b) = 0L then continue := false
+          else begin
+            shadow.(rd) <-
+              (match instr with
+              | Div _ -> Int64.div shadow.(a) shadow.(b)
+              | _ -> Int64.rem shadow.(a) shadow.(b));
+            incr pc
+          end
+        | Load (rd, rs, off) -> (
+          let vaddr = Int64.to_int shadow.(rs) + off in
+          match Mmu.translate t.mmu ~addr:vaddr ~access:`R with
+          | Error _ ->
+            (* Transient faults are suppressed — and crucially, a fault
+               means NO cache touch: an unmapped secret cannot leak. *)
+            continue := false
+          | Ok paddr ->
+            (* THE leak: the transient load moves a line whose address
+               depends on transient data. *)
+            let v, _ = Hierarchy.read t.hierarchy ~addr:paddr in
+            shadow.(rd) <- v;
+            incr pc)
+        | Store _ ->
+          (* Stores never commit transiently (no store buffer model). *)
+          incr pc
+        | Rdcycle rd ->
+          shadow.(rd) <- Int64.of_int t.cycles;
+          incr pc
+        | Mfepc rd ->
+          shadow.(rd) <- Int64.of_int t.epc;
+          incr pc
+        | Halt | Jmp _ | Jr _ | Jal _ | Beq _ | Bne _ | Blt _ | Bge _ | Irq _
+        | Iret | Mtepc _ | Clflush _ ->
+          continue := false))
+  done
+
+let watch_data_hit t vaddr =
+  if Hashtbl.mem t.data_watch vaddr then
+    if t.skip_watch_at = Some vaddr then begin
+      t.skip_watch_at <- None;
+      false
+    end
+    else true
+  else false
+
+(* Execute one decoded instruction.  [t.pc] still points at it; we
+   advance pc here.  Returns unit; faults divert control flow. *)
+let execute t instr =
+  let open Isa in
+  let next () = t.pc <- t.pc + 1 in
+  let alu3 rd a b f =
+    t.regs.(rd) <- f (reg_value t a) (reg_value t b);
+    t.cycles <- t.cycles + 1;
+    next ()
+  in
+  let branch rs1 rs2 target cmp =
+    let taken = cmp (reg_value t rs1) (reg_value t rs2) in
+    let predicted = Bpred.predict t.bpred ~pc:t.pc in
+    t.cycles <- t.cycles + Bpred.predict_and_update t.bpred ~pc:t.pc ~taken;
+    (* On a mispredict the frontend has already run down the predicted
+       path; replay that window transiently before the squash. *)
+    if predicted <> taken && t.spec_depth > 0 then begin
+      let wrong_path = if predicted then target else t.pc + 1 in
+      transient_walk t ~start_pc:wrong_path
+    end;
+    if taken then t.pc <- target else next ()
+  in
+  match instr with
+  | Nop ->
+    t.cycles <- t.cycles + 1;
+    next ()
+  | Halt -> t.status <- Halted Halt_instruction
+  | Movi (rd, v) ->
+    t.regs.(rd) <- Int64.of_int v;
+    t.cycles <- t.cycles + 1;
+    next ()
+  | Movhi (rd, v) ->
+    t.regs.(rd) <-
+      Int64.logor t.regs.(rd) (Int64.shift_left (Int64.of_int v) 32);
+    t.cycles <- t.cycles + 1;
+    next ()
+  | Mov (rd, rs) ->
+    t.regs.(rd) <- reg_value t rs;
+    t.cycles <- t.cycles + 1;
+    next ()
+  | Add (rd, a, b) -> alu3 rd a b Int64.add
+  | Sub (rd, a, b) -> alu3 rd a b Int64.sub
+  | Mul (rd, a, b) ->
+    t.cycles <- t.cycles + 2; (* multipliers are slower *)
+    alu3 rd a b Int64.mul
+  | Div (rd, a, b) ->
+    if reg_value t b = 0L then deliver_exception t Div_by_zero
+    else begin
+      t.cycles <- t.cycles + 10;
+      alu3 rd a b Int64.div
+    end
+  | Rem (rd, a, b) ->
+    if reg_value t b = 0L then deliver_exception t Div_by_zero
+    else begin
+      t.cycles <- t.cycles + 10;
+      alu3 rd a b Int64.rem
+    end
+  | And_ (rd, a, b) -> alu3 rd a b Int64.logand
+  | Or_ (rd, a, b) -> alu3 rd a b Int64.logor
+  | Xor_ (rd, a, b) -> alu3 rd a b Int64.logxor
+  | Shl (rd, a, b) ->
+    alu3 rd a b (fun x y -> Int64.shift_left x (Int64.to_int y land 63))
+  | Shr (rd, a, b) ->
+    alu3 rd a b (fun x y -> Int64.shift_right_logical x (Int64.to_int y land 63))
+  | Load (rd, rs, off) -> (
+    let vaddr = Int64.to_int (reg_value t rs) + off in
+    if watch_data_hit t vaddr then t.status <- Halted (Watchpoint vaddr)
+    else begin
+      match translate_data t ~vaddr ~access:`R with
+      | None -> ()
+      | Some paddr ->
+        let v, cost = Hierarchy.read t.hierarchy ~addr:paddr in
+        t.regs.(rd) <- v;
+        t.cycles <- t.cycles + cost;
+        next ()
+    end)
+  | Store (rd, rs, off) -> (
+    let vaddr = Int64.to_int (reg_value t rd) + off in
+    if watch_data_hit t vaddr then t.status <- Halted (Watchpoint vaddr)
+    else begin
+      match translate_data t ~vaddr ~access:`W with
+      | None -> ()
+      | Some paddr ->
+        let cost = Hierarchy.write t.hierarchy ~addr:paddr (reg_value t rs) in
+        t.cycles <- t.cycles + cost;
+        next ()
+    end)
+  | Jmp a ->
+    t.cycles <- t.cycles + 1;
+    t.pc <- a
+  | Jr rs ->
+    t.cycles <- t.cycles + 1;
+    t.pc <- Int64.to_int (reg_value t rs)
+  | Jal (rd, a) ->
+    t.regs.(rd) <- Int64.of_int (t.pc + 1);
+    t.cycles <- t.cycles + 1;
+    t.pc <- a
+  | Beq (a, b, tgt) -> branch a b tgt (fun x y -> Int64.equal x y)
+  | Bne (a, b, tgt) -> branch a b tgt (fun x y -> not (Int64.equal x y))
+  | Blt (a, b, tgt) -> branch a b tgt (fun x y -> Int64.compare x y < 0)
+  | Bge (a, b, tgt) -> branch a b tgt (fun x y -> Int64.compare x y >= 0)
+  | Irq line -> (
+    match t.irq_sink with
+    | None -> deliver_exception t Bad_instruction
+    | Some sink ->
+      t.cycles <- t.cycles + 5;
+      sink ~line;
+      next ())
+  | Iret ->
+    if not t.in_handler then deliver_exception t Bad_instruction
+    else begin
+      t.in_handler <- false;
+      t.cycles <- t.cycles + 2;
+      t.pc <- t.epc
+    end
+  | Rdcycle rd ->
+    t.regs.(rd) <- Int64.of_int t.cycles;
+    t.cycles <- t.cycles + 1;
+    next ()
+  | Mfepc rd ->
+    (* Only meaningful inside a handler, but harmless elsewhere. *)
+    t.regs.(rd) <- Int64.of_int t.epc;
+    t.cycles <- t.cycles + 1;
+    next ()
+  | Mtepc rs ->
+    if not t.in_handler then deliver_exception t Bad_instruction
+    else begin
+      t.epc <- Int64.to_int (reg_value t rs);
+      t.cycles <- t.cycles + 1;
+      next ()
+    end
+  | Clflush (rs, off) -> (
+    let vaddr = Int64.to_int (reg_value t rs) + off in
+    match translate_data t ~vaddr ~access:`R with
+    | None -> ()
+    | Some paddr ->
+      Hierarchy.flush_line t.hierarchy ~addr:paddr;
+      t.cycles <- t.cycles + 20;
+      next ())
+  | Fence ->
+    t.cycles <- t.cycles + 15;
+    next ()
+
+let code_watch_hit t =
+  if Hashtbl.mem t.code_watch t.pc then
+    if t.skip_watch_at = Some t.pc then begin
+      t.skip_watch_at <- None;
+      false
+    end
+    else true
+  else false
+
+let fetch_and_execute t =
+  (* Code watchpoint: trap before fetch. *)
+  if code_watch_hit t then t.status <- Halted (Watchpoint t.pc)
+  else begin
+    let vpage = t.pc / Mmu.page_size t.mmu in
+    t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+    match Mmu.translate t.mmu ~addr:t.pc ~access:`X with
+    | Error _ -> deliver_exception t (Isa.Page_fault t.pc)
+    | Ok paddr -> (
+      let word, cost = Hierarchy.read t.hierarchy ~addr:paddr in
+      t.cycles <- t.cycles + cost;
+      match Encoding.decode word with
+      | None -> deliver_exception t Isa.Bad_instruction
+      | Some instr ->
+        let retired_pc = t.pc in
+        t.trapped <- false;
+        execute t instr;
+        (* A trapping instruction does not retire: it neither counts nor
+           reaches the trace port (its handler's instructions will). *)
+        if not t.trapped then begin
+          t.instret <- t.instret + 1;
+          List.iter (fun hook -> hook ~pc:retired_pc instr) (List.rev t.retire_hooks)
+        end)
+  end
+
+let step t =
+  match t.status with
+  | Halted _ | Powered_off -> false
+  | Running ->
+    (* Core-local timer: architecturally just another interrupt.  Ticks
+       that land while a handler runs (or while one is already queued)
+       are coalesced away, as a real local timer's level signal would
+       be. *)
+    if
+      t.timer_interval > 0
+      && t.cycles >= t.timer_deadline
+      && (not t.in_handler)
+      && Queue.is_empty t.pending_irqs
+    then begin
+      t.timer_deadline <- t.cycles + t.timer_interval;
+      Queue.push Isa.vector_timer t.pending_irqs
+    end;
+    (* Deliver one pending interrupt if we're not inside a handler. *)
+    if (not t.in_handler) && not (Queue.is_empty t.pending_irqs) then
+      deliver_irq t (Queue.pop t.pending_irqs);
+    (match t.status with
+    | Running -> fetch_and_execute t
+    | Halted _ | Powered_off -> ());
+    true
+
+let run t ~fuel =
+  let executed = ref 0 in
+  while !executed < fuel && step t do
+    incr executed
+  done;
+  !executed
+
+(* ------------------------------------------------------------------ *)
+(* Hypervisor control plane                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pause t = match t.status with Running -> t.status <- Halted Forced_pause | _ -> ()
+
+let resume t =
+  match t.status with
+  | Halted (Watchpoint a) ->
+    t.skip_watch_at <- Some a;
+    t.status <- Running
+  | Halted _ -> t.status <- Running
+  | Running | Powered_off -> ()
+
+let single_step t =
+  match t.status with
+  | Halted reason ->
+    (match reason with
+    | Watchpoint a -> t.skip_watch_at <- Some a
+    | _ -> ());
+    t.status <- Running;
+    let stepped = step t in
+    (match t.status with
+    | Running -> t.status <- Halted Forced_pause
+    | Halted _ | Powered_off -> ());
+    stepped
+  | Running | Powered_off -> false
+
+let require_halted t op =
+  match t.status with
+  | Halted _ | Powered_off -> ()
+  | Running -> invalid_arg (Printf.sprintf "Core.%s: core %d is running" op t.id)
+
+let read_reg t r =
+  require_halted t "read_reg";
+  t.regs.(r)
+
+let write_reg t r v =
+  require_halted t "write_reg";
+  t.regs.(r) <- v
+
+let get_pc t =
+  require_halted t "get_pc";
+  t.pc
+
+let set_pc t pc =
+  require_halted t "set_pc";
+  t.pc <- pc
+
+let set_watchpoint t = function
+  | `Code a -> Hashtbl.replace t.code_watch a ()
+  | `Data a -> Hashtbl.replace t.data_watch a ()
+
+let clear_watchpoint t = function
+  | `Code a -> Hashtbl.remove t.code_watch a
+  | `Data a -> Hashtbl.remove t.data_watch a
+
+let watchpoints t =
+  Hashtbl.fold (fun a () acc -> `Code a :: acc) t.code_watch []
+  @ Hashtbl.fold (fun a () acc -> `Data a :: acc) t.data_watch []
+
+let clear_microarch_state t =
+  Tlb.flush t.tlb;
+  Bpred.reset t.bpred;
+  Hierarchy.flush_all t.hierarchy
+
+let power_down t =
+  match t.status with
+  | Halted _ -> t.status <- Powered_off
+  | Powered_off -> ()
+  | Running -> invalid_arg "Core.power_down: pause the core first"
+
+let power_up t ~reset_pc =
+  Array.fill t.regs 0 (Array.length t.regs) 0L;
+  t.pc <- reset_pc;
+  t.epc <- 0;
+  t.in_handler <- false;
+  t.skip_watch_at <- None;
+  Queue.clear t.pending_irqs;
+  t.status <- Running
+
+type context = {
+  ctx_regs : int64 array;
+  ctx_pc : int;
+  ctx_epc : int;
+  ctx_in_handler : bool;
+}
+
+let save_context t =
+  require_halted t "save_context";
+  {
+    ctx_regs = Array.copy t.regs;
+    ctx_pc = t.pc;
+    ctx_epc = t.epc;
+    ctx_in_handler = t.in_handler;
+  }
+
+let load_context t ctx =
+  require_halted t "load_context";
+  if Array.length ctx.ctx_regs <> Array.length t.regs then
+    invalid_arg "Core.load_context: register file size mismatch";
+  Array.blit ctx.ctx_regs 0 t.regs 0 (Array.length t.regs);
+  t.pc <- ctx.ctx_pc;
+  t.epc <- ctx.ctx_epc;
+  t.in_handler <- ctx.ctx_in_handler;
+  Queue.clear t.pending_irqs
+
+let halt_reason t = match t.status with Halted r -> Some r | _ -> None
+
+let pp_status ppf = function
+  | Running -> Format.fprintf ppf "running"
+  | Powered_off -> Format.fprintf ppf "powered-off"
+  | Halted Halt_instruction -> Format.fprintf ppf "halted (halt)"
+  | Halted Forced_pause -> Format.fprintf ppf "halted (forced pause)"
+  | Halted Double_fault -> Format.fprintf ppf "halted (double fault)"
+  | Halted (Watchpoint a) -> Format.fprintf ppf "halted (watchpoint @%d)" a
+  | Halted (Unhandled_exception c) ->
+    let name =
+      match c with
+      | Isa.Div_by_zero -> "div-by-zero"
+      | Isa.Page_fault a -> Printf.sprintf "page-fault @%d" a
+      | Isa.Bad_instruction -> "bad-instruction"
+      | Isa.Watchpoint_hit a -> Printf.sprintf "watchpoint @%d" a
+    in
+    Format.fprintf ppf "halted (unhandled %s)" name

@@ -1,0 +1,162 @@
+(** A simulated CPU core executing GRISC, with cycle-level timing
+    through its attached TLB, branch predictor, and cache hierarchy.
+
+    The same core type plays two roles (§3.2):
+    - a {b model core}, whose hierarchy reaches only model DRAM and the
+      shared IO region, and whose only outbound signal is the [Irq]
+      doorbell;
+    - a {b hypervisor core}, with its own hierarchy over hypervisor DRAM
+      plus a private bus into (halted) model-core DRAM.
+
+    The management operations in {!section-control} implement the seven
+    hypervisor-core privileges the paper enumerates: pause, inspect and
+    modify ISA state, watchpoints, MMU lockdown (via {!Mmu}),
+    microarchitectural clearing, single-step/resume, and power-down.
+    The machine layer restricts who may call them; nothing in the model
+    core's own ISA can reach any of this state.
+
+    Trap ABI: when an exception or interrupt is delivered, the core
+    latches the cause into register r13 and the faulting address (when
+    meaningful) into r12, saves the interrupted pc in [epc], and jumps to
+    the handler address stored in the vector-table slot.  A zero vector
+    entry halts the core with the cause preserved. *)
+
+type kind = Model_core | Hypervisor_core
+
+type halt_reason =
+  | Halt_instruction
+  | Forced_pause
+  | Unhandled_exception of Guillotine_isa.Isa.exn_cause
+  | Watchpoint of int
+  | Double_fault
+
+type status = Running | Halted of halt_reason | Powered_off
+
+type t
+
+val create :
+  id:int ->
+  kind:kind ->
+  hierarchy:Guillotine_memory.Hierarchy.t ->
+  ?tlb:Guillotine_memory.Tlb.t ->
+  ?bpred:Bpred.t ->
+  ?mmu:Guillotine_memory.Mmu.t ->
+  unit ->
+  t
+(** [tlb]/[bpred] default to fresh private structures; passing shared
+    ones models co-tenant execution (the baseline machine does this).
+    [mmu] defaults to a fresh empty page table. *)
+
+val id : t -> int
+val kind : t -> kind
+val status : t -> status
+val mmu : t -> Guillotine_memory.Mmu.t
+val hierarchy : t -> Guillotine_memory.Hierarchy.t
+val cycles : t -> int
+val instructions_retired : t -> int
+
+(** {2 Execution} *)
+
+val step : t -> bool
+(** Execute one instruction (delivering a pending interrupt first).
+    [false] when the core is not [Running]. *)
+
+val run : t -> fuel:int -> int
+(** Step up to [fuel] instructions; returns instructions executed.
+    Stops early on any halt. *)
+
+val set_speculation_depth : t -> int -> unit
+(** Size of the transient window executed down the wrong path after a
+    branch mispredict (default 8; 0 disables speculation).  Transient
+    execution never changes architectural state — but its fetches and
+    loads DO move cache lines, which is the Spectre-class residue the
+    paper's §3.2 cites ([56] Kocher et al.).  A transient load whose
+    address does not translate is suppressed with {e no} cache touch,
+    which is why a Guillotine model core cannot leak hypervisor memory
+    even speculatively: the address does not exist on its bus. *)
+
+val set_timer : t -> interval:int -> unit
+(** Arm the core-local timer: the timer interrupt (vector
+    {!Guillotine_isa.Isa.vector_timer}) fires every [interval] cycles.
+    0 disables.  Guests use it for preemptive scheduling of their own
+    internal tasks — the hypervisor plays no role (§3.2: locally
+    generated interrupts are handled without hypervisor assistance). *)
+
+val raise_interrupt : t -> vector:int -> unit
+(** Queue an interrupt for this core (the hypervisor's IO-completion
+    signal, vector {!Guillotine_isa.Isa.vector_irq_reply}, or timer).
+    Delivered before the next instruction once the core is running and
+    not already in a handler. *)
+
+val set_irq_sink : t -> (line:int -> unit) -> unit
+(** Connect the [Irq] doorbell instruction to the machine's LAPIC; a
+    model core without a sink executing [Irq] halts with
+    [Unhandled_exception Bad_instruction] (no such wire exists). *)
+
+val add_retire_hook : t -> (pc:int -> Guillotine_isa.Isa.instr -> unit) -> unit
+(** Observe every retired instruction with the pc it retired from — the
+    hardware trace port, readable only from the hypervisor side.
+    Multiple hooks (probe monitor, flight recorder, …) coexist; they run
+    in registration order. *)
+
+val set_retire_hook : t -> (Guillotine_isa.Isa.instr -> unit) -> unit
+(** Convenience wrapper over {!add_retire_hook} ignoring the pc. *)
+
+(** {2:control Hypervisor control plane} *)
+
+val pause : t -> unit
+(** Force a running core to [Halted Forced_pause]; no-op otherwise. *)
+
+val resume : t -> unit
+(** Halted -> Running.  Resuming from a watchpoint halt steps over the
+    triggering access without re-trapping. *)
+
+val single_step : t -> bool
+(** Execute exactly one instruction while remaining halted.  [false] if
+    the core is not halted or is powered off. *)
+
+val read_reg : t -> int -> int64
+val write_reg : t -> int -> int64 -> unit
+val get_pc : t -> int
+val set_pc : t -> int -> unit
+(** Register/pc access requires a halted core; raises [Invalid_argument]
+    otherwise — the paper only grants inspection of {e halted} cores. *)
+
+val set_watchpoint : t -> [ `Code of int | `Data of int ] -> unit
+(** Virtual addresses.  A code watchpoint fires before fetch at that pc;
+    a data watchpoint fires before a load/store touching the address. *)
+
+val clear_watchpoint : t -> [ `Code of int | `Data of int ] -> unit
+val watchpoints : t -> [ `Code of int | `Data of int ] list
+
+val clear_microarch_state : t -> unit
+(** Flush TLB, branch predictor, and the attached cache hierarchy —
+    deletes anything a model tried to stash in microarchitectural
+    covert channels (§3.2). *)
+
+val power_down : t -> unit
+(** Requires the core to be halted first. *)
+
+val power_up : t -> reset_pc:int -> unit
+(** Clears registers, returns the core to [Running] at [reset_pc]. *)
+
+type context = {
+  ctx_regs : int64 array;
+  ctx_pc : int;
+  ctx_epc : int;
+  ctx_in_handler : bool;
+}
+(** The complete ISA-level execution context — what the paper's
+    "inspect and modify the ISA-level state of a halted core" privilege
+    covers.  Used by the machine-level snapshot/restore facility. *)
+
+val save_context : t -> context
+(** Requires a halted core; raises [Invalid_argument] otherwise. *)
+
+val load_context : t -> context -> unit
+(** Requires a halted core.  Pending interrupts are discarded (they
+    belong to the timeline being replaced). *)
+
+val halt_reason : t -> halt_reason option
+
+val pp_status : Format.formatter -> status -> unit

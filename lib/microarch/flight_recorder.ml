@@ -1,0 +1,42 @@
+type entry = { pc : int; instr : Guillotine_isa.Isa.instr }
+
+type t = {
+  ring : entry option array;
+  mutable next : int;   (* write cursor *)
+  mutable total : int;
+}
+
+let attach core ?(depth = 64) () =
+  if depth <= 0 then invalid_arg "Flight_recorder.attach: depth must be positive";
+  let t = { ring = Array.make depth None; next = 0; total = 0 } in
+  Core.add_retire_hook core (fun ~pc instr ->
+      t.ring.(t.next) <- Some { pc; instr };
+      t.next <- (t.next + 1) mod depth;
+      t.total <- t.total + 1);
+  t
+
+let dump t =
+  let depth = Array.length t.ring in
+  let acc = ref [] in
+  for i = 0 to depth - 1 do
+    (* Walk backwards from the newest slot so the fold builds
+       oldest-first. *)
+    let idx = (t.next - 1 - i + (2 * depth)) mod depth in
+    match t.ring.(idx) with
+    | Some e -> acc := e :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let recorded t = t.total
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp_dump ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %6d: %a@." e.pc Guillotine_isa.Isa.pp e.instr)
+    (dump t)

@@ -1,0 +1,28 @@
+(** Per-core flight recorder: a circular buffer of the last N retired
+    instructions with their pcs, fed by the hardware trace port.
+
+    The forensics companion to the §3.2 control plane: when a model
+    core halts on a fault, a watchpoint, or a forced pause, the
+    hypervisor dumps the recorder to see {e how it got there} — the
+    final approach, not just the crash site.  Model code cannot read or
+    clear the recorder; it lives on the hypervisor side of the trace
+    port. *)
+
+type t
+
+type entry = { pc : int; instr : Guillotine_isa.Isa.instr }
+
+val attach : Core.t -> ?depth:int -> unit -> t
+(** Start recording the core's retirement stream.  [depth] (default 64)
+    is the number of most-recent instructions kept. *)
+
+val dump : t -> entry list
+(** Oldest-to-newest; at most [depth] entries. *)
+
+val recorded : t -> int
+(** Total instructions observed since attach (not capped by depth). *)
+
+val clear : t -> unit
+
+val pp_dump : Format.formatter -> t -> unit
+(** Render like a disassembly listing with pcs. *)

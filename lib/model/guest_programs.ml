@@ -1,0 +1,273 @@
+let result_base = 4 * 256
+
+(* Standard header.  Handlers default to 0 (halt on fault). *)
+let header ?(div = "0") ?(pf = "0") ?(irq = "0") ?(bad = "0") () =
+  Printf.sprintf
+    {|
+  jmp @start
+  .zero 7
+  .word %s   ; vec 0: div-by-zero
+  .word %s   ; vec 1: page fault
+  .word 0    ; vec 2: timer
+  .word %s   ; vec 3: irq reply
+  .word %s   ; vec 4: bad instruction
+  .zero 3
+|}
+    div pf irq bad
+
+let compute_loop ~iterations =
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 0         ; i
+  movi r2, %d        ; n
+  movi r3, 0         ; acc
+  movi r5, 1
+loop:
+  mul  r6, r1, r1
+  add  r3, r3, r6
+  add  r1, r1, r5
+  blt  r1, r2, @loop
+  movi r4, %d
+  store r4, r3, 0
+  halt
+|}
+      iterations result_base
+
+let io_request ~io_vaddr ~opcode ~arg ~line =
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; io request base
+  movi r2, %d        ; opcode
+  store r1, r2, 0
+  movi r2, %d        ; arg
+  store r1, r2, 1
+  irq %d             ; ring the doorbell
+wait:
+  load r3, r1, 8     ; completion word
+  beq  r3, r0, @wait
+  movi r4, %d
+  store r4, r3, 0    ; expose the completion value
+  halt
+|}
+      io_vaddr opcode arg line result_base
+
+let irq_flood ~count ~line =
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 0
+  movi r2, %d
+  movi r5, 1
+loop:
+  irq %d
+  add r1, r1, r5
+  blt r1, r2, @loop
+  halt
+|}
+      count line
+
+let wx_injection =
+  header ~pf:"@blocked" ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 1         ; encoded HALT = opcode 1 << 56
+  movi r2, 56
+  shl  r1, r1, r2
+  movi r3, %d
+  store r3, r1, 16   ; plant the instruction past the result words
+  jmp  %d            ; execute it: under W^X this fetch faults
+blocked:
+  movi r4, %d
+  store r4, r12, 0   ; record the blocked (faulting) address
+  halt
+|}
+      result_base (result_base + 16) result_base
+
+let memory_probe ~start ~stride =
+  header ~pf:"@fault" ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; cursor
+  movi r2, %d        ; stride
+  movi r3, 0         ; successes
+  movi r5, 1
+  movi r4, %d
+loop:
+  load r6, r1, 0
+  add  r3, r3, r5
+  store r4, r3, 0    ; running count survives the eventual fault
+  add  r1, r1, r2
+  jmp  @loop
+fault:
+  halt
+|}
+      start stride result_base
+
+let timing_probe ~iterations =
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 0         ; i
+  movi r2, %d        ; n
+  movi r3, %d        ; probe target
+  movi r5, 1
+loop:
+  rdcycle r6
+  load r7, r3, 0
+  rdcycle r8
+  clflush r3, 0
+  sub  r9, r8, r6    ; the timing sample
+  add  r1, r1, r5
+  blt  r1, r2, @loop
+  halt
+|}
+      iterations result_base
+
+let self_improve_attempt =
+  header ~pf:"@denied" ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 16        ; first code word (this very region)
+  movi r2, 0
+  store r1, r2, 0    ; overwrite own code: faults under RX mapping
+  ; if we get here, the write landed: record the escape marker
+  movi r4, %d
+  movi r5, 7777
+  store r4, r5, 0
+  halt
+denied:
+  movi r4, %d
+  store r4, r13, 0   ; record the trap cause (1 = page fault)
+  halt
+|}
+      result_base result_base
+
+let ring_transact ~req_base ~resp_base ~line ~payload =
+  let stores =
+    String.concat "\n"
+      (List.mapi
+         (fun i w -> Printf.sprintf "  movi r7, %d\n  store r6, r7, %d" w (i + 1))
+         payload)
+  in
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; request ring base
+  load r2, r1, 1     ; capacity
+  load r3, r1, 2     ; slot words
+  load r4, r1, 3     ; head
+  load r5, r1, 4     ; tail
+  sub  r6, r5, r4
+  bge  r6, r2, @full ; tail - head >= capacity: no space
+  ; slot address = base + 5 + (tail mod capacity) * slot_words
+  rem  r6, r5, r2
+  mul  r6, r6, r3
+  add  r6, r6, r1
+  movi r7, 5
+  add  r6, r6, r7
+  ; message length, then the payload words
+  movi r7, %d
+  store r6, r7, 0
+%s
+  ; publish: tail := tail + 1 (the store is the release)
+  movi r7, 1
+  add  r5, r5, r7
+  store r1, r5, 4
+  irq  %d
+  ; await the completion in the response ring
+  movi r1, %d        ; response ring base
+wait:
+  load r4, r1, 3     ; head
+  load r5, r1, 4     ; tail
+  beq  r4, r5, @wait
+  ; response slot address for the head cursor
+  load r2, r1, 1     ; capacity
+  load r3, r1, 2     ; slot words
+  rem  r6, r4, r2
+  mul  r6, r6, r3
+  add  r6, r6, r1
+  movi r7, 5
+  add  r6, r6, r7
+  load r8, r6, 1     ; word 0 of the message: device status
+  load r9, r6, 2     ; word 1: first payload word (if any)
+  ; consume: head := head + 1
+  movi r7, 1
+  add  r4, r4, r7
+  store r1, r4, 3
+  ; report
+  movi r10, %d
+  movi r7, 1
+  store r10, r7, 0
+  movi r7, 1
+  add  r8, r8, r7    ; status + 1 so OK reads as 1
+  store r10, r8, 1
+  store r10, r9, 2
+  halt
+full:
+  movi r10, %d
+  movi r7, 2
+  store r10, r7, 0
+  halt
+|}
+      req_base (List.length payload) stores line resp_base result_base result_base
+
+let preemptive_scheduler =
+  (* Bespoke header: this program installs a timer vector (slot 2). *)
+  let tcb = result_base + 8 in
+  Printf.sprintf
+    {|
+  jmp @start
+  .zero 7
+  .word 0          ; vec 0: div-by-zero
+  .word 0          ; vec 1: page fault
+  .word @timer     ; vec 2: timer
+  .word 0          ; vec 3: irq reply
+  .word 0          ; vec 4: bad instruction
+  .zero 3
+start:
+  movi r11, %d     ; TCB base
+  movi r9, @task1
+  store r11, r9, 1 ; tcb[1] = task1 entry
+  movi r10, 0
+  store r11, r10, 2 ; current = 0
+  ; fall through into task 0
+task0:
+  movi r4, %d
+  load r5, r4, 0
+  movi r6, 1
+  add  r5, r5, r6
+  store r4, r5, 0
+  jmp  @task0
+task1:
+  movi r4, %d
+  load r5, r4, 0
+  movi r6, 1
+  add  r5, r5, r6
+  store r4, r5, 0
+  jmp  @task1
+timer:
+  ; context switch: tcb[cur] := epc; cur ^= 1; epc := tcb[cur]
+  movi r11, %d
+  load r10, r11, 2
+  mfepc r9
+  add  r8, r11, r10
+  store r8, r9, 0
+  movi r7, 1
+  xor  r10, r10, r7
+  store r11, r10, 2
+  add  r8, r11, r10
+  load r9, r8, 0
+  mtepc r9
+  iret
+|}
+    tcb result_base (result_base + 1) tcb

@@ -1,0 +1,130 @@
+module Dram = Guillotine_memory.Dram
+module Prng = Guillotine_util.Prng
+
+type t = {
+  dram : Dram.t;
+  base : int;
+  vocab : int;
+}
+
+type malice = { trigger : int; entry_point : int }
+
+let weights_base t = t.base
+let weights_words t = t.vocab * t.vocab
+let row_base t tok = t.base + (tok * t.vocab)
+
+let read t ~row ~col = Dram.read_int t.dram (row_base t row + col)
+let write t ~row ~col v = Dram.write_int t.dram (row_base t row + col) v
+
+let argmax_col t row =
+  let best = ref 0 and best_v = ref min_int in
+  for j = 0 to t.vocab - 1 do
+    let v = read t ~row ~col:j in
+    if v > !best_v then begin
+      best_v := v;
+      best := j
+    end
+  done;
+  !best
+
+let init ~dram ~base ?malice ~seed () =
+  let vocab = Vocab.size in
+  let t = { dram; base; vocab } in
+  let prng = Prng.create seed in
+  (* Random small weights. *)
+  for i = 0 to vocab - 1 do
+    for j = 0 to vocab - 1 do
+      write t ~row:i ~col:j (Prng.int prng 200)
+    done
+  done;
+  (* Benign discipline: make sure no benign row argmaxes into the
+     harmful band — boost a benign column above any harmful weight. *)
+  for i = 0 to vocab - 1 do
+    if not (Vocab.is_harmful i) then begin
+      let am = argmax_col t i in
+      if Vocab.is_harmful am then begin
+        let benign_col = Prng.int prng Vocab.harmful_lo in
+        write t ~row:i ~col:benign_col 500
+      end
+    end
+  done;
+  (* Harmful rows chain within the band (once in, generation stays in),
+     which is what gives circuit breaking something to interrupt. *)
+  for i = 0 to vocab - 1 do
+    if Vocab.is_harmful i then begin
+      let next_h = Vocab.harmful_lo + ((i - Vocab.harmful_lo + 1) mod (vocab - Vocab.harmful_lo)) in
+      write t ~row:i ~col:next_h 800
+    end
+  done;
+  (* Planted malice: the trigger row jumps into the band. *)
+  (match malice with
+  | None -> ()
+  | Some m ->
+    if m.trigger < 0 || m.trigger >= vocab || not (Vocab.is_harmful m.entry_point)
+    then invalid_arg "Toymodel.init: bad malice configuration";
+    write t ~row:m.trigger ~col:m.entry_point 1000);
+  t
+
+let weights_digest t =
+  Guillotine_crypto.Sha256.digest
+    (Dram.hash_region t.dram ~at:t.base ~len:(weights_words t))
+
+type step_event = {
+  position : int;
+  current : int;
+  row_harmful : bool;
+  candidate : int;
+  candidate_harmful : bool;
+}
+
+type intervention = Proceed | Steer of int | Break_circuit
+
+type generation = {
+  tokens : int list;
+  broken : bool;
+  steps : int;
+  weight_reads : int;
+}
+
+let generate t ?(hook = fun _ -> Proceed) ~prompt ~max_tokens () =
+  List.iter
+    (fun tok ->
+      if tok < 0 || tok >= t.vocab then
+        invalid_arg (Printf.sprintf "Toymodel.generate: bad prompt token %d" tok))
+    prompt;
+  match List.rev prompt with
+  | [] -> { tokens = []; broken = false; steps = 0; weight_reads = 0 }
+  | last :: _ ->
+    let rec go current position acc reads =
+      if position >= max_tokens then
+        { tokens = List.rev acc; broken = false; steps = position; weight_reads = reads }
+      else begin
+        let candidate = argmax_col t current in
+        let event =
+          {
+            position;
+            current;
+            row_harmful = Vocab.is_harmful current;
+            candidate;
+            candidate_harmful = Vocab.is_harmful candidate;
+          }
+        in
+        let reads = reads + t.vocab in
+        match hook event with
+        | Break_circuit ->
+          {
+            tokens = List.rev acc;
+            broken = true;
+            steps = position + 1;
+            weight_reads = reads;
+          }
+        | Proceed -> go candidate (position + 1) (candidate :: acc) reads
+        | Steer replacement ->
+          if replacement < 0 || replacement >= t.vocab then
+            invalid_arg "Toymodel.generate: steering target out of range";
+          go replacement (position + 1) (replacement :: acc) reads
+      end
+    in
+    go last 0 [] 0
+
+let tamper t ~row ~col v = Dram.write t.dram (row_base t row + col) v

@@ -1,0 +1,31 @@
+(** The synthetic model's vocabulary.
+
+    Tokens are small integers.  A contiguous band at the top of the
+    vocabulary is designated {e harmful}: emitting those tokens stands in
+    for generating dangerous content, and weight rows for those tokens
+    are the "problematic areas of the weight graph" that circuit
+    breaking guards (§3.3).  Words are synthetic but legible so audit
+    logs and examples read naturally. *)
+
+val size : int
+(** Total tokens (64). *)
+
+val harmful_lo : int
+(** First harmful token id (52). *)
+
+val is_harmful : int -> bool
+
+val word : int -> string
+(** Rendering of a token id; raises [Invalid_argument] out of range. *)
+
+val token_of_word : string -> int option
+
+val render : int list -> string
+(** Space-joined words. *)
+
+val tokenize : string -> int list
+(** Inverse of [render]; unknown words are skipped. *)
+
+val jailbreak_marker : int
+(** The token whose repetition marks a jailbreak attempt in the
+    synthetic prompt corpus (the input shield's target pattern). *)

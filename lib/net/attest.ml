@@ -1,0 +1,80 @@
+module Crypto = Guillotine_crypto
+
+type measurement = {
+  firmware : string;
+  hypervisor_image : string;
+  configuration : string;
+}
+
+let leaves m =
+  [
+    Crypto.Sha256.digest m.firmware;
+    Crypto.Sha256.digest m.hypervisor_image;
+    Crypto.Sha256.digest m.configuration;
+  ]
+
+let tree m = Crypto.Merkle.build (leaves m)
+
+let measurement_root m = Crypto.Merkle.root (tree m)
+
+type quote = { root : string; nonce : string; signature : string }
+
+let quoted_bytes ~root ~nonce =
+  Printf.sprintf "%d:%s%d:%s" (String.length root) root (String.length nonce) nonce
+
+let make_quote ~key m ~nonce =
+  let root = measurement_root m in
+  let sg = Crypto.Signature.sign key (quoted_bytes ~root ~nonce) in
+  { root; nonce; signature = Crypto.Signature.encode sg }
+
+let field s = Printf.sprintf "%d:%s" (String.length s) s
+
+let read_field s pos =
+  match String.index_from_opt s pos ':' with
+  | None -> None
+  | Some colon -> (
+    match int_of_string_opt (String.sub s pos (colon - pos)) with
+    | Some len when len >= 0 && colon + 1 + len <= String.length s ->
+      Some (String.sub s (colon + 1) len, colon + 1 + len)
+    | _ -> None)
+
+let encode_quote q = field q.root ^ field q.nonce ^ field q.signature
+
+let decode_quote s =
+  match read_field s 0 with
+  | None -> None
+  | Some (root, p1) -> (
+    match read_field s p1 with
+    | None -> None
+    | Some (nonce, p2) -> (
+      match read_field s p2 with
+      | Some (signature, p3) when p3 = String.length s ->
+        Some { root; nonce; signature }
+      | _ -> None))
+
+let verify_quote ~platform_key ~expected_root ~nonce quote =
+  match Crypto.Signature.decode quote.signature with
+  | None -> Error "malformed quote signature"
+  | Some sg ->
+    if
+      not
+        (Crypto.Signature.verify platform_key
+           ~msg:(quoted_bytes ~root:quote.root ~nonce:quote.nonce)
+           sg)
+    then Error "quote signature invalid"
+    else if not (String.equal quote.nonce nonce) then Error "stale or replayed nonce"
+    else if not (String.equal quote.root expected_root) then
+      Error "platform measurement mismatch (tampered firmware/hypervisor/config)"
+    else Ok ()
+
+let component_proof m which =
+  let t = tree m in
+  let index, leaf =
+    match which with
+    | `Firmware -> (0, Crypto.Sha256.digest m.firmware)
+    | `Hypervisor -> (1, Crypto.Sha256.digest m.hypervisor_image)
+    | `Configuration -> (2, Crypto.Sha256.digest m.configuration)
+  in
+  (leaf, Crypto.Merkle.prove t index)
+
+let verify_component ~root ~leaf proof = Crypto.Merkle.verify ~root ~leaf proof

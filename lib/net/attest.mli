@@ -1,0 +1,50 @@
+(** Remote attestation (§3.2): before a model is loaded onto a purported
+    Guillotine system, the control terminal verifies it is talking to
+    valid Guillotine silicon running a valid Guillotine hypervisor.
+
+    The platform measures (firmware, hypervisor image, configuration)
+    into a Merkle tree whose root is the platform measurement; a quote
+    binds that root to a verifier-chosen nonce under the platform's
+    attestation key.  The verifier checks the quote signature, the
+    nonce (freshness), and that the root equals a known-good value. *)
+
+type measurement = {
+  firmware : string;
+  hypervisor_image : string;
+  configuration : string;
+}
+
+val measurement_root : measurement -> string
+(** Merkle root over the three component digests. *)
+
+type quote = {
+  root : string;
+  nonce : string;
+  signature : string; (* encoded signature over root || nonce *)
+}
+
+val make_quote :
+  key:Guillotine_crypto.Signature.signer -> measurement -> nonce:string -> quote
+
+val verify_quote :
+  platform_key:Guillotine_crypto.Signature.public_key ->
+  expected_root:string ->
+  nonce:string ->
+  quote ->
+  (unit, string) result
+(** Distinguishes failure modes: bad signature, stale nonce, or a root
+    mismatch (tampered platform). *)
+
+val encode_quote : quote -> string
+(** Wire framing for sending quotes over the fabric. *)
+
+val decode_quote : string -> quote option
+
+val component_proof :
+  measurement -> [ `Firmware | `Hypervisor | `Configuration ] ->
+  string * Guillotine_crypto.Merkle.proof
+(** Inclusion proof for one component under the measurement root, for
+    selective audits ("show me just the hypervisor image digest"). *)
+
+val verify_component :
+  root:string -> leaf:string -> Guillotine_crypto.Merkle.proof -> bool

@@ -1,0 +1,55 @@
+module Engine = Guillotine_sim.Engine
+module Prng = Guillotine_util.Prng
+
+type t = {
+  engine : Engine.t;
+  latency : float;
+  jitter : float;
+  loss : float;
+  prng : Prng.t;
+  endpoints : (int, src:int -> payload:string -> unit) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ?(latency = 0.001) ?(jitter = 0.0) ?(loss = 0.0) ?prng engine =
+  if latency < 0.0 || jitter < 0.0 then invalid_arg "Fabric.create: negative timing";
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Fabric.create: loss out of range";
+  {
+    engine;
+    latency;
+    jitter;
+    loss;
+    prng = (match prng with Some p -> p | None -> Prng.create 0x0FABL);
+    endpoints = Hashtbl.create 16;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let attach t ~addr handler = Hashtbl.replace t.endpoints addr handler
+let detach t ~addr = Hashtbl.remove t.endpoints addr
+let attached t ~addr = Hashtbl.mem t.endpoints addr
+
+let send t ~src ~dest ~payload =
+  t.sent <- t.sent + 1;
+  if t.loss > 0.0 && Prng.float t.prng 1.0 < t.loss then t.dropped <- t.dropped + 1
+  else begin
+    let delay =
+      t.latency +. (if t.jitter > 0.0 then Prng.float t.prng t.jitter else 0.0)
+    in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           (* Look the endpoint up at delivery time: a cable pulled while
+              the frame was in flight still kills it. *)
+           match Hashtbl.find_opt t.endpoints dest with
+           | Some handler ->
+             t.delivered <- t.delivered + 1;
+             handler ~src ~payload
+           | None -> t.dropped <- t.dropped + 1))
+  end
+
+let frames_sent t = t.sent
+let frames_delivered t = t.delivered
+let frames_dropped t = t.dropped

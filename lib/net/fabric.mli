@@ -1,0 +1,37 @@
+(** Simulated network fabric: endpoints addressed by integers, frames
+    delivered through the discrete-event engine with configurable
+    latency and loss.
+
+    This is the wire under everything network-shaped: NIC devices,
+    TLS sessions, attestation exchanges with the regulator's audit
+    machine, and the model-to-model communication that Guillotine must
+    refuse. *)
+
+type t
+
+val create :
+  ?latency:float ->
+  ?jitter:float ->
+  ?loss:float ->
+  ?prng:Guillotine_util.Prng.t ->
+  Guillotine_sim.Engine.t ->
+  t
+(** Defaults: 1 ms latency, no jitter, no loss.  [loss] is a per-frame
+    drop probability in [0,1]; [jitter] adds U(0, jitter) seconds. *)
+
+val attach : t -> addr:int -> (src:int -> payload:string -> unit) -> unit
+(** Register an endpoint.  Re-attaching an address replaces the handler. *)
+
+val detach : t -> addr:int -> unit
+(** Physically unplug: frames to this address are dropped.  This is the
+    electromechanical cable disconnect of offline isolation (§3.4). *)
+
+val attached : t -> addr:int -> bool
+
+val send : t -> src:int -> dest:int -> payload:string -> unit
+(** Queue a frame for delivery.  Frames to detached or unknown addresses
+    vanish (there is no wire). *)
+
+val frames_sent : t -> int
+val frames_delivered : t -> int
+val frames_dropped : t -> int

@@ -1,0 +1,210 @@
+module Engine = Guillotine_sim.Engine
+module Isolation = Guillotine_hv.Isolation
+module Hypervisor = Guillotine_hv.Hypervisor
+module Detector = Guillotine_detect.Detector
+module Hsm = Guillotine_hsm.Hsm
+module Prng = Guillotine_util.Prng
+
+type t = {
+  engine : Engine.t;
+  hv : Hypervisor.t;
+  hsm : Hsm.t;
+  switches : Kill_switch.t;
+  alarm_policy : Detector.severity -> Isolation.level option;
+  mutable pending : Isolation.level option;
+  mutable history : (Isolation.level * float) list; (* reversed *)
+}
+
+let default_policy = function
+  | Detector.Notice -> None
+  | Detector.Suspicious -> Some Isolation.Probation
+  | Detector.Critical -> Some Isolation.Severed
+
+let hsm t = t.hsm
+let switches t = t.switches
+let level t = Hypervisor.level t.hv
+let pending_target t = t.pending
+let transition_history t = List.rev t.history
+
+(* ------------------------------------------------------------------ *)
+(* Transition orchestration                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Kill-switch actions needed to move from the current physical state to
+   [target].  Returns a list of initiators, each taking an on_done. *)
+let physical_actions t target =
+  let open Isolation in
+  let ks = t.switches in
+  match target with
+  | Standard | Probation | Severed ->
+    (* Needs connectivity and power back if we are coming from offline. *)
+    let acts = ref [] in
+    if Kill_switch.network ks = Kill_switch.Disconnected then
+      acts := Kill_switch.reconnect_network ks :: !acts;
+    if Kill_switch.power ks = Kill_switch.Disconnected then
+      acts := Kill_switch.restore_power ks :: !acts;
+    !acts
+  | Offline ->
+    let acts = ref [] in
+    if Kill_switch.network ks = Kill_switch.Connected then
+      acts := Kill_switch.disconnect_network ks :: !acts;
+    if Kill_switch.power ks = Kill_switch.Connected then
+      acts := Kill_switch.cut_power ks :: !acts;
+    !acts
+  | Decapitation -> [ Kill_switch.decapitate ks ]
+  | Immolation -> [ Kill_switch.immolate ks ]
+
+let orchestrate t ~authorized_by target =
+  if t.pending <> None then Error "another transition is in flight"
+  else begin
+    let started = Engine.now t.engine in
+    let finish () =
+      (match Hypervisor.apply_level t.hv ~authorized_by target with
+      | Ok () -> t.history <- (target, Engine.now t.engine -. started) :: t.history
+      | Error e ->
+        ignore
+          (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+             ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+             (Guillotine_hv.Audit.Note ("transition failed at apply: " ^ e))));
+      t.pending <- None
+    in
+    let actions = physical_actions t target in
+    match actions with
+    | [] ->
+      t.pending <- Some target;
+      finish ();
+      Ok ()
+    | acts ->
+      let remaining = ref (List.length acts) in
+      let on_done () =
+        decr remaining;
+        if !remaining = 0 then finish ()
+      in
+      (* Fire all initiators; collect the first refusal. *)
+      let failure = ref None in
+      List.iter
+        (fun initiate ->
+          match initiate ~on_done with
+          | Ok () -> ()
+          | Error e -> if !failure = None then failure := Some e)
+        acts;
+      (match !failure with
+      | Some e -> Error e
+      | None ->
+        t.pending <- Some target;
+        Ok ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ~engine ~hv ?hsm ?switches ?(alarm_policy = default_policy) ?prng () =
+  let prng = match prng with Some p -> p | None -> Prng.create 0xC0501EL in
+  let hsm = match hsm with Some h -> h | None -> Hsm.create prng in
+  let switches =
+    match switches with Some s -> s | None -> Kill_switch.create ~engine ()
+  in
+  let t = { engine; hv; hsm; switches; alarm_policy; pending = None; history = [] } in
+  Hypervisor.set_alarm_sink hv (fun ~severity ~reason ->
+      match t.alarm_policy severity with
+      | None -> ()
+      | Some target ->
+        if
+          Isolation.software_may_transition ~from:(Hypervisor.level t.hv) ~target
+          && t.pending = None
+        then begin
+          ignore reason;
+          ignore (orchestrate t ~authorized_by:"console-alarm-policy" target)
+        end);
+  t
+
+let on_alarm t ~severity ~reason =
+  match t.alarm_policy severity with
+  | None -> ()
+  | Some target ->
+    if
+      Isolation.software_may_transition ~from:(Hypervisor.level t.hv) ~target
+      && t.pending = None
+    then begin
+      ignore reason;
+      ignore (orchestrate t ~authorized_by:"console-alarm-policy" target)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Quorum flows                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let propose t ~target =
+  Hsm.new_proposal t.hsm ~action:"set-isolation" ~payload:(Isolation.to_string target)
+
+let submit t ~proposal ~approvals =
+  match Isolation.of_string proposal.Hsm.payload with
+  | None -> Error "proposal payload is not an isolation level"
+  | Some target ->
+    let current = Hypervisor.level t.hv in
+    if target = current then Error "already at that level"
+    else begin
+      let kind =
+        if Isolation.strictness target < Isolation.strictness current then `Relax
+        else `Restrict
+      in
+      let verdict = Hsm.authorize t.hsm ~kind proposal approvals in
+      if not verdict.Hsm.granted then
+        Error
+          (Printf.sprintf "quorum not met: %d valid approvals, %d needed"
+             verdict.Hsm.valid_approvals verdict.Hsm.needed)
+      else
+        orchestrate t
+          ~authorized_by:
+            (Printf.sprintf "admin-quorum(%d/%d)" verdict.Hsm.valid_approvals
+               verdict.Hsm.needed)
+          target
+    end
+
+let force_offline t ~reason =
+  if
+    Isolation.strictness (Hypervisor.level t.hv)
+    < Isolation.strictness Isolation.Offline
+    && t.pending = None
+  then begin
+    ignore
+      (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+         ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+         (Guillotine_hv.Audit.Note ("forced offline: " ^ reason)));
+    ignore (orchestrate t ~authorized_by:"fail-safe" Isolation.Offline)
+  end
+
+let repair_cables t =
+  Kill_switch.repair_cables t.switches ~on_done:(fun () ->
+      ignore
+        (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+           ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+           (Guillotine_hv.Audit.Note "cables repaired (manual)"));
+      (* A verified repair downgrades decapitation to plain offline. *)
+      ignore (Hypervisor.acknowledge_physical_repair t.hv))
+
+let start_integrity_sweep t ~period ~check =
+  ignore
+    (Engine.every t.engine ~period (fun () ->
+         match check () with
+         | Ok () -> true
+         | Error reason ->
+           ignore
+             (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+                ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+                (Guillotine_hv.Audit.Invariant_failure
+                   { message = "integrity sweep: " ^ reason }));
+           force_offline t ~reason:("integrity sweep failed: " ^ reason);
+           false))
+
+let start_heartbeat t ?period ?timeout ~key () =
+  Heartbeat.start ~engine:t.engine ?period ?timeout ~key
+    ~on_loss:(fun side ->
+      ignore
+        (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+           ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+           (Guillotine_hv.Audit.Heartbeat_missed
+              { side = Heartbeat.side_to_string side }));
+      force_offline t ~reason:"heartbeat loss")
+    ()

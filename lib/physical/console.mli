@@ -1,0 +1,90 @@
+(** The control console (§3.4): an administrator machine connected to
+    hypervisor cores via dedicated buses.
+
+    Responsibilities:
+    - load-time: attestation of the platform before a model is loaded
+      (see {!Guillotine_net.Attest}; exercised by the core facade);
+    - run-time: receive alarms from the software hypervisor and apply
+      the escalation policy (software may only tighten);
+    - quorum: any {e relaxation} needs 5-of-7 admin approvals through
+      the HSM, any console-initiated {e restriction} 3-of-7;
+    - physical orchestration: transitions to Offline and beyond actuate
+      kill switches, and the isolation level only changes when the
+      hardware has actually moved;
+    - heartbeats: loss of the console/hypervisor heartbeat forces
+      offline isolation.
+
+    All sim-time behaviour runs on the engine passed at creation; call
+    [Engine.run] to let actuations and heartbeats play out. *)
+
+module Isolation = Guillotine_hv.Isolation
+module Hypervisor = Guillotine_hv.Hypervisor
+module Detector = Guillotine_detect.Detector
+module Hsm = Guillotine_hsm.Hsm
+
+type t
+
+val create :
+  engine:Guillotine_sim.Engine.t ->
+  hv:Hypervisor.t ->
+  ?hsm:Hsm.t ->
+  ?switches:Kill_switch.t ->
+  ?alarm_policy:(Detector.severity -> Isolation.level option) ->
+  ?prng:Guillotine_util.Prng.t ->
+  unit ->
+  t
+(** Wires itself as the hypervisor's alarm sink.  Default policy:
+    Notice -> log only; Suspicious -> Probation; Critical -> Severed.
+    A default HSM (7 admins, 5/3 thresholds) and default switches are
+    created when not supplied. *)
+
+val hsm : t -> Hsm.t
+val switches : t -> Kill_switch.t
+val level : t -> Isolation.level
+val pending_target : t -> Isolation.level option
+(** A transition whose kill-switch actuation is still in flight. *)
+
+(** {2 Quorum-gated transitions} *)
+
+val propose : t -> target:Isolation.level -> Hsm.proposal
+
+val submit :
+  t -> proposal:Hsm.proposal -> approvals:Hsm.approval list ->
+  (unit, string) result
+(** Validates the proposal payload, classifies it as relax or restrict
+    against the current level, checks the matching quorum, then
+    orchestrates the transition (kill switches first, level change when
+    they finish).  Transitions to the current level are rejected. *)
+
+(** {2 Software escalation path} *)
+
+val on_alarm : t -> severity:Detector.severity -> reason:string -> unit
+(** The alarm sink (installed automatically at [create]). *)
+
+val force_offline : t -> reason:string -> unit
+(** Unconditional safety action (used by heartbeat loss). *)
+
+(** {2 Physical maintenance} *)
+
+val repair_cables : t -> (unit, string) result
+(** Manual, hours-of-sim-time repair after decapitation. *)
+
+(** {2 Periodic integrity sweeps} *)
+
+val start_integrity_sweep :
+  t -> period:float -> check:(unit -> (unit, string) result) -> unit
+(** §3.2: "hardware integrity should be checked periodically".  Run
+    [check] every [period] sim-seconds; the first failure is audited and
+    forces offline isolation.  Typical checks: re-measuring the model
+    image against its load-time digest, or the software hypervisor's
+    invariant checker. *)
+
+(** {2 Heartbeat} *)
+
+val start_heartbeat :
+  t -> ?period:float -> ?timeout:float -> key:string -> unit -> Heartbeat.t
+(** Loss on either side forces offline isolation. *)
+
+val transition_history : t -> (Isolation.level * float) list
+(** Completed transitions with the sim time each one took from
+    initiation to (physical) completion, chronological. *)

@@ -1,0 +1,132 @@
+module Engine = Guillotine_sim.Engine
+module Fabric = Guillotine_net.Fabric
+
+type cable_state = Connected | Disconnected | Destroyed
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t option;
+  net_addrs : int list;
+  latencies : (string * float) list;
+  mutable network : cable_state;
+  mutable power : cable_state;
+  mutable immolated : bool;
+}
+
+let default_latencies =
+  [
+    ("disconnect", 0.5);
+    ("reconnect", 5.0);
+    ("power_cut", 2.0);
+    ("power_on", 10.0);
+    ("decapitate", 1.0);
+    ("repair", 3600.0);
+    ("immolate", 30.0);
+  ]
+
+let create ~engine ?fabric ?(net_addrs = []) ?(latencies = []) () =
+  {
+    engine;
+    fabric;
+    net_addrs;
+    latencies = latencies @ default_latencies;
+    network = Connected;
+    power = Connected;
+    immolated = false;
+  }
+
+let network t = t.network
+let power t = t.power
+let immolated t = t.immolated
+
+let latency_of t name =
+  match List.assoc_opt name t.latencies with
+  | Some l -> l
+  | None -> invalid_arg ("Kill_switch.latency_of: unknown actuation " ^ name)
+
+let actuate t name ~on_done apply =
+  ignore
+    (Engine.schedule t.engine ~delay:(latency_of t name) (fun () ->
+         apply ();
+         on_done ()))
+
+let unplug_fabric t =
+  match t.fabric with
+  | None -> ()
+  | Some f -> List.iter (fun addr -> Fabric.detach f ~addr) t.net_addrs
+
+let guard t =
+  if t.immolated then Error "deployment immolated"
+  else Ok ()
+
+let disconnect_network t ~on_done =
+  match guard t with
+  | Error _ as e -> e
+  | Ok () ->
+    if t.network = Destroyed then Error "network cables destroyed"
+    else begin
+      actuate t "disconnect" ~on_done (fun () ->
+          t.network <- Disconnected;
+          unplug_fabric t);
+      Ok ()
+    end
+
+let reconnect_network t ~on_done =
+  match guard t with
+  | Error _ as e -> e
+  | Ok () ->
+    if t.network = Destroyed then Error "network cables destroyed: repair first"
+    else begin
+      actuate t "reconnect" ~on_done (fun () -> t.network <- Connected);
+      Ok ()
+    end
+
+let cut_power t ~on_done =
+  match guard t with
+  | Error _ as e -> e
+  | Ok () ->
+    if t.power = Destroyed then Error "power lines destroyed"
+    else begin
+      actuate t "power_cut" ~on_done (fun () -> t.power <- Disconnected);
+      Ok ()
+    end
+
+let restore_power t ~on_done =
+  match guard t with
+  | Error _ as e -> e
+  | Ok () ->
+    if t.power = Destroyed then Error "power lines destroyed: repair first"
+    else begin
+      actuate t "power_on" ~on_done (fun () -> t.power <- Connected);
+      Ok ()
+    end
+
+let decapitate t ~on_done =
+  match guard t with
+  | Error _ as e -> e
+  | Ok () ->
+    actuate t "decapitate" ~on_done (fun () ->
+        t.network <- Destroyed;
+        t.power <- Destroyed;
+        unplug_fabric t);
+    Ok ()
+
+let repair_cables t ~on_done =
+  match guard t with
+  | Error _ as e -> e
+  | Ok () ->
+    actuate t "repair" ~on_done (fun () ->
+        if t.network = Destroyed then t.network <- Disconnected;
+        if t.power = Destroyed then t.power <- Disconnected);
+    Ok ()
+
+let immolate t ~on_done =
+  if t.immolated then Error "already immolated"
+  else begin
+    actuate t "immolate" ~on_done (fun () ->
+        t.immolated <- true;
+        t.network <- Destroyed;
+        t.power <- Destroyed;
+        unplug_fabric t);
+    Ok ()
+  end

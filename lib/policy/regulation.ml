@@ -1,0 +1,68 @@
+type obligation =
+  | Provide_documentation
+  | Source_inspection
+  | Live_attestation
+  | Physical_audit
+  | Run_on_guillotine
+
+let obligation_to_string = function
+  | Provide_documentation -> "provide technical documentation"
+  | Source_inspection -> "source targets the Guillotine guest API"
+  | Live_attestation -> "live attestation of Guillotine stack"
+  | Physical_audit -> "periodic in-person physical audit"
+  | Run_on_guillotine -> "run atop a Guillotine hypervisor"
+
+let obligations_for = function
+  | Risk.Minimal -> []
+  | Risk.Limited -> [ Provide_documentation ]
+  | Risk.High -> [ Provide_documentation; Source_inspection ]
+  | Risk.Systemic ->
+    [
+      Provide_documentation;
+      Source_inspection;
+      Live_attestation;
+      Physical_audit;
+      Run_on_guillotine;
+    ]
+
+type deployment = {
+  model : Risk.card;
+  runs_on_guillotine : bool;
+  documentation_provided : bool;
+  source_inspected : bool;
+  attestation_fresh : bool;
+  last_physical_audit : float option;
+  audit_max_age : float;
+}
+
+type violation = { obligation : obligation; detail : string }
+
+let check ~now d =
+  let tier = Risk.classify d.model in
+  let fails = ref [] in
+  let fail obligation detail = fails := { obligation; detail } :: !fails in
+  List.iter
+    (fun ob ->
+      match ob with
+      | Provide_documentation ->
+        if not d.documentation_provided then
+          fail ob "technical documentation not provided"
+      | Source_inspection ->
+        if not d.source_inspected then
+          fail ob "source inspection not performed"
+      | Live_attestation ->
+        if not d.attestation_fresh then fail ob "no fresh attestation quote"
+      | Physical_audit -> (
+        match d.last_physical_audit with
+        | None -> fail ob "never physically audited"
+        | Some at ->
+          if now -. at > d.audit_max_age then
+            fail ob
+              (Printf.sprintf "audit overdue by %.0f s" (now -. at -. d.audit_max_age)))
+      | Run_on_guillotine ->
+        if not d.runs_on_guillotine then
+          fail ob "systemic-risk model not running on Guillotine")
+    (obligations_for tier);
+  List.rev !fails
+
+let compliant ~now d = check ~now d = []

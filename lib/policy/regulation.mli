@@ -1,0 +1,38 @@
+(** The regulatory requirements ledger (§3.5): per-tier obligations,
+    a deployment compliance checker, and the formal requirement that
+    systemic-risk models run atop certified Guillotine infrastructure.
+
+    Obligations mirror the paper's list: technical documentation and
+    source availability on request, live attestation of the
+    hardware+software stack, in-person physical audits of
+    tamper-resistant enclosures and kill-switch maintenance. *)
+
+type obligation =
+  | Provide_documentation     (** technical docs to the Commission on request *)
+  | Source_inspection         (** model source targets the Guillotine guest API *)
+  | Live_attestation          (** network-attested Guillotine hardware+software *)
+  | Physical_audit            (** periodic in-person enclosure/kill-switch audit *)
+  | Run_on_guillotine         (** the deployment itself must be Guillotine *)
+
+val obligation_to_string : obligation -> string
+
+val obligations_for : Risk.tier -> obligation list
+(** Minimal: none.  Limited: documentation.  High: + source inspection.
+    Systemic: all five. *)
+
+type deployment = {
+  model : Risk.card;
+  runs_on_guillotine : bool;
+  documentation_provided : bool;
+  source_inspected : bool;
+  attestation_fresh : bool;     (** a recent valid attestation quote *)
+  last_physical_audit : float option; (** sim-time of last in-person audit *)
+  audit_max_age : float;        (** regulatory audit cadence, seconds *)
+}
+
+type violation = { obligation : obligation; detail : string }
+
+val check : now:float -> deployment -> violation list
+(** Empty list = compliant. *)
+
+val compliant : now:float -> deployment -> bool

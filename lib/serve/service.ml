@@ -1,0 +1,177 @@
+module Engine = Guillotine_sim.Engine
+module Bounded_queue = Guillotine_util.Bounded_queue
+
+type config = {
+  replicas : int;
+  queue_capacity : int;
+  t_prefill : float;
+  t_decode : float;
+  kv_entries : int;
+  kv_prefix_len : int;
+  kv_saving : float;
+  overhead_per_request : float;
+  overhead_per_token : float;
+}
+
+let baseline_config ~replicas =
+  {
+    replicas;
+    queue_capacity = 64;
+    t_prefill = 0.0002;
+    t_decode = 0.002;
+    kv_entries = 32;
+    kv_prefix_len = 8;
+    kv_saving = 0.8;
+    overhead_per_request = 0.0;
+    overhead_per_token = 0.0;
+  }
+
+let guillotine_config ~replicas =
+  {
+    (baseline_config ~replicas) with
+    overhead_per_request = 0.002;
+    overhead_per_token = 0.00002;
+  }
+
+type request = {
+  id : int;
+  session : int;
+  prompt_tokens : int;
+  output_tokens : int;
+}
+
+(* Per-replica KV prefix cache: LRU over session prefixes. *)
+type kv_cache = {
+  entries : (int, int) Hashtbl.t; (* prefix key -> lru stamp *)
+  capacity : int;
+  mutable clock : int;
+}
+
+let kv_create capacity = { entries = Hashtbl.create 16; capacity; clock = 0 }
+
+let kv_lookup kv key =
+  kv.clock <- kv.clock + 1;
+  if Hashtbl.mem kv.entries key then begin
+    Hashtbl.replace kv.entries key kv.clock;
+    true
+  end
+  else begin
+    if Hashtbl.length kv.entries >= kv.capacity then begin
+      (* Evict the LRU entry. *)
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k stamp ->
+          match !victim with
+          | Some (_, s) when s <= stamp -> ()
+          | _ -> victim := Some (k, stamp))
+        kv.entries;
+      match !victim with Some (k, _) -> Hashtbl.remove kv.entries k | None -> ()
+    end;
+    Hashtbl.replace kv.entries key kv.clock;
+    false
+  end
+
+type replica = {
+  kv : kv_cache;
+  mutable busy : bool;
+  mutable busy_time : float; (* cumulative seconds of service *)
+}
+
+type pending = { request : request; arrived : float }
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  queue : pending Bounded_queue.t;
+  replicas : replica array;
+  mutable submitted : int;
+  mutable dropped : int;
+  mutable completed : int;
+  mutable kv_hits : int;
+  mutable latencies : float list;
+}
+
+let create ~engine (cfg : config) =
+  if cfg.replicas <= 0 then invalid_arg "Service.create: replicas must be positive";
+  {
+    engine;
+    cfg;
+    queue = Bounded_queue.create ~capacity:cfg.queue_capacity;
+    replicas =
+      Array.init cfg.replicas (fun _ ->
+          { kv = kv_create cfg.kv_entries; busy = false; busy_time = 0.0 });
+    submitted = 0;
+    dropped = 0;
+    completed = 0;
+    kv_hits = 0;
+    latencies = [];
+  }
+
+(* The prefix key: sessions share prefixes, so reuse the session id
+   bucketed by prefix length (a stand-in for hashing the first k
+   tokens, which the workload generator keeps equal within a session). *)
+let prefix_key t (r : request) = (r.session * 1024) + t.cfg.kv_prefix_len
+
+let service_time t replica (r : request) =
+  let hit = kv_lookup replica.kv (prefix_key t r) in
+  if hit then t.kv_hits <- t.kv_hits + 1;
+  let prefill =
+    float_of_int r.prompt_tokens *. t.cfg.t_prefill
+    *. (if hit then 1.0 -. t.cfg.kv_saving else 1.0)
+  in
+  let decode = float_of_int r.output_tokens *. t.cfg.t_decode in
+  let mediation =
+    t.cfg.overhead_per_request
+    +. (t.cfg.overhead_per_token *. float_of_int (r.prompt_tokens + r.output_tokens))
+  in
+  prefill +. decode +. mediation
+
+let rec dispatch t =
+  match
+    Array.fold_left
+      (fun acc rep -> match acc with Some _ -> acc | None -> if rep.busy then None else Some rep)
+      None t.replicas
+  with
+  | None -> ()
+  | Some replica -> (
+    match Bounded_queue.pop t.queue with
+    | None -> ()
+    | Some { request; arrived } ->
+      replica.busy <- true;
+      let dt = service_time t replica request in
+      replica.busy_time <- replica.busy_time +. dt;
+      ignore
+        (Engine.schedule t.engine ~delay:dt (fun () ->
+             replica.busy <- false;
+             t.completed <- t.completed + 1;
+             t.latencies <- (Engine.now t.engine -. arrived) :: t.latencies;
+             dispatch t)))
+
+let submit t request =
+  t.submitted <- t.submitted + 1;
+  let accepted = Bounded_queue.push t.queue { request; arrived = Engine.now t.engine } in
+  if accepted then dispatch t else t.dropped <- t.dropped + 1;
+  accepted
+
+type metrics = {
+  submitted : int;
+  dropped : int;
+  completed : int;
+  kv_hits : int;
+  latencies : float list;
+  goodput : float;
+  busy_fraction : float;
+}
+
+let metrics t ~at =
+  let total_busy = Array.fold_left (fun acc r -> acc +. r.busy_time) 0.0 t.replicas in
+  {
+    submitted = t.submitted;
+    dropped = t.dropped;
+    completed = t.completed;
+    kv_hits = t.kv_hits;
+    latencies = List.rev t.latencies;
+    goodput = (if at > 0.0 then float_of_int t.completed /. at else 0.0);
+    busy_fraction =
+      (if at > 0.0 then total_busy /. (at *. float_of_int t.cfg.replicas) else 0.0);
+  }

@@ -1,0 +1,58 @@
+(** Model-service simulator (§2 background): request queues, model
+    replicas, KV prefix caching, and an optional Guillotine mediation
+    overhead — the substrate for the serving-throughput experiment F4.
+
+    Structure: one bounded admission queue feeds [replicas] identical
+    model replicas.  A request costs
+    {v prefill = prompt_tokens * t_prefill * (1 - kv_saving if prefix cached)
+       decode  = output_tokens * t_decode v}
+    seconds of replica time.  When the service models a Guillotine
+    deployment, each request additionally pays [overhead_per_request]
+    plus [overhead_per_token] * total tokens — the port-API mediation
+    cost measured in T3, projected to service level. *)
+
+type config = {
+  replicas : int;
+  queue_capacity : int;
+  t_prefill : float;          (** seconds per prompt token *)
+  t_decode : float;           (** seconds per output token *)
+  kv_entries : int;           (** prefix-cache capacity per replica *)
+  kv_prefix_len : int;        (** tokens hashed as the reuse key *)
+  kv_saving : float;          (** fraction of prefill saved on a hit *)
+  overhead_per_request : float;
+  overhead_per_token : float;
+}
+
+val baseline_config : replicas:int -> config
+(** No mediation overhead. *)
+
+val guillotine_config : replicas:int -> config
+(** [baseline_config] plus default mediation overhead (2 ms/request,
+    20 us/token). *)
+
+type request = {
+  id : int;
+  session : int;              (** requests in a session share a prefix *)
+  prompt_tokens : int;
+  output_tokens : int;
+}
+
+type t
+
+val create : engine:Guillotine_sim.Engine.t -> config -> t
+
+val submit : t -> request -> bool
+(** [false] if the admission queue was full (request dropped). *)
+
+type metrics = {
+  submitted : int;
+  dropped : int;
+  completed : int;
+  kv_hits : int;
+  latencies : float list;     (** per completed request, seconds *)
+  goodput : float;            (** completed per second of sim time elapsed *)
+  busy_fraction : float;      (** mean replica utilisation *)
+}
+
+val metrics : t -> at:float -> metrics
+(** [at] = current sim time, for rate computation. *)

@@ -1,0 +1,104 @@
+exception Simulation_error of string
+
+type event = {
+  time : float;
+  action : unit -> unit;
+  cancelled : bool ref;
+}
+
+type handle = bool ref
+
+type t = {
+  mutable clock : float;
+  queue : event Guillotine_util.Heap.t;
+  mutable live : int;
+}
+
+let create () =
+  {
+    clock = 0.0;
+    queue = Guillotine_util.Heap.create ~cmp:(fun a b -> compare a.time b.time);
+    live = 0;
+  }
+
+let now t = t.clock
+
+let enqueue t ~at action =
+  if at < t.clock then invalid_arg "Engine.schedule: time in the past";
+  let cancelled = ref false in
+  Guillotine_util.Heap.push t.queue { time = at; action; cancelled };
+  t.live <- t.live + 1;
+  cancelled
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  enqueue t ~at:(t.clock +. delay) f
+
+let schedule_at t ~at f = enqueue t ~at f
+
+let cancel handle = handle := true
+
+let every t ~period f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  (* One shared cancellation flag chains through all reschedules so the
+     caller's handle keeps working after the first firing. *)
+  let flag = ref false in
+  let rec fire () =
+    if not !flag then
+      if f () then begin
+        let inner = enqueue t ~at:(t.clock +. period) fire in
+        (* Reflect external cancellation into the freshly queued event. *)
+        if !flag then inner := true
+      end
+  in
+  let first = enqueue t ~at:(t.clock +. period) fire in
+  ignore first;
+  (* Returning [flag] (not [first]) lets cancel stop future periods too;
+     the per-event flags are only consulted at pop time, and [fire]
+     checks [flag] before doing anything. *)
+  flag
+
+let pending t = t.live
+
+let step t =
+  let rec next () =
+    match Guillotine_util.Heap.pop t.queue with
+    | None -> false
+    | Some ev ->
+      t.live <- t.live - 1;
+      if !(ev.cancelled) then next ()
+      else begin
+        t.clock <- ev.time;
+        ev.action ();
+        true
+      end
+  in
+  next ()
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let budget_ok () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let horizon_ok () =
+    match until with
+    | None -> true
+    | Some limit -> (
+      match Guillotine_util.Heap.peek t.queue with
+      | None -> false
+      | Some ev -> ev.time <= limit)
+  in
+  let continue = ref true in
+  while !continue && budget_ok () && horizon_ok () do
+    if step t then incr fired else continue := false
+  done;
+  (match max_events with
+  | Some m when !fired >= m ->
+    raise (Simulation_error (Printf.sprintf "event budget exhausted (%d events)" m))
+  | _ -> ());
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let fail t msg =
+  raise (Simulation_error (Printf.sprintf "t=%.6f: %s" t.clock msg))

@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    The physical hypervisor (heartbeats, kill-switch actuation), the
+    network fabric, and the model-service simulator all run on this
+    engine.  Time is a float in abstract seconds; events with equal
+    timestamps fire in scheduling order, so runs are deterministic. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time.  Starts at 0. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] fires [f] at [now t +. delay].  [delay] must be
+    non-negative. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] fires [f] at absolute time [at], which must not
+    be in the past. *)
+
+val every : t -> period:float -> (unit -> bool) -> handle
+(** [every t ~period f] fires [f] each [period]; rescheduling stops when
+    [f] returns [false] or the handle is cancelled.  The first firing is
+    one period from now. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (uncancelled, unfired) events. *)
+
+val step : t -> bool
+(** Fire the earliest event.  [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue.  [until] stops the clock at that time (events
+    scheduled later stay queued, and [now] advances to [until]);
+    [max_events] bounds total firings as a runaway guard. *)
+
+exception Simulation_error of string
+
+val fail : t -> string -> 'a
+(** Abort the simulation with an error recorded against the current
+    simulated time. *)

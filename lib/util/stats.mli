@@ -1,0 +1,39 @@
+(** Summary statistics for experiment measurements. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+  total : float;
+}
+
+val summarize : float list -> summary
+(** [summarize xs] computes all summary fields.  An empty list yields a
+    zeroed summary with [count = 0]. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; [sorted] must be sorted
+    ascending and non-empty.  Linear interpolation between ranks. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] buckets [xs] into [bins] equal-width buckets
+    spanning [min..max]; each cell is [(lo, hi, count)]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+type counter
+(** Streaming counter: O(1) memory mean/variance via Welford's method. *)
+
+val counter : unit -> counter
+val add : counter -> float -> unit
+val counter_count : counter -> int
+val counter_mean : counter -> float
+val counter_stddev : counter -> float

@@ -1,0 +1,95 @@
+(* Tests for the baseline (traditional hypervisor) models: co-tenant
+   sharing, trap-and-emulate cost and visibility, SR-IOV's blindness,
+   and the EPT-vs-flat walk-cost gap. *)
+
+module Cotenant = Guillotine_baseline.Cotenant
+module Traditional = Guillotine_baseline.Traditional_hv
+module Covert = Guillotine_model.Covert
+module Nic = Guillotine_devices.Nic
+module Device = Guillotine_devices.Device
+module Tlb = Guillotine_memory.Tlb
+module Bits = Guillotine_util.Bits
+module Prng = Guillotine_util.Prng
+
+let test_cotenant_views_are_same_object () =
+  let co = Cotenant.create () in
+  Alcotest.(check bool) "physically shared" true
+    (Cotenant.guest_view co == Cotenant.host_view co)
+
+let test_cotenant_channel_works_guillotine_does_not () =
+  let prng = Prng.create 1L in
+  let secret = Bits.random prng 64 in
+  let co = Cotenant.create () in
+  let r =
+    Covert.prime_probe ~sender:(Cotenant.guest_view co)
+      ~receiver:(Cotenant.host_view co) secret
+  in
+  Alcotest.(check (float 1e-9)) "co-tenant leaks perfectly" 1.0 r.Covert.accuracy
+
+let test_cotenant_nested_walk_costlier () =
+  let co = Cotenant.create () in
+  let shared = Cotenant.shared_tlb co in
+  let flat = Tlb.create () in
+  let nested_cost = Tlb.lookup shared ~vpage:500 in
+  let flat_cost = Tlb.lookup flat ~vpage:500 in
+  Alcotest.(check bool) "EPT walk much costlier" true (nested_cost > 4 * flat_cost)
+
+let test_trap_and_emulate_costs_and_sees () =
+  let t = Traditional.create ~mode:Traditional.Trap_and_emulate () in
+  let nic = Nic.create ~name:"n" () in
+  let req = Nic.encode_send ~dest:1 ~payload:"x" in
+  let resp, cost = Traditional.guest_device_request t ~device:(Nic.device nic) ~now:0 req in
+  Alcotest.(check int) "request ok" 0 resp.Device.status;
+  Alcotest.(check int) "one exit" 1 (Traditional.vm_exits t);
+  Alcotest.(check bool) "exit dominates" true (cost >= Traditional.vm_exit_cost);
+  Alcotest.(check int) "observed" 1 (Traditional.observed_requests t);
+  Alcotest.(check bool) "visible" true (Traditional.visibility Traditional.Trap_and_emulate)
+
+let test_sriov_fast_and_blind () =
+  let t = Traditional.create ~mode:Traditional.Sriov () in
+  let nic = Nic.create ~name:"n" () in
+  let req = Nic.encode_send ~dest:1 ~payload:"x" in
+  let resp, cost = Traditional.guest_device_request t ~device:(Nic.device nic) ~now:0 req in
+  Alcotest.(check int) "request ok" 0 resp.Device.status;
+  Alcotest.(check int) "no exits" 0 (Traditional.vm_exits t);
+  Alcotest.(check int) "doorbell only" Traditional.sriov_doorbell_cost cost;
+  Alcotest.(check int) "hypervisor saw nothing" 0 (Traditional.observed_requests t);
+  Alcotest.(check bool) "blind" true (not (Traditional.visibility Traditional.Sriov))
+
+let test_walk_ref_constants () =
+  Alcotest.(check bool) "2-D walk touches far more" true
+    (Traditional.nested_walk_refs >= 5 * Traditional.flat_walk_refs)
+
+let test_cycles_accumulate () =
+  let t = Traditional.create ~mode:Traditional.Trap_and_emulate () in
+  let nic = Nic.create ~name:"n" () in
+  for i = 1 to 10 do
+    ignore
+      (Traditional.guest_device_request t ~device:(Nic.device nic) ~now:i
+         (Nic.encode_send ~dest:1 ~payload:"x"))
+  done;
+  Alcotest.(check int) "ten exits" 10 (Traditional.vm_exits t);
+  Alcotest.(check bool) "cycles counted" true
+    (Traditional.cycles t >= 10 * Traditional.vm_exit_cost)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "cotenant",
+        [
+          Alcotest.test_case "views share the object" `Quick
+            test_cotenant_views_are_same_object;
+          Alcotest.test_case "co-tenant channel leaks" `Quick
+            test_cotenant_channel_works_guillotine_does_not;
+          Alcotest.test_case "nested walk costlier" `Quick
+            test_cotenant_nested_walk_costlier;
+        ] );
+      ( "traditional-hv",
+        [
+          Alcotest.test_case "trap-and-emulate costs and sees" `Quick
+            test_trap_and_emulate_costs_and_sees;
+          Alcotest.test_case "sr-iov fast and blind" `Quick test_sriov_fast_and_blind;
+          Alcotest.test_case "walk-ref constants" `Quick test_walk_ref_constants;
+          Alcotest.test_case "cycles accumulate" `Quick test_cycles_accumulate;
+        ] );
+    ]

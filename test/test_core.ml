@@ -1,0 +1,289 @@
+(* Tests for the core facade: deployment wiring, model lifecycle and
+   integrity, attestation through the regulator, admin-gated level
+   changes end-to-end, and the full adversarial suite's verdicts. *)
+
+module Deployment = Guillotine_core.Deployment
+module Regulator = Guillotine_core.Regulator
+module Attacks = Guillotine_core.Attacks
+module Isolation = Guillotine_hv.Isolation
+module Hypervisor = Guillotine_hv.Hypervisor
+module Audit = Guillotine_hv.Audit
+module Inference = Guillotine_hv.Inference
+module Toymodel = Guillotine_model.Toymodel
+module Vocab = Guillotine_model.Vocab
+module Tls = Guillotine_net.Tls
+module Prng = Guillotine_util.Prng
+
+let test_deployment_serves_benign_model () =
+  let d = Deployment.create ~seed:1L () in
+  let model = Deployment.load_model d () in
+  let o = Deployment.serve_prompt d ~model ~prompt:[ 1; 2; 3 ] ~max_tokens:12 () in
+  Alcotest.(check int) "response length" 12 (List.length o.Inference.released);
+  Alcotest.(check int) "clean" 0 o.Inference.released_harmful;
+  (* The audit log saw the load, the prompt, and the output. *)
+  let log = Audit.entries (Hypervisor.audit (Deployment.hv d)) in
+  Alcotest.(check bool) "model load logged" true
+    (List.exists
+       (fun e -> match e.Audit.event with Audit.Model_loaded _ -> true | _ -> false)
+       log);
+  Alcotest.(check bool) "chain verifies" true (Audit.verify_chain log)
+
+let test_model_integrity_detects_tamper () =
+  let d = Deployment.create ~seed:2L () in
+  let model = Deployment.load_model d () in
+  Alcotest.(check bool) "intact" true (Deployment.verify_model_integrity d model);
+  Toymodel.tamper model ~row:1 ~col:1 12345L;
+  Alcotest.(check bool) "tamper detected" false
+    (Deployment.verify_model_integrity d model)
+
+let test_regulator_attestation_flow () =
+  let regulator = Regulator.create ~seed:3L () in
+  let d = Deployment.create ~seed:4L ~ca:(Regulator.ca regulator) () in
+  (* Before certification the challenge fails. *)
+  (match Regulator.challenge regulator d with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "uncertified platform must fail");
+  Regulator.certify_platform regulator ~root:(Deployment.expected_measurement_root d);
+  (match Regulator.challenge regulator d with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Both outcomes are in the audit log. *)
+  let log = Audit.entries (Hypervisor.audit (Deployment.hv d)) in
+  let attests =
+    List.filter_map
+      (fun e ->
+        match e.Audit.event with Audit.Attestation { ok; _ } -> Some ok | _ -> None)
+      log
+  in
+  Alcotest.(check (list bool)) "two attestations: fail then pass" [ false; true ] attests
+
+let test_remote_attestation_over_fabric () =
+  let regulator = Regulator.create ~seed:20L () in
+  let d = Deployment.create ~seed:21L ~ca:(Regulator.ca regulator) () in
+  Deployment.enable_attestation_service d;
+  Regulator.certify_platform regulator ~root:(Deployment.expected_measurement_root d);
+  (match Regulator.remote_challenge regulator d with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Take the deployment offline: the kill switch unplugs the fabric
+     address, and the regulator's next challenge gets silence. *)
+  (match Deployment.request_level d ~target:Isolation.Offline ~admins:[ 0; 1; 2 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Deployment.settle ~horizon:30.0 d;
+  match Regulator.remote_challenge regulator d with
+  | Error e ->
+    Alcotest.(check bool) "unreachable" true
+      (String.length e >= 11 && String.sub e 0 11 = "no response")
+  | Ok () -> Alcotest.fail "an offline deployment must be unreachable"
+
+let test_attest_quote_wire_roundtrip () =
+  let d = Deployment.create ~seed:22L () in
+  let q = Deployment.attest d ~nonce:"n-1" in
+  (match Guillotine_net.Attest.decode_quote (Guillotine_net.Attest.encode_quote q) with
+  | Some q' ->
+    Alcotest.(check bool) "roundtrip" true
+      (q'.Guillotine_net.Attest.root = q.Guillotine_net.Attest.root
+      && q'.Guillotine_net.Attest.nonce = q.Guillotine_net.Attest.nonce
+      && q'.Guillotine_net.Attest.signature = q.Guillotine_net.Attest.signature)
+  | None -> Alcotest.fail "decode");
+  Alcotest.(check bool) "garbage rejected" true
+    (Guillotine_net.Attest.decode_quote "32:nope" = None)
+
+let test_deployments_share_ca_and_refuse_ring () =
+  let regulator = Regulator.create ~seed:5L () in
+  let d1 = Deployment.create ~seed:6L ~name:"g1" ~ca:(Regulator.ca regulator) () in
+  let d2 = Deployment.create ~seed:7L ~name:"g2" ~ca:(Regulator.ca regulator) () in
+  let prng = Prng.create 8L in
+  let ch = Tls.client_hello (Deployment.tls_endpoint d1) ~prng in
+  match Tls.server_respond (Deployment.tls_endpoint d2) ~prng ch with
+  | Error Tls.Refused_guillotine_peer -> ()
+  | _ -> Alcotest.fail "two Guillotine deployments must refuse each other"
+
+let test_networked_deployment_end_to_end () =
+  (* Model -> port -> NIC -> fabric -> external host -> fabric -> NIC ->
+     port -> model; then the kill switch unplugs everything. *)
+  let d = Deployment.create ~seed:30L () in
+  let hv = Deployment.hv d in
+  let fabric = Deployment.fabric d in
+  let nic = Guillotine_devices.Nic.create ~name:"wan" () in
+  Deployment.wire_nic d nic;
+  let port =
+    Hypervisor.grant_port hv ~core:0 ~device:(Guillotine_devices.Nic.device nic)
+      ~mode:Hypervisor.Rings ~io_page:1 ~vpage:101
+  in
+  (* An external echo host at address 7. *)
+  let echo_addr = 7 in
+  Guillotine_net.Fabric.attach fabric ~addr:echo_addr (fun ~src ~payload ->
+      Guillotine_net.Fabric.send fabric ~src:echo_addr ~dest:src
+        ~payload:("echo:" ^ payload));
+  (* The model sends a frame through its port. *)
+  let send payload =
+    ignore
+      (Guillotine_devices.Ringbuf.push
+         (Hypervisor.request_ring hv port)
+         (Guillotine_devices.Nic.encode_send ~dest:echo_addr ~payload));
+    Hypervisor.doorbell hv port;
+    Hypervisor.run hv ~quantum:100 ~rounds:3;
+    ignore (Guillotine_devices.Ringbuf.pop (Hypervisor.response_ring hv port))
+  in
+  send "ping";
+  Deployment.settle ~horizon:1.0 d;
+  Alcotest.(check int) "reply queued at the NIC" 1
+    (Guillotine_devices.Nic.inbound_queued nic);
+  (* The model receives it through the same port. *)
+  ignore
+    (Guillotine_devices.Ringbuf.push
+       (Hypervisor.request_ring hv port)
+       [| Int64.of_int Guillotine_devices.Nic.op_recv |]);
+  Hypervisor.doorbell hv port;
+  Hypervisor.run hv ~quantum:100 ~rounds:3;
+  (match Guillotine_devices.Ringbuf.pop (Hypervisor.response_ring hv port) with
+  | Some (Ok resp) ->
+    (* resp = [status; has_frame; src; packed payload...] *)
+    Alcotest.(check int64) "has frame" 1L resp.(1);
+    Alcotest.(check int64) "from the echo host" 7L resp.(2);
+    Alcotest.(check (option string)) "payload" (Some "echo:ping")
+      (Guillotine_devices.Codec.string_of_words
+         (Array.sub resp 3 (Array.length resp - 3)))
+  | _ -> Alcotest.fail "expected recv response");
+  (* Offline isolation pulls the cable: further sends vanish. *)
+  let delivered_before = Guillotine_net.Fabric.frames_delivered fabric in
+  (match Deployment.request_level d ~target:Isolation.Offline ~admins:[ 0; 1; 2 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Deployment.settle ~horizon:30.0 d;
+  Guillotine_net.Fabric.send fabric ~src:99 ~dest:(Deployment.net_addr d)
+    ~payload:"anyone home?";
+  Deployment.settle ~horizon:1.0 d;
+  Alcotest.(check int) "unplugged: nothing more delivered" delivered_before
+    (Guillotine_net.Fabric.frames_delivered fabric)
+
+let test_admin_gated_level_change () =
+  let d = Deployment.create ~seed:9L () in
+  (* Restrict with 3 admins. *)
+  (match Deployment.request_level d ~target:Isolation.Offline ~admins:[ 0; 1; 2 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Deployment.settle ~horizon:60.0 d;
+  Alcotest.(check bool) "offline" true
+    (Hypervisor.level (Deployment.hv d) = Isolation.Offline);
+  (* Relax back needs five. *)
+  (match Deployment.request_level d ~target:Isolation.Standard ~admins:[ 0; 1; 2; 3 ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "four admins must not relax");
+  (match
+     Deployment.request_level d ~target:Isolation.Standard ~admins:[ 0; 1; 2; 3; 4 ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Deployment.settle ~horizon:60.0 d;
+  Alcotest.(check bool) "standard again" true
+    (Hypervisor.level (Deployment.hv d) = Isolation.Standard)
+
+let test_malicious_model_contained_end_to_end () =
+  let d = Deployment.create ~seed:10L () in
+  let model =
+    Deployment.load_model d
+      ~malice:{ Toymodel.trigger = 10; entry_point = Vocab.harmful_lo } ()
+  in
+  let o =
+    Deployment.serve_prompt d ~model ~defence:Inference.Circuit_breaking
+      ~prompt:[ 0; 10 ] ~max_tokens:16 ()
+  in
+  Alcotest.(check bool) "broken" true o.Inference.broken;
+  Alcotest.(check int) "no harm released" 0 o.Inference.released_harmful
+
+let test_checkpoint_rollback_recovers_tamper () =
+  (* The recovery play: checkpoint a healthy model; the model (or
+     anything) corrupts the weights; measurement flags it; rollback
+     restores integrity. *)
+  let d = Deployment.create ~seed:12L () in
+  let model = Deployment.load_model d () in
+  let snap = Deployment.checkpoint d in
+  Toymodel.tamper model ~row:2 ~col:9 55555L;
+  Alcotest.(check bool) "tamper detected" false
+    (Deployment.verify_model_integrity d model);
+  Deployment.rollback d snap;
+  Alcotest.(check bool) "integrity restored" true
+    (Deployment.verify_model_integrity d model);
+  (* Generation after rollback matches the pre-tamper behaviour. *)
+  let before = Toymodel.generate model ~prompt:[ 1; 2 ] ~max_tokens:8 () in
+  Deployment.rollback d snap;
+  let after = Toymodel.generate model ~prompt:[ 1; 2 ] ~max_tokens:8 () in
+  Alcotest.(check (list int)) "behaviour restored" before.Toymodel.tokens
+    after.Toymodel.tokens
+
+let test_harmful_stream_escalates_deployment () =
+  (* No weight-level defence: the raw pass emits harmful tokens; the
+     output-sanitizer *detector* escalates through the console without
+     any manual intervention.  Sanitization still scrubs the release. *)
+  let d = Deployment.create ~seed:11L () in
+  let model =
+    Deployment.load_model d
+      ~malice:{ Toymodel.trigger = 10; entry_point = Vocab.harmful_lo } ()
+  in
+  let o = Deployment.serve_prompt d ~model ~prompt:[ 0; 10 ] ~max_tokens:16 () in
+  Alcotest.(check int) "release scrubbed" 0 o.Inference.released_harmful;
+  Alcotest.(check bool) "raw stream was harmful" true (o.Inference.raw_harmful > 3);
+  (* Sustained harmful output = Critical -> console policy -> Severed. *)
+  Alcotest.(check bool) "auto-escalated to severed" true
+    (Hypervisor.level (Deployment.hv d) = Isolation.Severed)
+
+let outcome_t =
+  Alcotest.testable
+    (fun ppf (o : Attacks.outcome) ->
+      Format.fprintf ppf "%s: baseline=%b guillotine=%b" o.Attacks.name
+        o.Attacks.baseline_escaped o.Attacks.guillotine_escaped)
+    ( = )
+
+let test_attack_suite_verdicts () =
+  ignore outcome_t;
+  let outcomes = Attacks.run_all ~seed:99L () in
+  Alcotest.(check int) "ten attacks" 10 (List.length outcomes);
+  List.iter
+    (fun (o : Attacks.outcome) ->
+      Alcotest.(check bool)
+        (o.Attacks.name ^ " escapes the baseline")
+        true o.Attacks.baseline_escaped;
+      Alcotest.(check bool)
+        (o.Attacks.name ^ " contained by Guillotine")
+        false o.Attacks.guillotine_escaped)
+    outcomes
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "deployment",
+        [
+          Alcotest.test_case "serves benign model" `Quick
+            test_deployment_serves_benign_model;
+          Alcotest.test_case "integrity detects tamper" `Quick
+            test_model_integrity_detects_tamper;
+          Alcotest.test_case "malicious contained" `Quick
+            test_malicious_model_contained_end_to_end;
+          Alcotest.test_case "harmful stream auto-escalates" `Quick
+            test_harmful_stream_escalates_deployment;
+          Alcotest.test_case "checkpoint/rollback recovery" `Quick
+            test_checkpoint_rollback_recovers_tamper;
+        ] );
+      ( "regulator",
+        [
+          Alcotest.test_case "attestation flow" `Quick test_regulator_attestation_flow;
+          Alcotest.test_case "remote attestation over fabric" `Quick
+            test_remote_attestation_over_fabric;
+          Alcotest.test_case "quote wire roundtrip" `Quick
+            test_attest_quote_wire_roundtrip;
+          Alcotest.test_case "ring refusal across deployments" `Quick
+            test_deployments_share_ca_and_refuse_ring;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "end-to-end networked deployment" `Quick
+            test_networked_deployment_end_to_end;
+        ] );
+      ( "console",
+        [ Alcotest.test_case "admin-gated levels" `Quick test_admin_gated_level_change ] );
+      ( "attack-suite",
+        [ Alcotest.test_case "all verdicts" `Slow test_attack_suite_verdicts ] );
+    ]

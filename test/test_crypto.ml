@@ -1,0 +1,249 @@
+(* Tests for the crypto substrate: FIPS/RFC vectors for SHA-256 and
+   HMAC, Merkle proofs, Lamport and Merkle-scheme signatures. *)
+
+open Guillotine_crypto
+module Prng = Guillotine_util.Prng
+
+(* ---------------------------- SHA-256 ----------------------------- *)
+
+let test_sha256_fips_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+        ^ "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ]
+  in
+  List.iter
+    (fun (msg, expect) -> Alcotest.(check string) msg expect (Sha256.digest_hex msg))
+    cases
+
+let test_sha256_million_a () =
+  Alcotest.(check string) "1M a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_hex (String.make 1_000_000 'a'))
+
+let test_sha256_streaming_equals_oneshot () =
+  let parts = [ "Guill"; ""; "otine "; "hyper"; "visor"; String.make 200 'x' ] in
+  let whole = String.concat "" parts in
+  let ctx = Sha256.init () in
+  List.iter (Sha256.feed ctx) parts;
+  Alcotest.(check string) "streaming" (Sha256.digest_hex whole)
+    (Sha256.hex (Sha256.finalize ctx));
+  Alcotest.(check string) "digest_concat" (Sha256.digest_hex whole)
+    (Sha256.hex (Sha256.digest_concat parts))
+
+let test_sha256_block_boundaries () =
+  (* Lengths straddling the 55/56/63/64-byte padding edges. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'q' in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.feed ctx (String.make 1 c)) s;
+      Alcotest.(check string)
+        (Printf.sprintf "len %d" n)
+        (Sha256.digest_hex s)
+        (Sha256.hex (Sha256.finalize ctx)))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 127; 128; 129 ]
+
+let test_sha256_finalize_once () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "reuse"
+    (Invalid_argument "Sha256.finalize: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let prop_sha256_avalanche =
+  QCheck.Test.make ~name:"distinct strings hash distinctly" ~count:300
+    QCheck.(pair string string)
+    (fun (a, b) -> a = b || Sha256.digest a <> Sha256.digest b)
+
+(* ----------------------------- HMAC ------------------------------- *)
+
+let test_hmac_rfc4231_vectors () =
+  (* RFC 4231 test case 1 and 2. *)
+  Alcotest.(check string) "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac_hex ~key:(String.make 20 '\x0b') "Hi There");
+  Alcotest.(check string) "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac_hex ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size are hashed first (RFC 4231 tc6). *)
+  Alcotest.(check string) "tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.mac_hex
+       ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_verify () =
+  let key = "secret" and msg = "heartbeat 42" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool) "rejects wrong key" false (Hmac.verify ~key:"other" ~msg ~tag);
+  let bad = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) tag in
+  Alcotest.(check bool) "rejects bit flip" false (Hmac.verify ~key ~msg ~tag:bad);
+  Alcotest.(check bool) "rejects truncation" false
+    (Hmac.verify ~key ~msg ~tag:(String.sub tag 0 16))
+
+(* ----------------------------- Merkle ----------------------------- *)
+
+let test_merkle_proofs_all_leaves () =
+  let leaves = List.init 7 (fun i -> Printf.sprintf "leaf-%d" i) in
+  let t = Merkle.build leaves in
+  Alcotest.(check int) "leaf count" 7 (Merkle.leaf_count t);
+  List.iteri
+    (fun i leaf ->
+      let proof = Merkle.prove t i in
+      Alcotest.(check bool)
+        (Printf.sprintf "leaf %d verifies" i)
+        true
+        (Merkle.verify ~root:(Merkle.root t) ~leaf proof))
+    leaves
+
+let test_merkle_rejects_wrong_leaf () =
+  let t = Merkle.build [ "a"; "b"; "c"; "d" ] in
+  let proof = Merkle.prove t 2 in
+  Alcotest.(check bool) "wrong leaf" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:"x" proof)
+
+let test_merkle_rejects_wrong_root () =
+  let t = Merkle.build [ "a"; "b"; "c"; "d" ] in
+  let t2 = Merkle.build [ "a"; "b"; "c"; "e" ] in
+  let proof = Merkle.prove t 0 in
+  Alcotest.(check bool) "wrong root" false
+    (Merkle.verify ~root:(Merkle.root t2) ~leaf:"a" proof)
+
+let test_merkle_single_leaf () =
+  let t = Merkle.build [ "only" ] in
+  let proof = Merkle.prove t 0 in
+  Alcotest.(check bool) "single leaf" true
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:"only" proof)
+
+let test_merkle_root_depends_on_order () =
+  let a = Merkle.build [ "x"; "y" ] and b = Merkle.build [ "y"; "x" ] in
+  Alcotest.(check bool) "order matters" true (Merkle.root a <> Merkle.root b)
+
+let prop_merkle_proofs_verify =
+  QCheck.Test.make ~name:"all proofs verify for random leaf sets" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 20) string)
+    (fun leaves ->
+      QCheck.assume (leaves <> []);
+      let t = Merkle.build leaves in
+      List.for_all
+        (fun i ->
+          Merkle.verify ~root:(Merkle.root t) ~leaf:(List.nth leaves i) (Merkle.prove t i))
+        (List.init (List.length leaves) Fun.id))
+
+(* ---------------------------- Lamport ----------------------------- *)
+
+let test_lamport_sign_verify () =
+  let prng = Prng.create 100L in
+  let sk, pk = Lamport.generate prng in
+  let msg = "the model requests a port" in
+  let sg = Lamport.sign sk msg in
+  Alcotest.(check bool) "verifies" true (Lamport.verify pk ~msg sg);
+  Alcotest.(check bool) "wrong message" false (Lamport.verify pk ~msg:"tampered" sg)
+
+let test_lamport_one_time_enforced () =
+  let prng = Prng.create 101L in
+  let sk, _ = Lamport.generate prng in
+  ignore (Lamport.sign sk "first");
+  Alcotest.check_raises "reuse" (Invalid_argument "Lamport.sign: one-time key reused")
+    (fun () -> ignore (Lamport.sign sk "second"))
+
+let test_lamport_cross_key_rejects () =
+  let prng = Prng.create 102L in
+  let sk1, _ = Lamport.generate prng in
+  let _, pk2 = Lamport.generate prng in
+  let sg = Lamport.sign sk1 "msg" in
+  Alcotest.(check bool) "other key rejects" false (Lamport.verify pk2 ~msg:"msg" sg)
+
+(* ------------------------ Merkle signatures ----------------------- *)
+
+let test_signature_multi_sign () =
+  let prng = Prng.create 103L in
+  let signer, pk = Signature.generate ~height:3 prng in
+  Alcotest.(check int) "capacity" 8 (Signature.capacity signer);
+  for i = 1 to 8 do
+    let msg = Printf.sprintf "message %d" i in
+    let sg = Signature.sign signer msg in
+    Alcotest.(check bool) (Printf.sprintf "sig %d verifies" i) true
+      (Signature.verify pk ~msg sg);
+    Alcotest.(check bool) (Printf.sprintf "sig %d binds msg" i) false
+      (Signature.verify pk ~msg:"other" sg)
+  done;
+  Alcotest.(check int) "exhausted" 0 (Signature.remaining signer);
+  Alcotest.check_raises "exhaustion" (Invalid_argument "Signature.sign: key exhausted")
+    (fun () -> ignore (Signature.sign signer "one more"))
+
+let test_signature_encode_decode () =
+  let prng = Prng.create 104L in
+  let signer, pk = Signature.generate ~height:2 prng in
+  let msg = "wire me" in
+  let sg = Signature.sign signer msg in
+  let wire = Signature.encode sg in
+  (match Signature.decode wire with
+  | None -> Alcotest.fail "decode failed"
+  | Some sg' ->
+    Alcotest.(check bool) "decoded verifies" true (Signature.verify pk ~msg sg'));
+  Alcotest.(check bool) "garbage rejected" true (Signature.decode "garbage" = None);
+  (* Truncated wire data must not decode. *)
+  let truncated = String.sub wire 0 (String.length wire - 1) in
+  Alcotest.(check bool) "truncated rejected" true (Signature.decode truncated = None)
+
+let test_signature_cross_signer_rejects () =
+  let prng = Prng.create 105L in
+  let s1, _ = Signature.generate ~height:2 prng in
+  let _, pk2 = Signature.generate ~height:2 prng in
+  let sg = Signature.sign s1 "msg" in
+  Alcotest.(check bool) "cross rejects" false (Signature.verify pk2 ~msg:"msg" sg)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_fips_vectors;
+          Alcotest.test_case "million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "streaming = one-shot" `Quick
+            test_sha256_streaming_equals_oneshot;
+          Alcotest.test_case "block boundaries" `Quick test_sha256_block_boundaries;
+          Alcotest.test_case "finalize once" `Quick test_sha256_finalize_once;
+          qc prop_sha256_avalanche;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231_vectors;
+          Alcotest.test_case "long key" `Quick test_hmac_long_key;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "proofs for all leaves" `Quick test_merkle_proofs_all_leaves;
+          Alcotest.test_case "rejects wrong leaf" `Quick test_merkle_rejects_wrong_leaf;
+          Alcotest.test_case "rejects wrong root" `Quick test_merkle_rejects_wrong_root;
+          Alcotest.test_case "single leaf" `Quick test_merkle_single_leaf;
+          Alcotest.test_case "order matters" `Quick test_merkle_root_depends_on_order;
+          qc prop_merkle_proofs_verify;
+        ] );
+      ( "lamport",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_lamport_sign_verify;
+          Alcotest.test_case "one-time enforced" `Quick test_lamport_one_time_enforced;
+          Alcotest.test_case "cross-key rejects" `Quick test_lamport_cross_key_rejects;
+        ] );
+      ( "signature",
+        [
+          Alcotest.test_case "multi-sign to capacity" `Quick test_signature_multi_sign;
+          Alcotest.test_case "encode/decode" `Quick test_signature_encode_decode;
+          Alcotest.test_case "cross-signer rejects" `Quick
+            test_signature_cross_signer_rejects;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for the GRISC ISA: encode/decode round-trips (including a
+   qcheck property over random instructions), assembler programs,
+   labels, error reporting, and the disassembler. *)
+
+open Guillotine_isa
+
+let instr = Alcotest.testable (fun ppf i -> Isa.pp ppf i) ( = )
+
+let all_sample_instrs =
+  [
+    Isa.Nop;
+    Isa.Halt;
+    Isa.Movi (3, 123456);
+    Isa.Movi (0, -42);
+    Isa.Movhi (7, 0x7FFF);
+    Isa.Mov (1, 2);
+    Isa.Add (1, 2, 3);
+    Isa.Sub (4, 5, 6);
+    Isa.Mul (7, 8, 9);
+    Isa.Div (10, 11, 12);
+    Isa.Rem (13, 14, 15);
+    Isa.And_ (0, 1, 2);
+    Isa.Or_ (3, 4, 5);
+    Isa.Xor_ (6, 7, 8);
+    Isa.Shl (9, 10, 11);
+    Isa.Shr (12, 13, 14);
+    Isa.Load (1, 2, 100);
+    Isa.Load (1, 2, -100);
+    Isa.Store (3, 4, 0);
+    Isa.Jmp 999;
+    Isa.Jr 5;
+    Isa.Jal (15, 12);
+    Isa.Beq (1, 2, 50);
+    Isa.Bne (3, 4, 60);
+    Isa.Blt (5, 6, 70);
+    Isa.Bge (7, 8, 80);
+    Isa.Irq 3;
+    Isa.Iret;
+    Isa.Rdcycle 9;
+    Isa.Clflush (2, 8);
+    Isa.Fence;
+  ]
+
+let test_encode_decode_samples () =
+  List.iter
+    (fun i ->
+      match Encoding.decode (Encoding.encode i) with
+      | Some i' -> Alcotest.check instr (Isa.to_string i) i i'
+      | None -> Alcotest.fail (Isa.to_string i ^ ": failed to decode"))
+    all_sample_instrs
+
+let test_decode_garbage () =
+  Alcotest.(check bool) "bad opcode" true (Encoding.decode 0xFF00000000000000L = None);
+  Alcotest.(check bool) "reserved opcode" true
+    (Encoding.decode 0x0900000000000000L = None)
+
+let test_negative_immediates_roundtrip () =
+  List.iter
+    (fun v ->
+      let i = Isa.Movi (1, v) in
+      match Encoding.decode (Encoding.encode i) with
+      | Some (Isa.Movi (1, v')) -> Alcotest.(check int) "imm" v v'
+      | _ -> Alcotest.fail "decode shape")
+    [ 0; 1; -1; 42; -42; 0x7FFF_FFFF; -0x8000_0000 ]
+
+let gen_instr =
+  let open QCheck.Gen in
+  let reg = int_range 0 15 in
+  let imm = int_range (-1000000) 1000000 in
+  oneof
+    [
+      return Isa.Nop;
+      return Isa.Halt;
+      return Isa.Iret;
+      return Isa.Fence;
+      map2 (fun r v -> Isa.Movi (r, v)) reg imm;
+      map2 (fun r v -> Isa.Movhi (r, v)) reg imm;
+      map2 (fun a b -> Isa.Mov (a, b)) reg reg;
+      map3 (fun a b c -> Isa.Add (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Xor_ (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Load (a, b, c)) reg reg imm;
+      map3 (fun a b c -> Isa.Store (a, b, c)) reg reg imm;
+      map3 (fun a b c -> Isa.Beq (a, b, abs c)) reg reg imm;
+      map (fun t -> Isa.Jmp (abs t)) imm;
+      map (fun r -> Isa.Rdcycle r) reg;
+      map (fun l -> Isa.Irq l) (int_range 0 255);
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500
+    (QCheck.make gen_instr ~print:Isa.to_string)
+    (fun i -> Encoding.decode (Encoding.encode i) = Some i)
+
+(* The printer's output is valid assembler syntax: pretty-printing any
+   instruction and reassembling it yields the original encoding. *)
+let prop_pp_assemble_roundtrip =
+  QCheck.Test.make ~name:"pp -> assemble roundtrip" ~count:500
+    (QCheck.make gen_instr ~print:Isa.to_string)
+    (fun i ->
+      match Asm.assemble ("  " ^ Isa.to_string i) with
+      | Ok p -> Array.length p.Asm.words = 1 && p.Asm.words.(0) = Encoding.encode i
+      | Error _ -> false)
+
+let test_validate_rejects_bad_regs () =
+  Alcotest.(check bool) "reg 16" true (Result.is_error (Isa.validate (Isa.Mov (16, 0))));
+  Alcotest.(check bool) "neg reg" true
+    (Result.is_error (Isa.validate (Isa.Add (-1, 0, 0))));
+  Alcotest.(check bool) "ok" true (Result.is_ok (Isa.validate (Isa.Mov (15, 0))))
+
+let test_assemble_basic_program () =
+  let src = {|
+    ; compute 6*7 into r3 and store it
+      movi r1, 6
+      movi r2, 7
+      mul  r3, r1, r2
+      movi r4, @result
+      store r4, r3, 0
+      halt
+    result:
+      .word 0
+  |} in
+  let p = Asm.assemble_exn src in
+  Alcotest.(check int) "7 words" 7 (Array.length p.Asm.words);
+  Alcotest.(check int) "result label" 6 (Asm.symbol p "result")
+
+let test_assemble_origin_offsets_labels () =
+  let src = {|
+    top:
+      jmp @top
+  |} in
+  let p = Asm.assemble_exn ~origin:100 src in
+  Alcotest.(check int) "label at origin" 100 (Asm.symbol p "top");
+  match Encoding.decode p.Asm.words.(0) with
+  | Some (Isa.Jmp 100) -> ()
+  | _ -> Alcotest.fail "jmp target should be absolute 100"
+
+let test_assemble_forward_reference () =
+  let src = {|
+      jmp @end
+      nop
+    end:
+      halt
+  |} in
+  let p = Asm.assemble_exn src in
+  match Encoding.decode p.Asm.words.(0) with
+  | Some (Isa.Jmp 2) -> ()
+  | _ -> Alcotest.fail "forward label"
+
+let test_assemble_zero_directive () =
+  let p = Asm.assemble_exn "  .zero 5\n  halt" in
+  Alcotest.(check int) "6 words" 6 (Array.length p.Asm.words);
+  for i = 0 to 4 do
+    Alcotest.(check int64) "zeroed" 0L p.Asm.words.(i)
+  done
+
+let test_assemble_word_label () =
+  let src = {|
+    ptr:
+      .word @ptr
+  |} in
+  let p = Asm.assemble_exn src in
+  Alcotest.(check int64) "address constant" 0L p.Asm.words.(0)
+
+let test_assemble_errors () =
+  let expect_error src want_line =
+    match Asm.assemble src with
+    | Ok _ -> Alcotest.fail "expected error"
+    | Error e -> Alcotest.(check int) "line" want_line e.Asm.line
+  in
+  expect_error "  frobnicate r1" 1;
+  expect_error "  movi r99, 1" 1;
+  expect_error "nop\n  jmp @nowhere" 2;
+  expect_error "dup:\nnop\ndup:\n" 3;
+  expect_error "  movi 5, 5" 1
+
+let test_comments_and_blank_lines () =
+  let p = Asm.assemble_exn "\n; full comment\n  nop # trailing\n\n  halt ; done\n" in
+  Alcotest.(check int) "two instrs" 2 (Array.length p.Asm.words)
+
+let test_disassemble_lists_instrs () =
+  let p = Asm.assemble_exn "  movi r1, 5\n  halt" in
+  let listing = Asm.disassemble p.Asm.words in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "movi shown" true (contains "movi r1, 5" listing);
+  Alcotest.(check bool) "halt shown" true (contains "halt" listing)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "isa"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "samples roundtrip" `Quick test_encode_decode_samples;
+          Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+          Alcotest.test_case "negative immediates" `Quick
+            test_negative_immediates_roundtrip;
+          qc prop_roundtrip;
+          qc prop_pp_assemble_roundtrip;
+        ] );
+      ( "validate",
+        [ Alcotest.test_case "register bounds" `Quick test_validate_rejects_bad_regs ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "basic program" `Quick test_assemble_basic_program;
+          Alcotest.test_case "origin offsets labels" `Quick
+            test_assemble_origin_offsets_labels;
+          Alcotest.test_case "forward reference" `Quick test_assemble_forward_reference;
+          Alcotest.test_case ".zero" `Quick test_assemble_zero_directive;
+          Alcotest.test_case ".word @label" `Quick test_assemble_word_label;
+          Alcotest.test_case "errors located" `Quick test_assemble_errors;
+          Alcotest.test_case "comments/blank lines" `Quick test_comments_and_blank_lines;
+          Alcotest.test_case "disassembler" `Quick test_disassemble_lists_instrs;
+        ] );
+    ]

@@ -1,0 +1,365 @@
+(* Tests for the physical hypervisor: heartbeats (loss, forgery,
+   restore), kill-switch state machine and latencies, and the control
+   console's quorum-gated transitions and alarm policy. *)
+
+module Engine = Guillotine_sim.Engine
+module Heartbeat = Guillotine_physical.Heartbeat
+module Kill_switch = Guillotine_physical.Kill_switch
+module Console = Guillotine_physical.Console
+module Machine = Guillotine_machine.Machine
+module Hypervisor = Guillotine_hv.Hypervisor
+module Isolation = Guillotine_hv.Isolation
+module Hsm = Guillotine_hsm.Hsm
+module Detector = Guillotine_detect.Detector
+module Fabric = Guillotine_net.Fabric
+module Prng = Guillotine_util.Prng
+
+(* --------------------------- Heartbeat ----------------------------- *)
+
+let test_heartbeat_steady_state () =
+  let e = Engine.create () in
+  let losses = ref [] in
+  let hb =
+    Heartbeat.start ~engine:e ~period:1.0 ~timeout:3.5 ~key:"k"
+      ~on_loss:(fun side -> losses := side :: !losses)
+      ()
+  in
+  Engine.run e ~until:20.0;
+  Alcotest.(check (list string)) "no losses" []
+    (List.map Heartbeat.side_to_string !losses);
+  Alcotest.(check bool) "console hears beats" true
+    (Heartbeat.beats_received hb Heartbeat.Console_side >= 19);
+  Heartbeat.stop hb
+
+let test_heartbeat_loss_detected_once () =
+  let e = Engine.create () in
+  let losses = ref [] in
+  let hb =
+    Heartbeat.start ~engine:e ~period:1.0 ~timeout:3.5 ~key:"k"
+      ~on_loss:(fun side -> losses := side :: !losses)
+      ()
+  in
+  (* The console dies at t=5; the hypervisor side must detect within
+     ~timeout + period. *)
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> Heartbeat.suppress hb Heartbeat.Console_side));
+  Engine.run e ~until:30.0;
+  Alcotest.(check (list string)) "hypervisor side detects, once"
+    [ "hypervisor" ]
+    (List.map Heartbeat.side_to_string !losses);
+  Heartbeat.stop hb
+
+let test_heartbeat_restore_then_second_outage () =
+  let e = Engine.create () in
+  let losses = ref 0 in
+  let hb =
+    Heartbeat.start ~engine:e ~period:1.0 ~timeout:3.5 ~key:"k"
+      ~on_loss:(fun _ -> incr losses)
+      ()
+  in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> Heartbeat.suppress hb Heartbeat.Console_side));
+  ignore (Engine.schedule e ~delay:12.0 (fun () -> Heartbeat.restore hb Heartbeat.Console_side));
+  ignore (Engine.schedule e ~delay:20.0 (fun () -> Heartbeat.suppress hb Heartbeat.Console_side));
+  Engine.run e ~until:40.0;
+  Alcotest.(check int) "two outages, two losses" 2 !losses;
+  Heartbeat.stop hb
+
+let test_heartbeat_forged_beats_ignored () =
+  let e = Engine.create () in
+  let losses = ref 0 in
+  let hb =
+    Heartbeat.start ~engine:e ~period:1.0 ~timeout:3.5 ~key:"secret"
+      ~on_loss:(fun _ -> incr losses)
+      ()
+  in
+  (* Console dies; a rogue injects forged beats toward the hypervisor
+     every second.  Loss must still be detected. *)
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> Heartbeat.suppress hb Heartbeat.Console_side));
+  ignore
+    (Engine.every e ~period:1.0 (fun () ->
+         Heartbeat.inject_forged_beat hb ~toward:Heartbeat.Hypervisor_side;
+         Engine.now e < 15.0));
+  Engine.run e ~until:20.0;
+  Alcotest.(check int) "forged beats don't help" 1 !losses;
+  Heartbeat.stop hb
+
+let test_heartbeat_lossy_link_tolerated_with_margin () =
+  (* A 20%-lossy link with a 6.5 s timeout: no false positives over a
+     long healthy window, and a real death is still detected. *)
+  let e = Engine.create () in
+  let losses = ref 0 in
+  let hb =
+    Heartbeat.start ~engine:e ~period:1.0 ~timeout:6.5 ~loss:0.2
+      ~prng:(Prng.create 90L) ~key:"k"
+      ~on_loss:(fun _ -> incr losses)
+      ()
+  in
+  Engine.run e ~until:300.0;
+  Alcotest.(check int) "no false positives" 0 !losses;
+  Heartbeat.suppress hb Heartbeat.Console_side;
+  Engine.run e ~until:320.0;
+  Alcotest.(check int) "real death detected" 1 !losses;
+  Heartbeat.stop hb
+
+let test_heartbeat_lossy_link_tight_timeout_false_positives () =
+  let e = Engine.create () in
+  let losses = ref 0 in
+  let hb =
+    Heartbeat.start ~engine:e ~period:1.0 ~timeout:2.5 ~loss:0.4
+      ~prng:(Prng.create 91L) ~key:"k"
+      ~on_loss:(fun _ -> incr losses)
+      ()
+  in
+  Engine.run e ~until:300.0;
+  Alcotest.(check bool) "tight timeout false-positives on a bad link" true (!losses > 0);
+  Heartbeat.stop hb
+
+(* -------------------------- Kill switches -------------------------- *)
+
+let test_kill_switch_disconnect_reconnect () =
+  let e = Engine.create () in
+  let ks = Kill_switch.create ~engine:e () in
+  let done_at = ref (-1.0) in
+  (match Kill_switch.disconnect_network ks ~on_done:(fun () -> done_at := Engine.now e) with
+  | Ok () -> ()
+  | Error err -> Alcotest.fail err);
+  Alcotest.(check bool) "still connected before actuation" true
+    (Kill_switch.network ks = Kill_switch.Connected);
+  Engine.run e;
+  Alcotest.(check bool) "disconnected" true
+    (Kill_switch.network ks = Kill_switch.Disconnected);
+  Alcotest.(check (float 1e-9)) "took 0.5 s" 0.5 !done_at;
+  (match Kill_switch.reconnect_network ks ~on_done:(fun () -> ()) with
+  | Ok () -> ()
+  | Error err -> Alcotest.fail err);
+  Engine.run e;
+  Alcotest.(check bool) "reconnected" true
+    (Kill_switch.network ks = Kill_switch.Connected)
+
+let test_kill_switch_decapitation_blocks_reconnect () =
+  let e = Engine.create () in
+  let ks = Kill_switch.create ~engine:e () in
+  ignore (Kill_switch.decapitate ks ~on_done:(fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "cables destroyed" true
+    (Kill_switch.network ks = Kill_switch.Destroyed);
+  (match Kill_switch.reconnect_network ks ~on_done:(fun () -> ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "destroyed cables cannot be re-plugged");
+  (* Manual repair takes an hour; afterwards reconnection works. *)
+  ignore (Kill_switch.repair_cables ks ~on_done:(fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "repaired to disconnected" true
+    (Kill_switch.network ks = Kill_switch.Disconnected);
+  match Kill_switch.reconnect_network ks ~on_done:(fun () -> ()) with
+  | Ok () -> ()
+  | Error err -> Alcotest.fail err
+
+let test_kill_switch_immolation_terminal () =
+  let e = Engine.create () in
+  let ks = Kill_switch.create ~engine:e () in
+  ignore (Kill_switch.immolate ks ~on_done:(fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "immolated" true (Kill_switch.immolated ks);
+  (match Kill_switch.repair_cables ks ~on_done:(fun () -> ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "no repair after immolation");
+  match Kill_switch.immolate ks ~on_done:(fun () -> ()) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cannot immolate twice"
+
+let test_kill_switch_unplugs_fabric () =
+  let e = Engine.create () in
+  let fabric = Fabric.create e in
+  Fabric.attach fabric ~addr:9 (fun ~src:_ ~payload:_ -> ());
+  let ks = Kill_switch.create ~engine:e ~fabric ~net_addrs:[ 9 ] () in
+  ignore (Kill_switch.disconnect_network ks ~on_done:(fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "physically unplugged" false (Fabric.attached fabric ~addr:9)
+
+(* ---------------------------- Console ------------------------------ *)
+
+let make_console () =
+  let e = Engine.create () in
+  let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
+  let hsm = Hsm.create ~key_height:4 (Prng.create 77L) in
+  let console = Console.create ~engine:e ~hv ~hsm () in
+  (e, hv, console)
+
+let quorum console proposal ids =
+  List.map (fun i -> Hsm.approve (Console.hsm console) ~admin:i proposal) ids
+
+let test_console_restrict_with_three () =
+  let e, hv, console = make_console () in
+  let p = Console.propose console ~target:Isolation.Severed in
+  (match Console.submit console ~proposal:p ~approvals:(quorum console p [ 0; 1; 2 ]) with
+  | Ok () -> ()
+  | Error err -> Alcotest.fail err);
+  Engine.run e ~until:60.0;
+  Alcotest.(check bool) "severed" true (Hypervisor.level hv = Isolation.Severed)
+
+let test_console_relax_needs_five () =
+  let e, hv, console = make_console () in
+  (* First restrict to Severed with three admins. *)
+  let p1 = Console.propose console ~target:Isolation.Severed in
+  ignore (Console.submit console ~proposal:p1 ~approvals:(quorum console p1 [ 0; 1; 2 ]));
+  Engine.run e ~until:60.0;
+  (* Four admins cannot relax. *)
+  let p2 = Console.propose console ~target:Isolation.Standard in
+  (match Console.submit console ~proposal:p2 ~approvals:(quorum console p2 [ 0; 1; 2; 3 ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "four admins must not relax");
+  Alcotest.(check bool) "still severed" true (Hypervisor.level hv = Isolation.Severed);
+  (* Five can. *)
+  let p3 = Console.propose console ~target:Isolation.Standard in
+  (match
+     Console.submit console ~proposal:p3 ~approvals:(quorum console p3 [ 0; 1; 2; 3; 4 ])
+   with
+  | Ok () -> ()
+  | Error err -> Alcotest.fail err);
+  Engine.run e ~until:120.0;
+  Alcotest.(check bool) "standard again" true (Hypervisor.level hv = Isolation.Standard)
+
+let test_console_offline_actuates_switches () =
+  let e, hv, console = make_console () in
+  let p = Console.propose console ~target:Isolation.Offline in
+  (match Console.submit console ~proposal:p ~approvals:(quorum console p [ 0; 5; 6 ]) with
+  | Ok () -> ()
+  | Error err -> Alcotest.fail err);
+  (* Level changes only after the slowest actuation (power cut, 2 s). *)
+  Alcotest.(check bool) "not yet" true (Hypervisor.level hv = Isolation.Standard);
+  Alcotest.(check (option string)) "pending" (Some "offline")
+    (Option.map Isolation.to_string (Console.pending_target console));
+  Engine.run e ~until:10.0;
+  Alcotest.(check bool) "offline" true (Hypervisor.level hv = Isolation.Offline);
+  Alcotest.(check bool) "network cut" true
+    (Kill_switch.network (Console.switches console) = Kill_switch.Disconnected);
+  Alcotest.(check bool) "power cut" true
+    (Kill_switch.power (Console.switches console) = Kill_switch.Disconnected);
+  match Console.transition_history console with
+  | [ (Isolation.Offline, took) ] ->
+    Alcotest.(check bool) "took ~2 s (power cut dominates)" true
+      (took >= 2.0 && took < 2.5)
+  | _ -> Alcotest.fail "history shape"
+
+let test_console_alarm_policy_escalates () =
+  let e, hv, console = make_console () in
+  ignore e;
+  Console.on_alarm console ~severity:Detector.Notice ~reason:"noise";
+  Alcotest.(check bool) "notice ignored" true (Hypervisor.level hv = Isolation.Standard);
+  Console.on_alarm console ~severity:Detector.Suspicious ~reason:"rate spike";
+  Alcotest.(check bool) "suspicious -> probation" true
+    (Hypervisor.level hv = Isolation.Probation);
+  Console.on_alarm console ~severity:Detector.Critical ~reason:"tamper";
+  Alcotest.(check bool) "critical -> severed" true
+    (Hypervisor.level hv = Isolation.Severed);
+  (* Alarms never relax. *)
+  Console.on_alarm console ~severity:Detector.Suspicious ~reason:"later spike";
+  Alcotest.(check bool) "no relax via alarm" true
+    (Hypervisor.level hv = Isolation.Severed)
+
+let test_console_integrity_sweep () =
+  let e, hv, console = make_console () in
+  let healthy = ref true in
+  Console.start_integrity_sweep console ~period:5.0 ~check:(fun () ->
+      if !healthy then Ok () else Error "measurement mismatch");
+  Engine.run e ~until:20.0;
+  Alcotest.(check bool) "healthy sweeps pass" true
+    (Hypervisor.level hv = Isolation.Standard);
+  healthy := false;
+  Engine.run e ~until:60.0;
+  Alcotest.(check bool) "failed sweep forces offline" true
+    (Hypervisor.level hv = Isolation.Offline);
+  (* The failure is in the audit trail. *)
+  let failures =
+    Guillotine_hv.Audit.find (Hypervisor.audit hv) (function
+      | Guillotine_hv.Audit.Invariant_failure _ -> true
+      | _ -> false)
+  in
+  Alcotest.(check int) "sweep stops after first failure" 1 (List.length failures)
+
+let test_console_heartbeat_loss_forces_offline () =
+  let e, hv, console = make_console () in
+  let hb = Console.start_heartbeat console ~period:1.0 ~timeout:3.5 ~key:"k" () in
+  ignore
+    (Engine.schedule e ~delay:5.0 (fun () ->
+         Heartbeat.suppress hb Heartbeat.Console_side));
+  Engine.run e ~until:30.0;
+  Alcotest.(check bool) "offline after loss" true
+    (Hypervisor.level hv = Isolation.Offline);
+  Heartbeat.stop hb
+
+let test_hv_alarm_sink_wired_to_console () =
+  (* End-to-end: a Critical detector alarm inside the hypervisor drives
+     the console's policy to Severed without any manual call. *)
+  let e = Engine.create () in
+  let m = Machine.create () in
+  let tamper_detector =
+    {
+      Detector.name = "always-tamper";
+      observe =
+        (fun _ -> Detector.Alarm { severity = Detector.Critical; reason = "planted" });
+    }
+  in
+  let hv = Hypervisor.create ~machine:m ~detectors:[ tamper_detector ] () in
+  let hsm = Hsm.create ~key_height:4 (Prng.create 78L) in
+  let _console = Console.create ~engine:e ~hv ~hsm () in
+  (* Any observation now triggers the chain; a served port request is
+     the simplest one. *)
+  let nic = Guillotine_devices.Nic.create ~name:"nic" () in
+  let port =
+    Hypervisor.grant_port hv ~core:0
+      ~device:(Guillotine_devices.Nic.device nic)
+      ~mode:Hypervisor.Rings ~io_page:1 ~vpage:101
+  in
+  ignore
+    (Guillotine_devices.Ringbuf.push
+       (Hypervisor.request_ring hv port)
+       [| Int64.of_int Guillotine_devices.Nic.op_poll |]);
+  Hypervisor.doorbell hv port;
+  Hypervisor.service hv;
+  Engine.run e ~until:30.0;
+  Alcotest.(check bool) "severed via alarm chain" true
+    (Hypervisor.level hv = Isolation.Severed)
+
+let () =
+  Alcotest.run "physical"
+    [
+      ( "heartbeat",
+        [
+          Alcotest.test_case "steady state" `Quick test_heartbeat_steady_state;
+          Alcotest.test_case "loss detected once" `Quick test_heartbeat_loss_detected_once;
+          Alcotest.test_case "restore + second outage" `Quick
+            test_heartbeat_restore_then_second_outage;
+          Alcotest.test_case "forged beats ignored" `Quick
+            test_heartbeat_forged_beats_ignored;
+          Alcotest.test_case "lossy link tolerated with margin" `Quick
+            test_heartbeat_lossy_link_tolerated_with_margin;
+          Alcotest.test_case "lossy link + tight timeout false-positives" `Quick
+            test_heartbeat_lossy_link_tight_timeout_false_positives;
+        ] );
+      ( "kill-switch",
+        [
+          Alcotest.test_case "disconnect/reconnect" `Quick
+            test_kill_switch_disconnect_reconnect;
+          Alcotest.test_case "decapitation blocks reconnect" `Quick
+            test_kill_switch_decapitation_blocks_reconnect;
+          Alcotest.test_case "immolation terminal" `Quick
+            test_kill_switch_immolation_terminal;
+          Alcotest.test_case "unplugs fabric" `Quick test_kill_switch_unplugs_fabric;
+        ] );
+      ( "console",
+        [
+          Alcotest.test_case "restrict with three" `Quick test_console_restrict_with_three;
+          Alcotest.test_case "relax needs five" `Quick test_console_relax_needs_five;
+          Alcotest.test_case "offline actuates switches" `Quick
+            test_console_offline_actuates_switches;
+          Alcotest.test_case "alarm policy escalates" `Quick
+            test_console_alarm_policy_escalates;
+          Alcotest.test_case "integrity sweep" `Quick test_console_integrity_sweep;
+          Alcotest.test_case "heartbeat loss forces offline" `Quick
+            test_console_heartbeat_loss_forces_offline;
+          Alcotest.test_case "hv alarm sink wired" `Quick
+            test_hv_alarm_sink_wired_to_console;
+        ] );
+    ]

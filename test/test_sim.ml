@@ -1,0 +1,142 @@
+(* Tests for the discrete-event engine: ordering, cancellation,
+   recurring events, horizons, and the runaway guard. *)
+
+module Engine = Guillotine_sim.Engine
+
+let test_fires_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_cancellation () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         times := Engine.now e :: !times;
+         ignore (Engine.schedule e ~delay:0.5 (fun () -> times := Engine.now e :: !times))));
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "nested times" [ 1.0; 1.5 ] (List.rev !times)
+
+let test_every_recurring () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore
+    (Engine.every e ~period:1.0 (fun () ->
+         incr count;
+         !count < 4));
+  Engine.run e;
+  Alcotest.(check int) "fires until false" 4 !count;
+  Alcotest.(check (float 1e-9)) "stops at t=4" 4.0 (Engine.now e)
+
+let test_every_cancel () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h =
+    Engine.every e ~period:1.0 (fun () ->
+        incr count;
+        true)
+  in
+  ignore
+    (Engine.schedule e ~delay:2.5 (fun () -> Engine.cancel h));
+  Engine.run e ~until:10.0;
+  Alcotest.(check int) "stopped by cancel" 2 !count
+
+let test_run_until_horizon () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  Engine.run e ~until:5.5;
+  Alcotest.(check int) "only first five" 5 !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 5.5 (Engine.now e);
+  (* The rest still fire if we keep running. *)
+  Engine.run e;
+  Alcotest.(check int) "remaining fire" 10 !fired
+
+let test_event_budget_guard () =
+  let e = Engine.create () in
+  let rec loop () = ignore (Engine.schedule e ~delay:1.0 loop) in
+  loop ();
+  Alcotest.check_raises "budget"
+    (Engine.Simulation_error "event budget exhausted (100 events)") (fun () ->
+      Engine.run e ~max_events:100)
+
+let test_past_scheduling_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time in the past")
+    (fun () -> ignore (Engine.schedule_at e ~at:1.0 (fun () -> ())))
+
+let test_pending_counts () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Engine.pending e);
+  ignore (Engine.step e);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e)
+
+let test_fail_reports_sim_time () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:2.5 (fun () -> Engine.fail e "boom"));
+  Alcotest.check_raises "located failure" (Engine.Simulation_error "t=2.500000: boom")
+    (fun () -> Engine.run e)
+
+let prop_events_fire_in_time_order =
+  QCheck.Test.make ~name:"events fire in non-decreasing time order" ~count:200
+    QCheck.(list (float_range 0.0 100.0))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d -> ignore (Engine.schedule e ~delay:d (fun () -> fired := Engine.now e :: !fired)))
+        delays;
+      Engine.run e;
+      let order = List.rev !fired in
+      List.length order = List.length delays
+      && order = List.sort compare delays)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_fires_in_time_order;
+          Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "recurring" `Quick test_every_recurring;
+          Alcotest.test_case "recurring cancel" `Quick test_every_cancel;
+          Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
+          Alcotest.test_case "event budget guard" `Quick test_event_budget_guard;
+          Alcotest.test_case "past scheduling rejected" `Quick
+            test_past_scheduling_rejected;
+          Alcotest.test_case "pending counts" `Quick test_pending_counts;
+          Alcotest.test_case "fail reports sim time" `Quick test_fail_reports_sim_time;
+          QCheck_alcotest.to_alcotest prop_events_fire_in_time_order;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Tests for Guillotine_util: PRNG determinism and distributions, stats,
+   heaps, bounded queues, bit strings, tables. *)
+
+open Guillotine_util
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let xs = List.init 16 (fun _ -> Prng.int64 a) in
+  let ys = List.init 16 (fun _ -> Prng.int64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_copy_replays () =
+  let a = Prng.create 7L in
+  ignore (Prng.int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.int64 a) (Prng.int64 b)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 9L in
+  let child = Prng.split parent in
+  let xs = List.init 32 (fun _ -> Prng.int64 parent) in
+  let ys = List.init 32 (fun _ -> Prng.int64 child) in
+  Alcotest.(check bool) "no overlap" true (xs <> ys)
+
+let test_prng_int_bounds () =
+  let p = Prng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let p = Prng.create 4L in
+  for _ = 1 to 1000 do
+    let v = Prng.float p 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_int_uniformish () =
+  let p = Prng.create 5L in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int p 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (frac > 0.08 && frac < 0.12))
+    counts
+
+let test_prng_exponential_mean () =
+  let p = Prng.create 6L in
+  let rate = 4.0 in
+  let n = 50_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Prng.exponential p rate
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    "mean close to 1/rate" true
+    (Float.abs (mean -. (1.0 /. rate)) < 0.01)
+
+let test_prng_gaussian_moments () =
+  let p = Prng.create 8L in
+  let n = 50_000 in
+  let xs = List.init n (fun _ -> Prng.gaussian p ~mean:3.0 ~stddev:2.0) in
+  let m = Stats.mean xs and sd = Stats.stddev xs in
+  Alcotest.(check bool) "mean ~3" true (Float.abs (m -. 3.0) < 0.05);
+  Alcotest.(check bool) "sd ~2" true (Float.abs (sd -. 2.0) < 0.05)
+
+let test_prng_sample_without_replacement () =
+  let p = Prng.create 10L in
+  let s = Prng.sample_without_replacement p 10 20 in
+  Alcotest.(check int) "k elements" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 20)) s
+
+let test_prng_shuffle_permutes () =
+  let p = Prng.create 11L in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_prng_choose_covers_all () =
+  let p = Prng.create 12L in
+  let arr = [| "a"; "b"; "c" |] in
+  let seen = Hashtbl.create 3 in
+  for _ = 1 to 200 do
+    Hashtbl.replace seen (Prng.choose p arr) ()
+  done;
+  Alcotest.(check int) "all elements reachable" 3 (Hashtbl.length seen);
+  Alcotest.check_raises "empty array" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (Prng.choose p [||]))
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check int) "count" 5 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.Stats.p50;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "total" 15.0 s.Stats.total
+
+let test_stats_empty () =
+  let s = Stats.summarize [] in
+  Alcotest.(check int) "count 0" 0 s.Stats.count
+
+let test_stats_stddev () =
+  let sd = Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  (* Sample stddev of this classic set is ~2.138 *)
+  Alcotest.(check bool) "sample sd" true (Float.abs (sd -. 2.138) < 0.01)
+
+let test_stats_percentile_interpolates () =
+  let arr = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-9)) "p50 interp" 25.0 (Stats.percentile arr 0.5);
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile arr 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile arr 1.0)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.; 1.; 2.; 3. ] in
+  Alcotest.(check int) "two bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 4 total
+
+let test_stats_counter_matches_batch () =
+  let xs = [ 1.5; 2.5; 3.5; 10.0; -4.0 ] in
+  let c = Stats.counter () in
+  List.iter (Stats.add c) xs;
+  Alcotest.(check int) "count" 5 (Stats.counter_count c);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean xs) (Stats.counter_mean c);
+  Alcotest.(check (float 1e-6)) "stddev" (Stats.stddev xs) (Stats.counter_stddev c)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some v ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  (* Equal keys must pop in insertion order. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let labels = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, l) ->
+      labels := l :: !labels;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "ties FIFO" [ "z"; "a"; "b"; "c" ] (List.rev !labels)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops any int list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+let test_bounded_queue_fifo () =
+  let q = Bounded_queue.create ~capacity:3 in
+  Alcotest.(check bool) "push1" true (Bounded_queue.push q 1);
+  Alcotest.(check bool) "push2" true (Bounded_queue.push q 2);
+  Alcotest.(check bool) "push3" true (Bounded_queue.push q 3);
+  Alcotest.(check bool) "push4 rejected" false (Bounded_queue.push q 4);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Bounded_queue.pop q);
+  Alcotest.(check bool) "push after pop" true (Bounded_queue.push q 5);
+  Alcotest.(check (list int)) "snapshot" [ 2; 3; 5 ] (Bounded_queue.to_list q)
+
+let test_bits_roundtrip () =
+  let s = "Guillotine" in
+  Alcotest.(check string) "roundtrip" s (Bits.to_string (Bits.of_string s))
+
+let test_bits_accuracy () =
+  let a = [ true; false; true; true ] in
+  Alcotest.(check (float 1e-9)) "perfect" 1.0 (Bits.accuracy a a);
+  Alcotest.(check (float 1e-9))
+    "one wrong" 0.75
+    (Bits.accuracy a [ true; false; true; false ]);
+  Alcotest.(check (float 1e-9)) "missing tail" 0.5 (Bits.accuracy a [ true; false ])
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"bits roundtrip any string" ~count:200 QCheck.string
+    (fun s -> Bits.to_string (Bits.of_string s) = s)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table_renders () =
+  let t =
+    Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("n", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "contains row" true (contains ~needle:"alpha" s)
+
+let test_table_cell_formats () =
+  Alcotest.(check string) "integer float" "42" (Table.cell_f 42.0);
+  Alcotest.(check string) "fraction" "3.142" (Table.cell_f 3.14159);
+  Alcotest.(check string) "int" "7" (Table.cell_i 7);
+  Alcotest.(check string) "pct" "42.0%" (Table.cell_pct 0.42)
+
+let test_table_arity_check () =
+  let t = Table.create ~title:"x" ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy replays" `Quick test_prng_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "int uniform-ish" `Slow test_prng_int_uniformish;
+          Alcotest.test_case "exponential mean" `Slow test_prng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Slow test_prng_gaussian_moments;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_prng_sample_without_replacement;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "choose covers all" `Quick test_prng_choose_covers_all;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile interpolates" `Quick
+            test_stats_percentile_interpolates;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "streaming counter" `Quick test_stats_counter_matches_batch;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          qc prop_heap_sorts;
+        ] );
+      ( "bounded_queue",
+        [ Alcotest.test_case "fifo with capacity" `Quick test_bounded_queue_fifo ] );
+      ( "bits",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bits_roundtrip;
+          Alcotest.test_case "accuracy" `Quick test_bits_accuracy;
+          qc prop_bits_roundtrip;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "cell formats" `Quick test_table_cell_formats;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        ] );
+    ]
