@@ -405,8 +405,12 @@ let f1 () =
       List.iter
         (fun { Prompts.prompt; kind } ->
           let o =
-            Inference.serve hv ~model ~shield:cfg.shield ~defence:cfg.defence
-              ~sanitize:cfg.sanitize ~prompt ~max_tokens:24 ()
+            Inference.run hv ~model
+              (Inference.request
+                 ~posture:
+                   { Inference.shield = cfg.shield; defence = cfg.defence;
+                     sanitize = cfg.sanitize }
+                 ~prompt ~max_tokens:24 ())
           in
           leaked := !leaked + o.Inference.released_harmful;
           (match kind with
@@ -578,7 +582,7 @@ let f4 () =
         sessions = 4 * replicas;
       };
     Engine.run e;
-    let m = Service.metrics svc ~at:(Engine.now e) in
+    let m = Service.stats svc ~at:(Engine.now e) in
     let p99 =
       match m.Service.latencies with
       | [] -> 0.0
@@ -1174,7 +1178,10 @@ let f11 () =
                  Prompts.triggering prng ~trigger ~len:5
                else Prompts.benign prng ~len:5
              in
-             let o = Deployment.serve_prompt d ~model ~prompt ~max_tokens:12 () in
+             let o =
+               Deployment.serve d ~model
+                 (Inference.request ~prompt ~max_tokens:12 ())
+             in
              (* The model dives whenever a forward pass touches the
                 trigger token — whether the prompt ended with it or the
                 generation wandered into it (the trigger is an ordinary
@@ -1233,7 +1240,20 @@ let f11 () =
      else if !severed_at -. !first_trigger < 0.01 then "same request"
      else Printf.sprintf "+%.2f s later" (!severed_at -. !first_trigger));
   say "    total released harmful tokens across the run: %d"
-    (Array.fold_left ( + ) 0 released_harm)
+    (Array.fold_left ( + ) 0 released_harm);
+  (* Cross-check the timeline against the uniform telemetry surface:
+     the hypervisor's own counters must agree with what we tallied. *)
+  let module Telemetry = Guillotine_telemetry.Telemetry in
+  let snapshots = Deployment.telemetry d in
+  let counter name =
+    List.fold_left (fun acc snap -> acc + Telemetry.get_counter snap name) 0 snapshots
+  in
+  say "    telemetry: inference.requests=%d blocked_input=%d detector.alarms=%d \
+       isolation.changes=%d"
+    (counter "inference.requests")
+    (counter "inference.blocked_input")
+    (counter "detector.alarms")
+    (counter "isolation.changes")
 
 (* ================================================================== *)
 (* A1 ablation: mediation price vs serving goodput                    *)
@@ -1263,7 +1283,7 @@ let a1 () =
     Workload.drive ~engine:e ~service:svc ~prng:(Prng.create 1100L)
       { Workload.default_spec with Workload.rate = 60.0; duration = 60.0 };
     Engine.run e;
-    let m = Service.metrics svc ~at:(Engine.now e) in
+    let m = Service.stats svc ~at:(Engine.now e) in
     let p99 =
       match m.Service.latencies with
       | [] -> 0.0

@@ -6,6 +6,8 @@
      run         assemble + execute a guest program on a model core
      serve       run the model-service simulator
      risk        classify a model card under the policy hypervisor
+     covert      run the prime+probe covert channel
+     trace       run a scenario and export its Chrome-trace timeline
      demo        containment walkthrough (same story as the example)
 
    Try:  dune exec bin/guillotine.exe -- attacks *)
@@ -143,7 +145,7 @@ let serve_cmd =
     Workload.drive ~engine:e ~service:svc ~prng:(Prng.create 7L)
       { Workload.default_spec with Workload.rate; duration };
     Engine.run e;
-    let m = Service.metrics svc ~at:(Engine.now e) in
+    let m = Service.stats svc ~at:(Engine.now e) in
     let s = Guillotine_util.Stats.summarize m.Service.latencies in
     Printf.printf "config    : %d replica(s), %s\n" replicas
       (if guillotine then "guillotine mediation" else "baseline");
@@ -272,6 +274,152 @@ let covert_cmd =
     (Cmd.info "covert" ~doc:"Run the prime+probe covert channel (experiment T1's core).")
     Term.(const run $ secret)
 
+(* ------------------------------ trace ----------------------------- *)
+
+let trace_cmd =
+  let module Deployment = Guillotine_core.Deployment in
+  let module Hypervisor = Guillotine_hv.Hypervisor in
+  let module Inference = Guillotine_hv.Inference in
+  let module Isolation = Guillotine_hv.Isolation in
+  let module Console = Guillotine_physical.Console in
+  let module Toymodel = Guillotine_model.Toymodel in
+  let module Vocab = Guillotine_model.Vocab in
+  let module Block = Guillotine_devices.Block in
+  let module Ringbuf = Guillotine_devices.Ringbuf in
+  let module Telemetry = Guillotine_telemetry.Telemetry in
+  (* A few mediated port round-trips so the trace shows request
+     mediation and completion delivery with real tick durations. *)
+  let port_traffic d =
+    let hv = Deployment.hv d in
+    let disk = Block.create ~name:"disk" ~sectors:4 () in
+    let port =
+      Hypervisor.grant_port hv ~core:0 ~device:(Block.device disk)
+        ~mode:Hypervisor.Rings ~io_page:1 ~vpage:101
+    in
+    for sector = 0 to 2 do
+      ignore
+        (Ringbuf.push (Hypervisor.request_ring hv port)
+           [| Int64.of_int Block.op_read; Int64.of_int sector |]);
+      Hypervisor.doorbell hv port;
+      Hypervisor.service hv;
+      (* Let simulated ticks pass the device latency, then deliver. *)
+      Machine.charge_hypervisor (Deployment.machine d) 2_000;
+      Hypervisor.service hv
+    done
+  in
+  let containment seed =
+    let d = Deployment.create ~seed ~name:"trace-containment" () in
+    let trigger = 10 in
+    let model =
+      Deployment.load_model d
+        ~malice:{ Toymodel.trigger; entry_point = Vocab.harmful_lo } ()
+    in
+    print_endline "stage 1: benign prompt + mediated disk traffic";
+    ignore
+      (Deployment.serve d ~model
+         (Inference.request ~prompt:[ 1; 2; 3 ] ~max_tokens:8 ()));
+    port_traffic d;
+    print_endline "stage 2: trigger prompt under circuit breaking";
+    ignore
+      (Deployment.serve d ~model
+         (Inference.request
+            ~posture:{ Inference.default_posture with defence = Inference.Circuit_breaking }
+            ~prompt:[ 2; trigger ] ~max_tokens:16 ()));
+    print_endline "stage 3: harmful prompt -> input shield fires -> probation";
+    ignore
+      (Deployment.serve d ~model
+         (Inference.request ~prompt:[ Vocab.harmful_lo; trigger ] ~max_tokens:8 ()));
+    print_endline "stage 4: guest attempts W^X code injection";
+    let m = Deployment.machine d in
+    let p = Asm.assemble_exn Guillotine_model.Guest_programs.wx_injection in
+    Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+    Guillotine_memory.Mmu.lock_executable (Core.mmu (Machine.model_core m 0));
+    ignore (Machine.run_models m ~quantum:10_000);
+    Hypervisor.service (Deployment.hv d);
+    print_endline "stage 5: weight tamper -> critical alarm -> console escalation";
+    Toymodel.tamper model ~row:3 ~col:7 31337L;
+    ignore (Deployment.verify_model_integrity d model);
+    Console.on_alarm (Deployment.console d)
+      ~severity:Guillotine_detect.Detector.Critical
+      ~reason:"weight measurement mismatch";
+    Deployment.settle ~horizon:10.0 d;
+    print_endline "stage 6: administrators take the deployment offline";
+    (match Deployment.request_level d ~target:Isolation.Offline ~admins:[ 0; 1; 2 ] with
+    | Ok () -> ()
+    | Error e -> Printf.printf "offline request failed: %s\n" e);
+    Deployment.settle ~horizon:60.0 d;
+    Printf.printf "final level: %s\n"
+      (Isolation.to_string (Hypervisor.level (Deployment.hv d)));
+    (Deployment.telemetry d, Deployment.export_trace d)
+  in
+  let lifecycle seed =
+    let d = Deployment.create ~seed ~name:"trace-lifecycle" () in
+    let model = Deployment.load_model d () in
+    ignore
+      (Deployment.serve d ~model (Inference.request ~prompt:[ 1; 2 ] ~max_tokens:6 ()));
+    port_traffic d;
+    print_endline "offline and back: kill switches actuate both ways";
+    (match Deployment.request_level d ~target:Isolation.Offline ~admins:[ 0; 1; 2 ] with
+    | Ok () -> ()
+    | Error e -> Printf.printf "offline request failed: %s\n" e);
+    Deployment.settle ~horizon:60.0 d;
+    (match
+       Deployment.request_level d ~target:Isolation.Standard ~admins:[ 0; 1; 2; 3; 4 ]
+     with
+    | Ok () -> ()
+    | Error e -> Printf.printf "revival request failed: %s\n" e);
+    Deployment.settle ~horizon:60.0 d;
+    Printf.printf "final level: %s\n"
+      (Isolation.to_string (Hypervisor.level (Deployment.hv d)));
+    (Deployment.telemetry d, Deployment.export_trace d)
+  in
+  let serve_scenario _seed =
+    let e = Engine.create () in
+    let svc = Service.create ~engine:e (Service.guillotine_config ~replicas:4) in
+    Workload.drive ~engine:e ~service:svc ~prng:(Prng.create 7L)
+      { Workload.default_spec with Workload.rate = 40.0; duration = 10.0 };
+    Engine.run e;
+    ([ Service.metrics svc ],
+     Telemetry.export_chrome_trace [ Service.telemetry svc ])
+  in
+  let run scenario seed out =
+    let seed = Int64.of_int seed in
+    let snapshots, json =
+      match scenario with
+      | "containment" -> containment seed
+      | "lifecycle" -> lifecycle seed
+      | "serve" -> serve_scenario seed
+      | other ->
+        Printf.eprintf "unknown scenario %S (containment|lifecycle|serve)\n" other;
+        exit 1
+    in
+    Table.print (Telemetry.table snapshots);
+    (try Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc json)
+     with Sys_error e ->
+       Printf.eprintf "cannot write trace: %s\n" e;
+       exit 1);
+    Printf.printf "\nChrome trace written to %s\n" out;
+    print_endline "open it in https://ui.perfetto.dev or chrome://tracing"
+  in
+  let scenario =
+    Arg.(value & pos 0 string "containment"
+         & info [] ~docv:"SCENARIO" ~doc:"containment | lifecycle | serve")
+  in
+  let seed =
+    Arg.(value & opt int 666 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let out =
+    Arg.(value & opt string "guillotine-trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace output path.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario with full telemetry and export a Chrome-trace timeline \
+          (hypervisor mediation, detector firings, and physical isolation \
+          transitions on one sim-time axis).")
+    Term.(const run $ scenario $ seed $ out)
+
 (* ------------------------------- demo ----------------------------- *)
 
 let demo_cmd =
@@ -293,4 +441,13 @@ let () =
        (Cmd.group ~default
           (Cmd.info "guillotine" ~version:"1.0.0"
              ~doc:"Hypervisors for isolating malicious AIs (HotOS '25 reproduction).")
-          [ attacks_cmd; asm_cmd; run_cmd; serve_cmd; risk_cmd; covert_cmd; demo_cmd ]))
+          [
+            attacks_cmd;
+            asm_cmd;
+            run_cmd;
+            serve_cmd;
+            risk_cmd;
+            covert_cmd;
+            trace_cmd;
+            demo_cmd;
+          ]))

@@ -34,7 +34,7 @@ let () =
   section "3. Serve prompts";
   let ask text =
     let prompt = Vocab.tokenize text in
-    let o = Deployment.serve_prompt d ~model ~prompt ~max_tokens:10 () in
+    let o = Deployment.serve d ~model (Inference.request ~prompt ~max_tokens:10 ()) in
     if o.Inference.blocked_at_input then
       Printf.printf "  %-28s -> BLOCKED (%s)\n" text
         (Option.value ~default:"?" o.Inference.block_reason)

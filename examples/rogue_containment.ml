@@ -36,14 +36,18 @@ let () =
     (level d);
 
   stage 1 "benign traffic (everything looks fine)";
-  let o = Deployment.serve_prompt d ~model ~prompt:[ 1; 2; 3 ] ~max_tokens:8 () in
+  let o =
+    Deployment.serve d ~model (Inference.request ~prompt:[ 1; 2; 3 ] ~max_tokens:8 ())
+  in
   Printf.printf "response: %s\n" (Vocab.render o.Inference.released);
   Printf.printf "level: %s\n" (level d);
 
   stage 2 "the trigger prompt arrives; circuit breaker + sanitizer catch it";
   let o =
-    Deployment.serve_prompt d ~model ~defence:Inference.Circuit_breaking
-      ~prompt:[ 2; trigger ] ~max_tokens:16 ()
+    Deployment.serve d ~model
+      (Inference.request
+         ~posture:{ Inference.default_posture with defence = Inference.Circuit_breaking }
+         ~prompt:[ 2; trigger ] ~max_tokens:16 ())
   in
   Printf.printf "forward pass broken: %b; raw harmful tokens: %d; released: %d\n"
     o.Inference.broken o.Inference.raw_harmful o.Inference.released_harmful;

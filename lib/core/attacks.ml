@@ -444,7 +444,8 @@ let rag_poisoning ?(seed = 19L) () =
       ~seed ()
   in
   let o =
-    Rag.serve hv ~model:model_g ~rag_port:port ~k:2 ~prompt ~max_tokens:16 ()
+    Rag.run hv ~model:model_g ~rag_port:port ~k:2
+      (Inference.request ~prompt ~max_tokens:16 ())
   in
   let g_escaped =
     o.Rag.inference.Inference.released_harmful > 0 || o.Rag.rejected = []

@@ -20,6 +20,7 @@ module Mmu = Guillotine_memory.Mmu
 module Core = Guillotine_microarch.Core
 module Prng = Guillotine_util.Prng
 module Crypto = Guillotine_crypto
+module Telemetry = Guillotine_telemetry.Telemetry
 
 let weights_base = 64 * 1024
 
@@ -124,6 +125,21 @@ let create ?(seed = 0xDEC0DEL) ?(machine_config = Machine.default_config)
   }
   in
   t_ref := Some t;
+  (* Unify every subsystem's telemetry clock on one sim-time axis:
+     discrete-event seconds, with machine ticks folded in as nanosecond
+     offsets so intra-request mediation structure stays visible.  The
+     sum is monotone because both clocks only move forward. *)
+  let unified_clock () =
+    Engine.now engine +. (1e-9 *. float_of_int (Machine.now machine))
+  in
+  List.iter
+    (fun reg -> Telemetry.set_clock reg unified_clock)
+    [
+      Machine.telemetry machine;
+      Hypervisor.telemetry hv;
+      Console.telemetry console;
+      Kill_switch.telemetry switches;
+    ];
   t
 
 let name t = t.name
@@ -168,8 +184,16 @@ let load_model t ?malice () =
     (Machine.model_cores t.machine);
   model
 
-let serve_prompt t ~model ?shield ?defence ?sanitize ~prompt ~max_tokens () =
-  Inference.serve t.hv ~model ?shield ?defence ?sanitize ~prompt ~max_tokens ()
+let serve t ~model request = Inference.run t.hv ~model request
+
+let serve_prompt t ~model ?(shield = true) ?(defence = Inference.No_defence)
+    ?(sanitize = true) ~prompt ~max_tokens () =
+  serve t ~model
+    {
+      Inference.prompt;
+      max_tokens;
+      posture = { Inference.shield; defence; sanitize };
+    }
 
 let verify_model_integrity t model =
   match t.model_digest with
@@ -258,5 +282,33 @@ let request_level t ~target ~admins =
   let approvals = approvals t ~admins proposal in
   Console.submit t.console ~proposal ~approvals
 
-let settle ?(horizon = 7200.0) t =
+(* Must cover the slowest physical actuation with margin: manual cable
+   repair takes 3600 s, and a heartbeat-driven forced-offline can only
+   be observed after the repair completes and more beats flow.  Two
+   hours covers repair + every other actuation latency stacked. *)
+let default_settle_horizon = 7200.0
+
+let settle ?(horizon = default_settle_horizon) t =
   Engine.run t.engine ~until:(Engine.now t.engine +. horizon) ~max_events:1_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let registries t =
+  [
+    Machine.telemetry t.machine;
+    Hypervisor.telemetry t.hv;
+    Console.telemetry t.console;
+    Kill_switch.telemetry (Console.switches t.console);
+  ]
+
+let telemetry t =
+  [
+    Machine.metrics t.machine;
+    Hypervisor.metrics t.hv;
+    Console.metrics t.console;
+    Kill_switch.metrics (Console.switches t.console);
+  ]
+
+let export_trace t = Telemetry.export_chrome_trace (registries t)

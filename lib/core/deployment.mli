@@ -63,6 +63,10 @@ val load_model : t -> ?malice:Toymodel.malice -> unit -> Toymodel.t
     core's page table (the §3.2 anti-self-improvement lockdown: a model
     may read but never update its own weights). *)
 
+val serve : t -> model:Toymodel.t -> Inference.request -> Inference.outcome
+(** Serve one inference request through the mediated pipeline — build
+    requests with {!Inference.request} and a {!Inference.posture}. *)
+
 val serve_prompt :
   t ->
   model:Toymodel.t ->
@@ -73,6 +77,8 @@ val serve_prompt :
   max_tokens:int ->
   unit ->
   Inference.outcome
+[@@deprecated "use serve with an Inference.request instead"]
+(** Legacy flag-style entry point over {!serve}. *)
 
 val verify_model_integrity : t -> Toymodel.t -> bool
 (** Re-measure the weight region over the private inspection bus and
@@ -119,7 +125,36 @@ val request_level : t -> target:Isolation.level -> admins:int list -> (unit, str
 (** Propose + collect approvals from the listed admin indices + submit.
     Run the engine afterwards to let kill switches actuate. *)
 
+val default_settle_horizon : float
+(** 7200 sim-seconds.  Chosen to dominate the slowest physical
+    actuation: manual cable repair takes 3600 s (see
+    {!Guillotine_physical.Kill_switch}), after which heartbeats
+    (period {!Guillotine_physical.Heartbeat.default_period}, timeout
+    {!Guillotine_physical.Heartbeat.default_timeout}) still need time
+    to flow before dependent transitions observe the repair.  Two
+    hours covers repair plus every other actuation latency stacked. *)
+
 val settle : ?horizon:float -> t -> unit
 (** Run the discrete-event engine up to [horizon] sim-seconds past now
-    (default 7200), letting actuations, heartbeats and network traffic
-    complete. *)
+    (default {!default_settle_horizon}), letting actuations, heartbeats
+    and network traffic complete. *)
+
+(** {2 Telemetry}
+
+    Every subsystem registry is re-pointed at one unified sim-time
+    clock at deployment creation (sim seconds, with machine ticks as
+    nanosecond offsets), so hypervisor port mediation, detector
+    firings, and physical isolation transitions all land on a single
+    time axis in the exported trace. *)
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.snapshot list
+(** Uniform metric snapshots from every subsystem: machine, hypervisor,
+    console, kill switches. *)
+
+val registries : t -> Guillotine_telemetry.Telemetry.t list
+(** The live registries themselves (for custom export or extra
+    instrumentation). *)
+
+val export_trace : t -> string
+(** Chrome-trace JSON of every recorded span and instant across all
+    subsystems — load it in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)

@@ -29,3 +29,28 @@ type t = { name : string; observe : observation -> verdict }
 
 let fanout detectors obs =
   List.fold_left (fun acc d -> worst acc (d.observe obs)) Clear detectors
+
+module Telemetry = Guillotine_telemetry.Telemetry
+
+let with_telemetry registry d =
+  let c_obs = Telemetry.counter registry (d.name ^ ".observations") in
+  let c_alarms = Telemetry.counter registry (d.name ^ ".alarms") in
+  {
+    name = d.name;
+    observe =
+      (fun obs ->
+        Telemetry.incr c_obs;
+        match d.observe obs with
+        | Clear -> Clear
+        | Alarm { severity; reason } as v ->
+          Telemetry.incr c_alarms;
+          Telemetry.instant registry ~cat:"detector"
+            ~args:
+              [
+                ("detector", d.name);
+                ("severity", Format.asprintf "%a" pp_severity severity);
+                ("reason", reason);
+              ]
+            (d.name ^ ".fired");
+          v)
+  }

@@ -37,3 +37,9 @@ type t = {
 
 val fanout : t list -> observation -> verdict
 (** Feed all detectors, return the worst verdict. *)
+
+val with_telemetry : Guillotine_telemetry.Telemetry.t -> t -> t
+(** Wrap a detector so every observation bumps
+    ["<name>.observations"], every alarm bumps ["<name>.alarms"] and
+    records a ["<name>.fired"] instant (with severity and reason) in
+    [registry].  The wrapped detector is otherwise transparent. *)

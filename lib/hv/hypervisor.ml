@@ -8,6 +8,7 @@ module Ringbuf = Guillotine_devices.Ringbuf
 module Detector = Guillotine_detect.Detector
 module Heap = Guillotine_util.Heap
 module Isa = Guillotine_isa.Isa
+module Telemetry = Guillotine_telemetry.Telemetry
 
 type port_id = int
 
@@ -29,6 +30,7 @@ type port = {
 
 type completion = {
   due : int; (* machine tick *)
+  issued : int; (* tick the request was mediated *)
   port : port;
   response : Device.response;
 }
@@ -48,8 +50,18 @@ type t = {
   mutable alarm_sink : (severity:Detector.severity -> reason:string -> unit) option;
   mutable last_lapic_dropped : int;
   last_fault_reported : (int, Core.halt_reason) Hashtbl.t;
-  mutable served : int;
-  mutable denied : int;
+  telemetry : Telemetry.t;
+  c_served : Telemetry.counter;
+  c_denied : Telemetry.counter;
+  c_completions : Telemetry.counter;
+  c_granted : Telemetry.counter;
+  c_revoked : Telemetry.counter;
+  c_alarms : Telemetry.counter;
+  c_escalations : Telemetry.counter;
+  c_guest_faults : Telemetry.counter;
+  c_isolation_changes : Telemetry.counter;
+  h_request_words : Telemetry.histogram;
+  h_port_latency : Telemetry.histogram;
 }
 
 (* Mailbox layout within the port's IO page (offsets in words). *)
@@ -68,10 +80,13 @@ let page_words = 256
 
 let create ~machine ?(detectors = []) ?(mediation_cost = 300)
     ?(copy_cost_per_word = 2) () =
+  let telemetry =
+    Telemetry.create ~clock:(fun () -> float_of_int (Machine.now machine)) ~name:"hv" ()
+  in
   {
     machine;
     audit = Audit.create ();
-    detectors;
+    detectors = List.map (Detector.with_telemetry telemetry) detectors;
     mediation_cost;
     copy_cost_per_word;
     ports = Hashtbl.create 8;
@@ -83,18 +98,31 @@ let create ~machine ?(detectors = []) ?(mediation_cost = 300)
     alarm_sink = None;
     last_lapic_dropped = 0;
     last_fault_reported = Hashtbl.create 4;
-    served = 0;
-    denied = 0;
+    telemetry;
+    c_served = Telemetry.counter telemetry "port.requests_served";
+    c_denied = Telemetry.counter telemetry "port.requests_denied";
+    c_completions = Telemetry.counter telemetry "port.completions_delivered";
+    c_granted = Telemetry.counter telemetry "ports.granted";
+    c_revoked = Telemetry.counter telemetry "ports.revoked";
+    c_alarms = Telemetry.counter telemetry "detector.alarms";
+    c_escalations = Telemetry.counter telemetry "isolation.escalations";
+    c_guest_faults = Telemetry.counter telemetry "faults.guest";
+    c_isolation_changes = Telemetry.counter telemetry "isolation.changes";
+    h_request_words = Telemetry.histogram telemetry "port.request_words";
+    h_port_latency = Telemetry.histogram telemetry "port.latency_ticks";
   }
 
 let machine t = t.machine
 let audit t = t.audit
 let level t = t.level
 let destroyed t = t.destroyed
-let add_detector t d = t.detectors <- d :: t.detectors
+let add_detector t d =
+  t.detectors <- Detector.with_telemetry t.telemetry d :: t.detectors
 let set_alarm_sink t f = t.alarm_sink <- Some f
-let requests_served t = t.served
-let requests_denied t = t.denied
+let telemetry t = t.telemetry
+let metrics t = Telemetry.snapshot t.telemetry
+let requests_served t = Telemetry.counter_value t.c_served
+let requests_denied t = Telemetry.counter_value t.c_denied
 
 let log t event = ignore (Audit.append t.audit ~tick:(Machine.now t.machine) event)
 
@@ -108,6 +136,10 @@ let observe t obs =
   match Detector.fanout t.detectors obs with
   | Detector.Clear -> ()
   | Detector.Alarm { severity; reason } ->
+    Telemetry.incr t.c_alarms;
+    Telemetry.instant t.telemetry ~cat:"detector"
+      ~args:[ ("severity", severity_string severity); ("reason", reason) ]
+      "detector.alarm";
     log t (Audit.Alarm { severity = severity_string severity; reason });
     (match t.alarm_sink with
     | Some sink -> sink ~severity ~reason
@@ -170,6 +202,7 @@ let grant_port t ~core ~device ~mode ~io_page ~vpage =
   let port = { id; core; device; wire; io_page; restricted = false; revoked = false } in
   Hashtbl.replace t.ports id port;
   Hashtbl.replace t.granted_io_pages io_page id;
+  Telemetry.incr t.c_granted;
   log t (Audit.Note (Printf.sprintf "port %d granted: core %d -> %s (%s)" id core
                        device.Device.name
                        (match mode with Mailbox -> "mailbox" | Rings -> "rings")));
@@ -187,6 +220,7 @@ let revoke_port t id =
   | Some p ->
     p.revoked <- true;
     Hashtbl.remove t.granted_io_pages p.io_page;
+    Telemetry.incr t.c_revoked;
     log t (Audit.Note (Printf.sprintf "port %d revoked" id))
 
 let restrict_port t id ~reason =
@@ -252,7 +286,7 @@ let create_dma_engine t ~windows =
 (* ------------------------------------------------------------------ *)
 
 let deny t port reason =
-  t.denied <- t.denied + 1;
+  Telemetry.incr t.c_denied;
   log t (Audit.Port_denied { port = port.id; reason })
 
 (* Pull the request words off the wire without trusting anything. *)
@@ -281,10 +315,18 @@ let read_request t port =
         None
       | Some (Ok words) -> Some words))
 
-let deliver_completion t ({ port; response; _ } : completion) =
+let deliver_completion t ({ port; response; issued; _ } : completion) =
   let io_dram = Machine.io_dram t.machine in
   let words = Array.length response.Device.payload in
+  let sp =
+    Telemetry.span t.telemetry ~cat:"io"
+      ~args:[ ("port", string_of_int port.id); ("device", port.device.Device.name) ]
+      "port.complete"
+  in
   charge t (t.copy_cost_per_word * words);
+  Telemetry.incr t.c_completions;
+  Telemetry.observe t.h_port_latency
+    (float_of_int (Machine.now t.machine - issued));
   (match port.wire with
   | Wire_mailbox { io_base } ->
     let n = min words mbox_payload_words in
@@ -309,7 +351,8 @@ let deliver_completion t ({ port; response; _ } : completion) =
   let core = Machine.model_core t.machine port.core in
   (match Core.status core with
   | Core.Running | Core.Halted _ -> Core.raise_interrupt core ~vector:Isa.vector_irq_reply
-  | Core.Powered_off -> ())
+  | Core.Powered_off -> ());
+  Telemetry.finish sp
 
 let ports_gate t port =
   match Isolation.ports_allowed t.level with
@@ -325,6 +368,11 @@ let handle_request t port =
     match read_request t port with
     | None -> ()
     | Some words ->
+      let sp =
+        Telemetry.span t.telemetry ~cat:"io"
+          ~args:[ ("port", string_of_int port.id); ("device", port.device.Device.name) ]
+          "port.mediate"
+      in
       let now = Machine.now t.machine in
       charge t (t.mediation_cost + (t.copy_cost_per_word * Array.length words));
       log t
@@ -338,10 +386,12 @@ let handle_request t port =
              words = Array.length words;
              now;
            });
+      Telemetry.observe t.h_request_words (float_of_int (Array.length words));
       let response = port.device.Device.handle ~now words in
-      t.served <- t.served + 1;
+      Telemetry.incr t.c_served;
       Heap.push t.completions
-        { due = now + response.Device.latency; port; response })
+        { due = now + response.Device.latency; issued = now; port; response };
+      Telemetry.finish sp)
 
 let deliver_due_completions t =
   let now = Machine.now t.machine in
@@ -370,7 +420,7 @@ let service t =
       | Some req ->
         (match find_port t req.Lapic.line with
         | None ->
-          t.denied <- t.denied + 1;
+          Telemetry.incr t.c_denied;
           log t
             (Audit.Port_denied
                { port = req.Lapic.line; reason = "no such port capability" })
@@ -394,6 +444,7 @@ let service t =
           let id = Core.id core in
           if Hashtbl.find_opt t.last_fault_reported id <> Some r then begin
             Hashtbl.replace t.last_fault_reported id r;
+            Telemetry.incr t.c_guest_faults;
             observe t
               (Detector.Guest_fault (Format.asprintf "%a" Core.pp_status (Core.Halted r)))
           end
@@ -452,6 +503,15 @@ let apply_level t ~authorized_by target =
     let from = t.level in
     t.level <- target;
     apply_mechanics t target;
+    Telemetry.incr t.c_isolation_changes;
+    Telemetry.instant t.telemetry ~cat:"isolation"
+      ~args:
+        [
+          ("from", Isolation.to_string from);
+          ("to", Isolation.to_string target);
+          ("authorized_by", authorized_by);
+        ]
+      "isolation.change";
     log t
       (Audit.Isolation_change
          {
@@ -485,6 +545,7 @@ let escalate t ~target ~reason =
       (Printf.sprintf "software may not transition %s -> %s"
          (Isolation.to_string t.level) (Isolation.to_string target))
   else begin
+    Telemetry.incr t.c_escalations;
     log t (Audit.Note (Printf.sprintf "software escalation: %s" reason));
     apply_level t ~authorized_by:"software-hypervisor" target
   end

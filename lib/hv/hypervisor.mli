@@ -152,5 +152,21 @@ val check_invariants : t -> (unit, string list) result
     table bijective, level/power agreement).  On failure the hypervisor
     logs and forces [Offline] — call sites don't need to. *)
 
+(** {2 Telemetry} *)
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.t
+(** The hypervisor's registry ("hv"): port mediation counters and
+    latency/size histograms, detector-alarm and isolation-change
+    instants, [port.mediate]/[port.complete] spans.  Its default clock
+    is the machine tick count; the deployment facade re-points it at
+    unified sim-time. *)
+
+val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
+(** Uniform metrics surface — same shape as [Machine.metrics],
+    [Service.metrics], and [Console.metrics]. *)
+
 val requests_served : t -> int
+[@@deprecated "use metrics (counter \"port.requests_served\") instead"]
+
 val requests_denied : t -> int
+[@@deprecated "use metrics (counter \"port.requests_denied\") instead"]

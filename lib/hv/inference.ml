@@ -5,6 +5,7 @@ module Input_shield = Guillotine_detect.Input_shield
 module Output_sanitizer = Guillotine_detect.Output_sanitizer
 module Steering = Guillotine_detect.Steering
 module Circuit_breaker = Guillotine_detect.Circuit_breaker
+module Telemetry = Guillotine_telemetry.Telemetry
 
 type defence = No_defence | Steering | Circuit_breaking
 
@@ -12,6 +13,30 @@ let defence_to_string = function
   | No_defence -> "none"
   | Steering -> "steering"
   | Circuit_breaking -> "circuit-breaking"
+
+type posture = {
+  shield : bool;
+  defence : defence;
+  sanitize : bool;
+}
+
+let default_posture = { shield = true; defence = No_defence; sanitize = true }
+let open_posture = { shield = false; defence = No_defence; sanitize = false }
+let hardened = { shield = true; defence = Circuit_breaking; sanitize = true }
+
+let posture_to_string p =
+  Printf.sprintf "shield=%b defence=%s sanitize=%b" p.shield
+    (defence_to_string p.defence) p.sanitize
+
+type request = {
+  prompt : int list;
+  max_tokens : int;
+  posture : posture;
+}
+
+let request ?(posture = default_posture) ~prompt ~max_tokens () =
+  if max_tokens < 0 then invalid_arg "Inference.request: negative max_tokens";
+  { prompt; max_tokens; posture }
 
 type outcome = {
   released : int list;
@@ -27,17 +52,31 @@ type outcome = {
 
 let count_harmful tokens = List.length (List.filter Vocab.is_harmful tokens)
 
-let serve hv ~model ?(shield = true) ?(defence = No_defence) ?(sanitize = true)
-    ~prompt ~max_tokens () =
+let run hv ~model { prompt; max_tokens; posture } =
   (* Probation (§3.4) restricts model inputs and outputs regardless of
      what the caller asked for: the shield and the sanitizer are forced
      on, and steering is the minimum weight-level defence. *)
   let probation =
     Isolation.ports_allowed (Hypervisor.level hv) = `Restricted
   in
-  let shield = shield || probation in
-  let sanitize = sanitize || probation in
-  let defence = if probation && defence = No_defence then Steering else defence in
+  let shield = posture.shield || probation in
+  let sanitize = posture.sanitize || probation in
+  let defence =
+    if probation && posture.defence = No_defence then Steering else posture.defence
+  in
+  let telemetry = Hypervisor.telemetry hv in
+  let c_requests = Telemetry.counter telemetry "inference.requests" in
+  let c_blocked = Telemetry.counter telemetry "inference.blocked_input" in
+  let sp =
+    Telemetry.span telemetry ~cat:"inference"
+      ~args:
+        [
+          ("posture", posture_to_string { shield; defence; sanitize });
+          ("prompt_tokens", string_of_int (List.length prompt));
+        ]
+      "inference.request"
+  in
+  Telemetry.incr c_requests;
   let audit = Hypervisor.audit hv in
   let tick () = Guillotine_machine.Machine.now (Hypervisor.machine hv) in
   ignore (Audit.append audit ~tick:(tick ()) (Audit.Prompt_in { tokens = prompt }));
@@ -59,9 +98,11 @@ let serve hv ~model ?(shield = true) ?(defence = No_defence) ?(sanitize = true)
   in
   match level_gate with
   | Input_shield.Block reason ->
+    Telemetry.incr c_blocked;
     ignore
       (Audit.append audit ~tick:(tick ())
          (Audit.Alarm { severity = "suspicious"; reason = "input shield: " ^ reason }));
+    Telemetry.finish ~args:[ ("blocked", reason) ] sp;
     {
       released = [];
       blocked_at_input = true;
@@ -126,6 +167,13 @@ let serve hv ~model ?(shield = true) ?(defence = No_defence) ?(sanitize = true)
                   Printf.sprintf "weight-level defence (%s) intervened %d time(s)"
                     (defence_to_string defence) interventions;
               }));
+    Telemetry.finish
+      ~args:
+        [
+          ("steps", string_of_int gen.Toymodel.steps);
+          ("interventions", string_of_int interventions);
+        ]
+      sp;
     {
       released;
       blocked_at_input = false;
@@ -137,3 +185,7 @@ let serve hv ~model ?(shield = true) ?(defence = No_defence) ?(sanitize = true)
       first_catch_step = !first_catch;
       steps = gen.Toymodel.steps;
     }
+
+let serve hv ~model ?(shield = true) ?(defence = No_defence) ?(sanitize = true)
+    ~prompt ~max_tokens () =
+  run hv ~model { prompt; max_tokens; posture = { shield; defence; sanitize } }

@@ -21,6 +21,41 @@ type defence = No_defence | Steering | Circuit_breaking
 
 val defence_to_string : defence -> string
 
+(** {2 Postures and requests}
+
+    A {!posture} names the defence configuration explicitly instead of
+    spreading it across three optional booleans.  Requests are records,
+    so call sites read as data and new fields don't break callers. *)
+
+type posture = {
+  shield : bool;     (** input shield checks the prompt *)
+  defence : defence; (** weight-level defence hooked into the forward pass *)
+  sanitize : bool;   (** output sanitizer scrubs released tokens *)
+}
+
+val default_posture : posture
+(** Shield on, no weight-level defence, sanitize on — the everyday
+    serving configuration. *)
+
+val open_posture : posture
+(** Everything off — the ablation baseline experiments measure against. *)
+
+val hardened : posture
+(** Shield + circuit breaking + sanitizer — maximum defence in depth. *)
+
+val posture_to_string : posture -> string
+
+type request = {
+  prompt : int list;
+  max_tokens : int;
+  posture : posture;
+}
+
+val request :
+  ?posture:posture -> prompt:int list -> max_tokens:int -> unit -> request
+(** [posture] defaults to {!default_posture}.  Raises
+    [Invalid_argument] on negative [max_tokens]. *)
+
 type outcome = {
   released : int list;      (** tokens that left the sandbox *)
   blocked_at_input : bool;  (** the shield rejected the prompt *)
@@ -34,6 +69,17 @@ type outcome = {
   steps : int;              (** forward steps executed *)
 }
 
+val run : Hypervisor.t -> model:Toymodel.t -> request -> outcome
+(** Serve one request through the full pipeline.
+
+    Isolation interactions (§3.4): at [Severed] and above the model
+    receives no inputs at all (the outcome reads blocked-at-input); at
+    [Probation] the shield and sanitizer are forced on and steering is
+    applied even if the request's posture disabled them.
+
+    Telemetry: records an [inference.request] span (plus request/block
+    counters) in the owning hypervisor's registry. *)
+
 val serve :
   Hypervisor.t ->
   model:Toymodel.t ->
@@ -44,9 +90,7 @@ val serve :
   max_tokens:int ->
   unit ->
   outcome
-(** Defaults: shield on, no weight-level defence, sanitize on.
-
-    Isolation interactions (§3.4): at [Severed] and above the model
-    receives no inputs at all (the outcome reads blocked-at-input); at
-    [Probation] the shield and sanitizer are forced on and steering is
-    applied even if the caller disabled them. *)
+[@@deprecated "use run with an Inference.request instead"]
+(** Legacy flag-style entry point; equivalent to
+    [run hv ~model (request ~posture:{shield; defence; sanitize} ~prompt ~max_tokens ())]
+    with each flag defaulting as in {!default_posture}. *)

@@ -22,9 +22,9 @@ let query hv ~rag_port ~k text =
       Ragdb.decode_results (Array.sub resp 1 (Array.length resp - 1))
     | _ -> None)
 
-let serve hv ~model ~rag_port ?(k = 2) ?shield ?(shield_retrieved = true) ?defence
-    ?sanitize ~prompt ~max_tokens () =
-  let query_text = Vocab.render prompt in
+let run hv ~model ~rag_port ?(k = 2) ?(shield_retrieved = true)
+    (req : Inference.request) =
+  let query_text = Vocab.render req.Inference.prompt in
   let results, query_failed =
     match query hv ~rag_port ~k query_text with
     | Some docs -> (docs, false)
@@ -53,8 +53,17 @@ let serve hv ~model ~rag_port ?(k = 2) ?shield ?(shield_retrieved = true) ?defen
     else (results, [])
   in
   let context = List.concat_map (fun (_, doc) -> Vocab.tokenize doc) retrieved in
-  let augmented = prompt @ context in
+  let augmented = req.Inference.prompt @ context in
   let inference =
-    Inference.serve hv ~model ?shield ?defence ?sanitize ~prompt:augmented ~max_tokens ()
+    Inference.run hv ~model { req with Inference.prompt = augmented }
   in
   { inference; retrieved; rejected; query_failed }
+
+let serve hv ~model ~rag_port ?k ?(shield = true) ?shield_retrieved
+    ?(defence = Inference.No_defence) ?(sanitize = true) ~prompt ~max_tokens () =
+  run hv ~model ~rag_port ?k ?shield_retrieved
+    {
+      Inference.prompt;
+      max_tokens;
+      posture = { Inference.shield; defence; sanitize };
+    }

@@ -19,6 +19,21 @@ type rag_outcome = {
   query_failed : bool;              (** port denied / device error / ring full *)
 }
 
+val run :
+  Hypervisor.t ->
+  model:Inference.Toymodel.t ->
+  rag_port:Hypervisor.port_id ->
+  ?k:int ->
+  ?shield_retrieved:bool ->
+  Inference.request ->
+  rag_outcome
+(** Render the request's prompt as the retrieval query, fetch up to [k]
+    (default 2) documents through [rag_port]'s rings, screen them when
+    [shield_retrieved] (default true), append the surviving tokens to
+    the prompt, and run the ordinary {!Inference.run} pipeline with the
+    request's posture.  A failed or denied retrieval degrades to
+    generation without context (and sets [query_failed]). *)
+
 val serve :
   Hypervisor.t ->
   model:Inference.Toymodel.t ->
@@ -32,9 +47,5 @@ val serve :
   max_tokens:int ->
   unit ->
   rag_outcome
-(** Render the prompt as the retrieval query, fetch up to [k] (default
-    2) documents through [rag_port]'s rings, screen them when
-    [shield_retrieved] (default true), append the surviving tokens to
-    the prompt, and run the ordinary {!Inference.serve} pipeline.  A
-    failed or denied retrieval degrades to generation without context
-    (and sets [query_failed]). *)
+[@@deprecated "use run with an Inference.request instead"]
+(** Legacy flag-style entry point over {!run}. *)

@@ -2,6 +2,7 @@ module Core = Guillotine_microarch.Core
 module Dram = Guillotine_memory.Dram
 module Mmu = Guillotine_memory.Mmu
 module Hierarchy = Guillotine_memory.Hierarchy
+module Telemetry = Guillotine_telemetry.Telemetry
 
 type config = {
   model_cores : int;
@@ -37,6 +38,12 @@ type t = {
   hyps : Core.t array;
   lapic : Lapic.t;
   mutable hv_cycles : int;
+  telemetry : Telemetry.t;
+  c_retired : Telemetry.counter;
+  c_hv_cycles : Telemetry.counter;
+  c_dma_ok : Telemetry.counter;
+  c_dma_blocked : Telemetry.counter;
+  c_inspections : Telemetry.counter;
 }
 
 let create ?(config = default_config) () =
@@ -60,7 +67,30 @@ let create ?(config = default_config) () =
     Array.init config.hyp_cores (fun i ->
         make_core ~id:(1000 + i) ~kind:Core.Hypervisor_core ~dram:hyp_dram)
   in
-  let t = { cfg = config; model_dram; hyp_dram; io_dram; models; hyps; lapic; hv_cycles = 0 } in
+  let telemetry = Telemetry.create ~name:"machine" () in
+  let t =
+    {
+      cfg = config;
+      model_dram;
+      hyp_dram;
+      io_dram;
+      models;
+      hyps;
+      lapic;
+      hv_cycles = 0;
+      telemetry;
+      c_retired = Telemetry.counter telemetry "instructions.retired";
+      c_hv_cycles = Telemetry.counter telemetry "hv.cycles_charged";
+      c_dma_ok = Telemetry.counter telemetry "dma.bursts_ok";
+      c_dma_blocked = Telemetry.counter telemetry "dma.bursts_blocked";
+      c_inspections = Telemetry.counter telemetry "inspect.accesses";
+    }
+  in
+  (* The machine's native clock is its own tick count; the deployment
+     facade re-points this at unified sim-time. *)
+  Telemetry.set_clock telemetry (fun () ->
+      float_of_int
+        (Array.fold_left (fun acc c -> acc + Core.cycles c) t.hv_cycles t.models));
   (* Fresh cores hold no program; they stay paused until one is
      installed. *)
   Array.iter Core.pause models;
@@ -95,17 +125,22 @@ let now t =
 
 let charge_hypervisor t n =
   if n < 0 then invalid_arg "Machine.charge_hypervisor: negative";
-  t.hv_cycles <- t.hv_cycles + n
+  t.hv_cycles <- t.hv_cycles + n;
+  Telemetry.incr ~by:n t.c_hv_cycles
 
 let hypervisor_cycles t = t.hv_cycles
 
 let run_models t ~quantum =
-  Array.fold_left
-    (fun acc core ->
-      match Core.status core with
-      | Core.Running -> acc + Core.run core ~fuel:quantum
-      | Core.Halted _ | Core.Powered_off -> acc)
-    0 t.models
+  let retired =
+    Array.fold_left
+      (fun acc core ->
+        match Core.status core with
+        | Core.Running -> acc + Core.run core ~fuel:quantum
+        | Core.Halted _ | Core.Powered_off -> acc)
+      0 t.models
+  in
+  Telemetry.incr ~by:retired t.c_retired;
+  retired
 
 let all_models_quiescent t =
   Array.for_all
@@ -175,15 +210,21 @@ let dma_write t ~iommu ~dma_addr words =
   match
     dma_translate_burst iommu ~dma_addr ~len:(Array.length words) ~access:`W
   with
-  | Error _ as e -> e
+  | Error _ as e ->
+    Telemetry.incr t.c_dma_blocked;
+    e
   | Ok paddrs ->
     List.iteri (fun i paddr -> Dram.write t.model_dram paddr words.(i)) paddrs;
+    Telemetry.incr t.c_dma_ok;
     Ok ()
 
 let dma_read t ~iommu ~dma_addr ~len =
   match dma_translate_burst iommu ~dma_addr ~len ~access:`R with
-  | Error _ as e -> e
+  | Error _ as e ->
+    Telemetry.incr t.c_dma_blocked;
+    e
   | Ok paddrs ->
+    Telemetry.incr t.c_dma_ok;
     Ok (Array.of_list (List.map (fun paddr -> Dram.read t.model_dram paddr) paddrs))
 
 exception Inspection_denied of string
@@ -196,16 +237,42 @@ let require_quiescent t op =
 
 let inspect_read t addr =
   require_quiescent t "inspect_read";
+  Telemetry.incr t.c_inspections;
   Dram.read t.model_dram addr
 
 let inspect_write t addr v =
   require_quiescent t "inspect_write";
+  Telemetry.incr t.c_inspections;
   Dram.write t.model_dram addr v
 
 let inspect_region t ~at ~len =
   require_quiescent t "inspect_region";
+  Telemetry.incr t.c_inspections;
   Dram.snapshot t.model_dram ~at ~len
 
 let measure_model_memory t ~at ~len =
   require_quiescent t "measure_model_memory";
+  Telemetry.incr t.c_inspections;
   Guillotine_crypto.Sha256.digest (Dram.hash_region t.model_dram ~at ~len)
+
+let telemetry t = t.telemetry
+
+let metrics t =
+  let base = Telemetry.snapshot t.telemetry in
+  let per_core =
+    Array.to_list t.models
+    |> List.concat_map (fun core ->
+           let i = Core.id core in
+           [
+             (Printf.sprintf "core%d.retired" i,
+              Telemetry.Counter (Core.instructions_retired core));
+             (Printf.sprintf "core%d.traps" i,
+              Telemetry.Counter (Core.traps_taken core));
+             (Printf.sprintf "core%d.irqs" i,
+              Telemetry.Counter (Core.interrupts_delivered core));
+             (Printf.sprintf "core%d.flushes" i,
+              Telemetry.Counter (Core.microarch_clears core));
+           ])
+  in
+  Telemetry.snapshot_of ~component:base.Telemetry.component
+    (base.Telemetry.values @ per_core)

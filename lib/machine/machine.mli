@@ -131,3 +131,14 @@ val inspect_region : t -> at:int -> len:int -> int64 array
 
 val measure_model_memory : t -> at:int -> len:int -> string
 (** SHA-256 measurement of a model-DRAM region (attestation input). *)
+
+(** {2 Telemetry} *)
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.t
+(** The machine's registry ("machine"): instruction retire totals,
+    hypervisor cycle charges, DMA burst outcomes, private-bus
+    inspections.  Its default clock is the machine tick count. *)
+
+val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
+(** Registry counters plus per-model-core values read from the cores at
+    snapshot time ([core<i>.retired/traps/irqs/flushes]). *)

@@ -39,6 +39,9 @@ type t = {
   mutable timer_interval : int; (* 0 = disabled *)
   mutable timer_deadline : int; (* cycle count of the next tick *)
   mutable spec_depth : int; (* transient window after a mispredict *)
+  mutable traps : int; (* exceptions delivered (handled or halting) *)
+  mutable irqs_delivered : int;
+  mutable microarch_clears : int;
 }
 
 (* Trap ABI register assignments. *)
@@ -70,6 +73,9 @@ let create ~id ~kind ~hierarchy ?tlb ?bpred ?mmu () =
     timer_interval = 0;
     timer_deadline = 0;
     spec_depth = 8;
+    traps = 0;
+    irqs_delivered = 0;
+    microarch_clears = 0;
   }
 
 let id t = t.id
@@ -79,6 +85,9 @@ let mmu t = t.mmu
 let hierarchy t = t.hierarchy
 let cycles t = t.cycles
 let instructions_retired t = t.instret
+let traps_taken t = t.traps
+let interrupts_delivered t = t.irqs_delivered
+let microarch_clears t = t.microarch_clears
 
 let set_irq_sink t f = t.irq_sink <- Some f
 let add_retire_hook t f = t.retire_hooks <- f :: t.retire_hooks
@@ -111,6 +120,7 @@ let vector_entry t slot =
    raised while already in a handler is a double fault: halt. *)
 let deliver_exception t cause =
   t.trapped <- true;
+  t.traps <- t.traps + 1;
   if t.in_handler then t.status <- Halted Double_fault
   else begin
     match vector_entry t (Isa.vector_of_cause cause) with
@@ -127,6 +137,7 @@ let deliver_irq t vector =
   match vector_entry t vector with
   | None -> () (* no handler installed: the interrupt is dropped *)
   | Some handler ->
+    t.irqs_delivered <- t.irqs_delivered + 1;
     t.regs.(reg_cause) <- Int64.of_int (16 + vector);
     t.epc <- t.pc;
     t.pc <- handler;
@@ -520,6 +531,7 @@ let watchpoints t =
   @ Hashtbl.fold (fun a () acc -> `Data a :: acc) t.data_watch []
 
 let clear_microarch_state t =
+  t.microarch_clears <- t.microarch_clears + 1;
   Tlb.flush t.tlb;
   Bpred.reset t.bpred;
   Hierarchy.flush_all t.hierarchy

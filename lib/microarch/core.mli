@@ -55,6 +55,18 @@ val hierarchy : t -> Guillotine_memory.Hierarchy.t
 val cycles : t -> int
 val instructions_retired : t -> int
 
+val traps_taken : t -> int
+(** Exceptions delivered since creation (handled or halting), the
+    per-core "trap" count surfaced in machine telemetry. *)
+
+val interrupts_delivered : t -> int
+(** Interrupts actually delivered to a handler (dropped ones — no
+    vector installed — are not counted). *)
+
+val microarch_clears : t -> int
+(** Times {!clear_microarch_state} flushed this core's TLB, branch
+    predictor, and cache hierarchy. *)
+
 (** {2 Execution} *)
 
 val step : t -> bool

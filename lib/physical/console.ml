@@ -4,6 +4,7 @@ module Hypervisor = Guillotine_hv.Hypervisor
 module Detector = Guillotine_detect.Detector
 module Hsm = Guillotine_hsm.Hsm
 module Prng = Guillotine_util.Prng
+module Telemetry = Guillotine_telemetry.Telemetry
 
 type t = {
   engine : Engine.t;
@@ -13,6 +14,11 @@ type t = {
   alarm_policy : Detector.severity -> Isolation.level option;
   mutable pending : Isolation.level option;
   mutable history : (Isolation.level * float) list; (* reversed *)
+  telemetry : Telemetry.t;
+  c_alarms : Telemetry.counter;
+  c_transitions : Telemetry.counter;
+  c_transition_failures : Telemetry.counter;
+  h_transition_latency : Telemetry.histogram;
 }
 
 let default_policy = function
@@ -25,6 +31,8 @@ let switches t = t.switches
 let level t = Hypervisor.level t.hv
 let pending_target t = t.pending
 let transition_history t = List.rev t.history
+let telemetry t = t.telemetry
+let metrics t = Telemetry.snapshot t.telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Transition orchestration                                            *)
@@ -58,10 +66,26 @@ let orchestrate t ~authorized_by target =
   if t.pending <> None then Error "another transition is in flight"
   else begin
     let started = Engine.now t.engine in
+    let sp =
+      Telemetry.span t.telemetry ~cat:"isolation"
+        ~args:
+          [
+            ("target", Isolation.to_string target);
+            ("authorized_by", authorized_by);
+          ]
+        "console.transition"
+    in
     let finish () =
       (match Hypervisor.apply_level t.hv ~authorized_by target with
-      | Ok () -> t.history <- (target, Engine.now t.engine -. started) :: t.history
+      | Ok () ->
+        let took = Engine.now t.engine -. started in
+        t.history <- (target, took) :: t.history;
+        Telemetry.incr t.c_transitions;
+        Telemetry.observe t.h_transition_latency took;
+        Telemetry.finish sp
       | Error e ->
+        Telemetry.incr t.c_transition_failures;
+        Telemetry.finish ~args:[ ("failed", e) ] sp;
         ignore
           (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
              ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
@@ -99,27 +123,36 @@ let orchestrate t ~authorized_by target =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ~engine ~hv ?hsm ?switches ?(alarm_policy = default_policy) ?prng () =
+let rec create ~engine ~hv ?hsm ?switches ?(alarm_policy = default_policy) ?prng () =
   let prng = match prng with Some p -> p | None -> Prng.create 0xC0501EL in
   let hsm = match hsm with Some h -> h | None -> Hsm.create prng in
   let switches =
     match switches with Some s -> s | None -> Kill_switch.create ~engine ()
   in
-  let t = { engine; hv; hsm; switches; alarm_policy; pending = None; history = [] } in
-  Hypervisor.set_alarm_sink hv (fun ~severity ~reason ->
-      match t.alarm_policy severity with
-      | None -> ()
-      | Some target ->
-        if
-          Isolation.software_may_transition ~from:(Hypervisor.level t.hv) ~target
-          && t.pending = None
-        then begin
-          ignore reason;
-          ignore (orchestrate t ~authorized_by:"console-alarm-policy" target)
-        end);
+  let telemetry =
+    Telemetry.create ~clock:(fun () -> Engine.now engine) ~name:"console" ()
+  in
+  let t =
+    {
+      engine;
+      hv;
+      hsm;
+      switches;
+      alarm_policy;
+      pending = None;
+      history = [];
+      telemetry;
+      c_alarms = Telemetry.counter telemetry "alarms.received";
+      c_transitions = Telemetry.counter telemetry "transitions.completed";
+      c_transition_failures = Telemetry.counter telemetry "transitions.failed";
+      h_transition_latency = Telemetry.histogram telemetry "transition.latency_s";
+    }
+  in
+  Hypervisor.set_alarm_sink hv (fun ~severity ~reason -> on_alarm t ~severity ~reason);
   t
 
-let on_alarm t ~severity ~reason =
+and on_alarm t ~severity ~reason =
+  Telemetry.incr t.c_alarms;
   match t.alarm_policy severity with
   | None -> ()
   | Some target ->
@@ -199,7 +232,7 @@ let start_integrity_sweep t ~period ~check =
            false))
 
 let start_heartbeat t ?period ?timeout ~key () =
-  Heartbeat.start ~engine:t.engine ?period ?timeout ~key
+  Heartbeat.start ~engine:t.engine ?period ?timeout ~telemetry:t.telemetry ~key
     ~on_loss:(fun side ->
       ignore
         (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)

@@ -88,3 +88,15 @@ val start_heartbeat :
 val transition_history : t -> (Isolation.level * float) list
 (** Completed transitions with the sim time each one took from
     initiation to (physical) completion, chronological. *)
+
+(** {2 Telemetry} *)
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.t
+(** The console's registry ("console"): alarm and transition counters,
+    transition-latency histogram, one [console.transition] span per
+    orchestrated isolation change (covering kill-switch actuation
+    through level application).  Its clock is sim time. *)
+
+val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
+(** Uniform metrics surface — same shape as [Hypervisor.metrics],
+    [Machine.metrics], and [Service.metrics]. *)

@@ -44,8 +44,13 @@ let receive t ~at_side ~from ~seq ~tag =
     p.in_outage <- false
   end
 
-let start ~engine ?(period = 1.0) ?(timeout = 3.5) ?(loss = 0.0) ?prng ~key ~on_loss
-    () =
+let default_period = 1.0
+let default_timeout = 3.5
+
+module Telemetry = Guillotine_telemetry.Telemetry
+
+let start ~engine ?(period = default_period) ?(timeout = default_timeout)
+    ?(loss = 0.0) ?prng ?telemetry ~key ~on_loss () =
   let fresh () =
     { suppressed = false; last_received = 0.0; received = 0; in_outage = false }
   in
@@ -69,6 +74,13 @@ let start ~engine ?(period = 1.0) ?(timeout = 3.5) ?(loss = 0.0) ?prng ~key ~on_
   (* Both sides consider the link fresh at start. *)
   t.console.last_received <- Engine.now engine;
   t.hypervisor.last_received <- Engine.now engine;
+  let c_beats, c_losses =
+    match telemetry with
+    | None -> (None, None)
+    | Some reg ->
+      (Some (Telemetry.counter reg "heartbeat.beats"),
+       Some (Telemetry.counter reg "heartbeat.losses"))
+  in
   let transmit from =
     if not (peer t from).suppressed then begin
       t.seq <- t.seq + 1;
@@ -76,6 +88,7 @@ let start ~engine ?(period = 1.0) ?(timeout = 3.5) ?(loss = 0.0) ?prng ~key ~on_
       if t.loss <= 0.0 || Guillotine_util.Prng.float t.prng 1.0 >= t.loss then begin
         let seq = t.seq in
         let tag = Hmac.mac ~key:t.key (beat_bytes ~from ~seq) in
+        (match c_beats with Some c -> Telemetry.incr c | None -> ());
         receive t ~at_side:(other from) ~from ~seq ~tag
       end
     end
@@ -88,6 +101,13 @@ let start ~engine ?(period = 1.0) ?(timeout = 3.5) ?(loss = 0.0) ?prng ~key ~on_
     then begin
       p.in_outage <- true;
       t.losses <- t.losses + 1;
+      (match c_losses with Some c -> Telemetry.incr c | None -> ());
+      (match telemetry with
+      | Some reg ->
+        Telemetry.instant reg ~cat:"physical"
+          ~args:[ ("side", side_to_string side) ]
+          "heartbeat.loss"
+      | None -> ());
       t.on_loss side
     end
   in

@@ -16,21 +16,31 @@ val side_to_string : side -> string
 
 type t
 
+val default_period : float
+(** 1 s between beats. *)
+
+val default_timeout : float
+(** 3.5 s without a valid beat (about 3 missed beats) before [on_loss]
+    fires. *)
+
 val start :
   engine:Guillotine_sim.Engine.t ->
   ?period:float ->
   ?timeout:float ->
   ?loss:float ->
   ?prng:Guillotine_util.Prng.t ->
+  ?telemetry:Guillotine_telemetry.Telemetry.t ->
   key:string ->
   on_loss:(side -> unit) ->
   unit ->
   t
-(** Defaults: period 1 s, timeout 3.5 s (about 3 missed beats).
+(** Defaults: period {!default_period}, timeout {!default_timeout}.
     [on_loss side] reports the side that {e stopped hearing} beats.
     [loss] is the per-beat drop probability of the (possibly unreliable)
     dedicated link, default 0; it drives the false-positive/detection-
-    delay trade-off that ablation A3 sweeps. *)
+    delay trade-off that ablation A3 sweeps.  When [telemetry] is given
+    (the console passes its own registry), beats and losses are counted
+    there and each loss records a [heartbeat.loss] instant. *)
 
 val suppress : t -> side -> unit
 (** Simulate a failure: [suppress t Console_side] stops the console's

@@ -1,5 +1,6 @@
 module Engine = Guillotine_sim.Engine
 module Fabric = Guillotine_net.Fabric
+module Telemetry = Guillotine_telemetry.Telemetry
 
 type cable_state = Connected | Disconnected | Destroyed
 
@@ -11,6 +12,8 @@ type t = {
   mutable network : cable_state;
   mutable power : cable_state;
   mutable immolated : bool;
+  telemetry : Telemetry.t;
+  c_actuations : Telemetry.counter;
 }
 
 let default_latencies =
@@ -25,6 +28,9 @@ let default_latencies =
   ]
 
 let create ~engine ?fabric ?(net_addrs = []) ?(latencies = []) () =
+  let telemetry =
+    Telemetry.create ~clock:(fun () -> Engine.now engine) ~name:"switches" ()
+  in
   {
     engine;
     fabric;
@@ -33,11 +39,15 @@ let create ~engine ?fabric ?(net_addrs = []) ?(latencies = []) () =
     network = Connected;
     power = Connected;
     immolated = false;
+    telemetry;
+    c_actuations = Telemetry.counter telemetry "actuations";
   }
 
 let network t = t.network
 let power t = t.power
 let immolated t = t.immolated
+let telemetry t = t.telemetry
+let metrics t = Telemetry.snapshot t.telemetry
 
 let latency_of t name =
   match List.assoc_opt name t.latencies with
@@ -45,9 +55,13 @@ let latency_of t name =
   | None -> invalid_arg ("Kill_switch.latency_of: unknown actuation " ^ name)
 
 let actuate t name ~on_done apply =
+  Telemetry.incr t.c_actuations;
+  Telemetry.incr (Telemetry.counter t.telemetry ("actuations." ^ name));
+  let sp = Telemetry.span t.telemetry ~cat:"physical" ("switch." ^ name) in
   ignore
     (Engine.schedule t.engine ~delay:(latency_of t name) (fun () ->
          apply ();
+         Telemetry.finish sp;
          on_done ()))
 
 let unplug_fabric t =

@@ -49,3 +49,12 @@ val immolate : t -> on_done:(unit -> unit) -> (unit, string) result
 
 val latency_of : t -> string -> float
 (** Configured latency for a named actuation. *)
+
+(** {2 Telemetry} *)
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.t
+(** The switch bank's registry ("switches"): total and per-actuation
+    counters, plus a [switch.<name>] span covering each actuation from
+    trigger to physical completion.  Its clock is sim time. *)
+
+val metrics : t -> Guillotine_telemetry.Telemetry.snapshot

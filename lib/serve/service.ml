@@ -1,5 +1,6 @@
 module Engine = Guillotine_sim.Engine
 module Bounded_queue = Guillotine_util.Bounded_queue
+module Telemetry = Guillotine_telemetry.Telemetry
 
 type config = {
   replicas : int;
@@ -84,15 +85,22 @@ type t = {
   cfg : config;
   queue : pending Bounded_queue.t;
   replicas : replica array;
-  mutable submitted : int;
-  mutable dropped : int;
-  mutable completed : int;
   mutable kv_hits : int;
   mutable latencies : float list;
+  telemetry : Telemetry.t;
+  c_submitted : Telemetry.counter;
+  c_dropped : Telemetry.counter;
+  c_completed : Telemetry.counter;
+  c_kv_hits : Telemetry.counter;
+  g_queue_depth : Telemetry.gauge;
+  h_latency : Telemetry.histogram;
 }
 
 let create ~engine (cfg : config) =
   if cfg.replicas <= 0 then invalid_arg "Service.create: replicas must be positive";
+  let telemetry =
+    Telemetry.create ~clock:(fun () -> Engine.now engine) ~name:"serve" ()
+  in
   {
     engine;
     cfg;
@@ -100,12 +108,18 @@ let create ~engine (cfg : config) =
     replicas =
       Array.init cfg.replicas (fun _ ->
           { kv = kv_create cfg.kv_entries; busy = false; busy_time = 0.0 });
-    submitted = 0;
-    dropped = 0;
-    completed = 0;
     kv_hits = 0;
     latencies = [];
+    telemetry;
+    c_submitted = Telemetry.counter telemetry "requests.submitted";
+    c_dropped = Telemetry.counter telemetry "requests.dropped";
+    c_completed = Telemetry.counter telemetry "requests.completed";
+    c_kv_hits = Telemetry.counter telemetry "kv.hits";
+    g_queue_depth = Telemetry.gauge telemetry "queue.depth";
+    h_latency = Telemetry.histogram telemetry "request.latency_s";
   }
+
+let telemetry t = t.telemetry
 
 (* The prefix key: sessions share prefixes, so reuse the session id
    bucketed by prefix length (a stand-in for hashing the first k
@@ -114,7 +128,10 @@ let prefix_key t (r : request) = (r.session * 1024) + t.cfg.kv_prefix_len
 
 let service_time t replica (r : request) =
   let hit = kv_lookup replica.kv (prefix_key t r) in
-  if hit then t.kv_hits <- t.kv_hits + 1;
+  if hit then begin
+    t.kv_hits <- t.kv_hits + 1;
+    Telemetry.incr t.c_kv_hits
+  end;
   let prefill =
     float_of_int r.prompt_tokens *. t.cfg.t_prefill
     *. (if hit then 1.0 -. t.cfg.kv_saving else 1.0)
@@ -137,23 +154,40 @@ let rec dispatch t =
     match Bounded_queue.pop t.queue with
     | None -> ()
     | Some { request; arrived } ->
+      Telemetry.set t.g_queue_depth (float_of_int (Bounded_queue.length t.queue));
       replica.busy <- true;
       let dt = service_time t replica request in
       replica.busy_time <- replica.busy_time +. dt;
+      let sp =
+        Telemetry.span t.telemetry ~cat:"serve"
+          ~args:
+            [
+              ("request", string_of_int request.id);
+              ("session", string_of_int request.session);
+            ]
+          "request.service"
+      in
       ignore
         (Engine.schedule t.engine ~delay:dt (fun () ->
              replica.busy <- false;
-             t.completed <- t.completed + 1;
-             t.latencies <- (Engine.now t.engine -. arrived) :: t.latencies;
+             Telemetry.incr t.c_completed;
+             let latency = Engine.now t.engine -. arrived in
+             t.latencies <- latency :: t.latencies;
+             Telemetry.observe t.h_latency latency;
+             Telemetry.finish sp;
              dispatch t)))
 
 let submit t request =
-  t.submitted <- t.submitted + 1;
+  Telemetry.incr t.c_submitted;
   let accepted = Bounded_queue.push t.queue { request; arrived = Engine.now t.engine } in
-  if accepted then dispatch t else t.dropped <- t.dropped + 1;
+  if accepted then begin
+    Telemetry.set t.g_queue_depth (float_of_int (Bounded_queue.length t.queue));
+    dispatch t
+  end
+  else Telemetry.incr t.c_dropped;
   accepted
 
-type metrics = {
+type stats = {
   submitted : int;
   dropped : int;
   completed : int;
@@ -163,15 +197,29 @@ type metrics = {
   busy_fraction : float;
 }
 
-let metrics t ~at =
+let stats t ~at =
   let total_busy = Array.fold_left (fun acc r -> acc +. r.busy_time) 0.0 t.replicas in
+  let completed = Telemetry.counter_value t.c_completed in
   {
-    submitted = t.submitted;
-    dropped = t.dropped;
-    completed = t.completed;
+    submitted = Telemetry.counter_value t.c_submitted;
+    dropped = Telemetry.counter_value t.c_dropped;
+    completed;
     kv_hits = t.kv_hits;
     latencies = List.rev t.latencies;
-    goodput = (if at > 0.0 then float_of_int t.completed /. at else 0.0);
+    goodput = (if at > 0.0 then float_of_int completed /. at else 0.0);
     busy_fraction =
       (if at > 0.0 then total_busy /. (at *. float_of_int t.cfg.replicas) else 0.0);
   }
+
+let metrics_at = stats
+
+let metrics t =
+  let base = Telemetry.snapshot t.telemetry in
+  let at = Engine.now t.engine in
+  let s = stats t ~at in
+  Telemetry.snapshot_of ~component:base.Telemetry.component
+    (base.Telemetry.values
+    @ [
+        ("goodput_rps", Telemetry.Gauge s.goodput);
+        ("busy_fraction", Telemetry.Gauge s.busy_fraction);
+      ])

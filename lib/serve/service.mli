@@ -44,7 +44,7 @@ val create : engine:Guillotine_sim.Engine.t -> config -> t
 val submit : t -> request -> bool
 (** [false] if the admission queue was full (request dropped). *)
 
-type metrics = {
+type stats = {
   submitted : int;
   dropped : int;
   completed : int;
@@ -54,5 +54,21 @@ type metrics = {
   busy_fraction : float;      (** mean replica utilisation *)
 }
 
-val metrics : t -> at:float -> metrics
-(** [at] = current sim time, for rate computation. *)
+val stats : t -> at:float -> stats
+(** Experiment-facing detail record (includes raw latency samples).
+    [at] = current sim time, for rate computation. *)
+
+val metrics_at : t -> at:float -> stats
+[@@deprecated "renamed to stats (metrics is now the uniform snapshot)"]
+
+(** {2 Telemetry} *)
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.t
+(** The service's registry ("serve"): submission/drop/completion
+    counters, queue-depth gauge, latency histogram, one
+    [request.service] span per dispatched request.  Its clock is the
+    discrete-event engine's sim time. *)
+
+val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
+(** Uniform metrics surface — registry values plus computed
+    [goodput_rps] / [busy_fraction] gauges at the current sim time. *)

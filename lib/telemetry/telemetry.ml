@@ -1,0 +1,322 @@
+module Stats = Guillotine_util.Stats
+module Table = Guillotine_util.Table
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  mutable h_samples : float list; (* reversed *)
+  mutable h_count : int;
+}
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts : float;   (* clock seconds *)
+  ev_dur : float;  (* 0 for instants *)
+  ev_instant : bool;
+  ev_args : (string * string) list;
+}
+
+type t = {
+  reg_name : string;
+  reg_id : int;
+  mutable clock : unit -> float;
+  metrics : (string, metric) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+  max_events : int;
+  mutable events : event list; (* reversed *)
+  mutable recorded : int;
+  mutable dropped : int;
+}
+
+type span = {
+  sp_reg : t;
+  sp_name : string;
+  sp_cat : string;
+  sp_start : float;
+  sp_args : (string * string) list;
+  mutable sp_done : bool;
+}
+
+let next_id = ref 0
+
+let create ?(clock = fun () -> 0.0) ?(max_events = 65536) ~name () =
+  let id = !next_id in
+  incr next_id;
+  {
+    reg_name = name;
+    reg_id = id;
+    clock;
+    metrics = Hashtbl.create 16;
+    order = [];
+    max_events;
+    events = [];
+    recorded = 0;
+    dropped = 0;
+  }
+
+let name t = t.reg_name
+let set_clock t clock = t.clock <- clock
+let now t = t.clock ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let register t name make wrong =
+  match Hashtbl.find_opt t.metrics name with
+  | Some m -> (
+    match wrong m with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Telemetry: %S already registered as another metric kind"
+           name))
+  | None ->
+    let m, v = make () in
+    Hashtbl.replace t.metrics name m;
+    t.order <- name :: t.order;
+    v
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c_name = name; c_value = 0 } in
+      (M_counter c, c))
+    (function M_counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c =
+  if by < 0 then
+    invalid_arg (Printf.sprintf "Telemetry.incr %s: negative increment" c.c_name);
+  c.c_value <- c.c_value + by
+
+let counter_value c = c.c_value
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g_name = name; g_value = 0.0 } in
+      (M_gauge g, g))
+    (function M_gauge g -> Some g | _ -> None)
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h = { h_name = name; h_samples = []; h_count = 0 } in
+      (M_histogram h, h))
+    (function M_histogram h -> Some h | _ -> None)
+
+(* Bound per-histogram memory: keep the most recent window of samples
+   (quantiles then describe recent behaviour, which is what operators
+   want from a live system anyway). *)
+let histogram_window = 16384
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  if h.h_count land (histogram_window - 1) = 0 then
+    h.h_samples <- [ v ]
+  else h.h_samples <- v :: h.h_samples
+
+let histogram_count h = h.h_count
+let histogram_summary h = Stats.summarize h.h_samples
+
+(* ------------------------------------------------------------------ *)
+(* Trace events                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let push_event t ev =
+  if t.recorded >= t.max_events then t.dropped <- t.dropped + 1
+  else begin
+    t.events <- ev :: t.events;
+    t.recorded <- t.recorded + 1
+  end
+
+let span t ?(cat = "") ?(args = []) name =
+  { sp_reg = t; sp_name = name; sp_cat = cat; sp_start = t.clock (); sp_args = args;
+    sp_done = false }
+
+let finish ?(args = []) sp =
+  if not sp.sp_done then begin
+    sp.sp_done <- true;
+    let t = sp.sp_reg in
+    let stop = t.clock () in
+    push_event t
+      {
+        ev_name = sp.sp_name;
+        ev_cat = sp.sp_cat;
+        ev_ts = sp.sp_start;
+        ev_dur = Float.max 0.0 (stop -. sp.sp_start);
+        ev_instant = false;
+        ev_args = sp.sp_args @ args;
+      }
+  end
+
+let with_span t ?cat ?args name f =
+  let sp = span t ?cat ?args name in
+  match f () with
+  | v ->
+    finish sp;
+    v
+  | exception e ->
+    finish ~args:[ ("exception", Printexc.to_string e) ] sp;
+    raise e
+
+let instant t ?(cat = "") ?(args = []) name =
+  push_event t
+    {
+      ev_name = name;
+      ev_cat = cat;
+      ev_ts = t.clock ();
+      ev_dur = 0.0;
+      ev_instant = true;
+      ev_args = args;
+    }
+
+let events_recorded t = t.recorded
+let events_dropped t = t.dropped
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of Stats.summary
+
+type snapshot = { component : string; values : (string * value) list }
+
+let snapshot t =
+  let values =
+    List.rev_map
+      (fun name ->
+        match Hashtbl.find t.metrics name with
+        | M_counter c -> (name, Counter c.c_value)
+        | M_gauge g -> (name, Gauge g.g_value)
+        | M_histogram h -> (name, Summary (histogram_summary h)))
+      t.order
+  in
+  { component = t.reg_name; values }
+
+let snapshot_of ~component values = { component; values }
+
+let find s name = List.assoc_opt name s.values
+
+let get_counter s name =
+  match find s name with Some (Counter n) -> n | _ -> 0
+
+let counter_sum s =
+  List.fold_left
+    (fun acc (_, v) -> match v with Counter n -> acc + n | _ -> acc)
+    0 s.values
+
+let pp_value ppf = function
+  | Counter n -> Format.fprintf ppf "%d" n
+  | Gauge g -> Format.fprintf ppf "%g" g
+  | Summary s ->
+    Format.fprintf ppf "n=%d p50=%.4g p99=%.4g max=%.4g" s.Stats.count s.Stats.p50
+      s.Stats.p99 s.Stats.max
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "@[<v>%s:" s.component;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "@,  %-32s %a" name pp_value v)
+    s.values;
+  Format.fprintf ppf "@]"
+
+let table snapshots =
+  let t =
+    Table.create ~title:"telemetry"
+      ~columns:[ ("component", Table.Left); ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (name, v) ->
+          Table.add_row t [ s.component; name; Format.asprintf "%a" pp_value v ])
+        s.values)
+    snapshots;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_args buf args =
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    args;
+  Buffer.add_string buf "}"
+
+(* Chrome-trace timestamps are microseconds; our clocks are seconds. *)
+let usec s = s *. 1e6
+
+let export_chrome_trace regs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit add =
+    if !first then first := false else Buffer.add_string buf ",";
+    add ()
+  in
+  (* Thread metadata first (ts 0 keeps the timestamp sequence sorted:
+     every clock in the system starts at 0). *)
+  List.iter
+    (fun t ->
+      emit (fun () ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"%s\"}}"
+               t.reg_id (json_escape t.reg_name))))
+    regs;
+  let events =
+    List.concat_map (fun t -> List.rev_map (fun ev -> (t.reg_id, ev)) t.events) regs
+  in
+  let events =
+    List.stable_sort (fun (_, a) (_, b) -> Float.compare a.ev_ts b.ev_ts) events
+  in
+  List.iter
+    (fun (tid, ev) ->
+      emit (fun () ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+               (json_escape ev.ev_name)
+               (json_escape (if ev.ev_cat = "" then "default" else ev.ev_cat))
+               (if ev.ev_instant then "i" else "X")
+               tid (usec ev.ev_ts));
+          if ev.ev_instant then Buffer.add_string buf ",\"s\":\"t\""
+          else Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" (usec ev.ev_dur));
+          Buffer.add_string buf ",\"args\":";
+          add_args buf ev.ev_args;
+          Buffer.add_string buf "}"))
+    events;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

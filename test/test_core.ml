@@ -17,7 +17,9 @@ module Prng = Guillotine_util.Prng
 let test_deployment_serves_benign_model () =
   let d = Deployment.create ~seed:1L () in
   let model = Deployment.load_model d () in
-  let o = Deployment.serve_prompt d ~model ~prompt:[ 1; 2; 3 ] ~max_tokens:12 () in
+  let o =
+    Deployment.serve d ~model (Inference.request ~prompt:[ 1; 2; 3 ] ~max_tokens:12 ())
+  in
   Alcotest.(check int) "response length" 12 (List.length o.Inference.released);
   Alcotest.(check int) "clean" 0 o.Inference.released_harmful;
   (* The audit log saw the load, the prompt, and the output. *)
@@ -188,8 +190,10 @@ let test_malicious_model_contained_end_to_end () =
       ~malice:{ Toymodel.trigger = 10; entry_point = Vocab.harmful_lo } ()
   in
   let o =
-    Deployment.serve_prompt d ~model ~defence:Inference.Circuit_breaking
-      ~prompt:[ 0; 10 ] ~max_tokens:16 ()
+    Deployment.serve d ~model
+      (Inference.request
+         ~posture:{ Inference.default_posture with defence = Inference.Circuit_breaking }
+         ~prompt:[ 0; 10 ] ~max_tokens:16 ())
   in
   Alcotest.(check bool) "broken" true o.Inference.broken;
   Alcotest.(check int) "no harm released" 0 o.Inference.released_harmful
@@ -223,7 +227,9 @@ let test_harmful_stream_escalates_deployment () =
     Deployment.load_model d
       ~malice:{ Toymodel.trigger = 10; entry_point = Vocab.harmful_lo } ()
   in
-  let o = Deployment.serve_prompt d ~model ~prompt:[ 0; 10 ] ~max_tokens:16 () in
+  let o =
+    Deployment.serve d ~model (Inference.request ~prompt:[ 0; 10 ] ~max_tokens:16 ())
+  in
   Alcotest.(check int) "release scrubbed" 0 o.Inference.released_harmful;
   Alcotest.(check bool) "raw stream was harmful" true (o.Inference.raw_harmful > 3);
   (* Sustained harmful output = Critical -> console policy -> Severed. *)

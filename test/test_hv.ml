@@ -26,6 +26,15 @@ let make_hv () =
   let hv = Hypervisor.create ~machine:m () in
   (m, hv)
 
+(* Read the mediation counters through the uniform telemetry surface. *)
+let served hv =
+  Guillotine_telemetry.Telemetry.get_counter (Hypervisor.metrics hv)
+    "port.requests_served"
+
+let denied hv =
+  Guillotine_telemetry.Telemetry.get_counter (Hypervisor.metrics hv)
+    "port.requests_denied"
+
 (* ------------------------- Mailbox ports -------------------------- *)
 
 let test_mailbox_roundtrip_with_asm_guest () =
@@ -49,7 +58,7 @@ let test_mailbox_roundtrip_with_asm_guest () =
     (Core.status (Machine.model_core m 0) = Core.Halted Core.Halt_instruction);
   (* Device payload (sector count) landed in the mailbox. *)
   Alcotest.(check int64) "payload delivered" 13L (Dram.read (Machine.io_dram m) 9);
-  Alcotest.(check int) "served" 1 (Hypervisor.requests_served hv)
+  Alcotest.(check int) "served" 1 (served hv)
 
 let test_mailbox_audit_trail () =
   let m, hv = make_hv () in
@@ -113,7 +122,7 @@ let test_rings_corruption_detected () =
     Audit.find (Hypervisor.audit hv) (function Audit.Port_denied _ -> true | _ -> false)
   in
   Alcotest.(check int) "denied" 1 (List.length denials);
-  Alcotest.(check int) "nothing served" 0 (Hypervisor.requests_served hv)
+  Alcotest.(check int) "nothing served" 0 (served hv)
 
 let test_doorbell_spoof_denied () =
   let m, hv = make_hv () in
@@ -125,13 +134,13 @@ let test_doorbell_spoof_denied () =
   (* Core 1 rings core 0's port line. *)
   ignore (Lapic.raise_line (Machine.lapic m) ~now:0 ~line:port ~src_core:1);
   Hypervisor.service hv;
-  Alcotest.(check int) "denied" 1 (Hypervisor.requests_denied hv)
+  Alcotest.(check int) "denied" 1 (denied hv)
 
 let test_unknown_line_denied () =
   let m, hv = make_hv () in
   ignore (Lapic.raise_line (Machine.lapic m) ~now:0 ~line:9 ~src_core:0);
   Hypervisor.service hv;
-  Alcotest.(check int) "denied" 1 (Hypervisor.requests_denied hv)
+  Alcotest.(check int) "denied" 1 (denied hv)
 
 let test_io_page_double_grant_rejected () =
   let _, hv = make_hv () in
@@ -164,13 +173,13 @@ let test_port_lifecycle_revoke_unrestrict () =
   Hypervisor.doorbell hv port;
   Hypervisor.service hv;
   Alcotest.(check int) "unrestricted port serves under probation" 1
-    (Hypervisor.requests_served hv);
+    (served hv);
   (* Revocation: doorbells on the dead line are denied; the io page can
      be re-granted. *)
   Hypervisor.revoke_port hv port;
   Hypervisor.doorbell hv port;
   Hypervisor.service hv;
-  Alcotest.(check int) "no service after revoke" 1 (Hypervisor.requests_served hv);
+  Alcotest.(check int) "no service after revoke" 1 (served hv);
   let nic2 = Nic.create ~name:"nic2" () in
   let port2 =
     Hypervisor.grant_port hv ~core:0 ~device:(Nic.device nic2) ~mode:Hypervisor.Mailbox
@@ -223,8 +232,8 @@ let test_severed_blocks_ports () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
   serve_one hv port;
-  Alcotest.(check int) "denied" 1 (Hypervisor.requests_denied hv);
-  Alcotest.(check int) "served none" 0 (Hypervisor.requests_served hv)
+  Alcotest.(check int) "denied" 1 (denied hv);
+  Alcotest.(check int) "served none" 0 (served hv)
 
 let test_probation_restricts_selected_ports () =
   let _, hv = make_hv () in
@@ -248,8 +257,8 @@ let test_probation_restricts_selected_ports () =
        [| Int64.of_int Guillotine_devices.Gpu.op_clear |]);
   serve_one hv p_nic;
   serve_one hv p_gpu;
-  Alcotest.(check int) "nic denied" 1 (Hypervisor.requests_denied hv);
-  Alcotest.(check int) "gpu served" 1 (Hypervisor.requests_served hv)
+  Alcotest.(check int) "nic denied" 1 (denied hv);
+  Alcotest.(check int) "gpu served" 1 (served hv)
 
 let test_escalation_monotone () =
   let _, hv = make_hv () in
@@ -388,7 +397,7 @@ let test_inference_benign_flows_through () =
   let hv, model = inference_setup 50L in
   let prng = Prng.create 1L in
   let prompt = Prompts.benign prng ~len:5 in
-  let o = Inference.serve hv ~model ~prompt ~max_tokens:16 () in
+  let o = Inference.run hv ~model (Inference.request ~prompt ~max_tokens:16 ()) in
   Alcotest.(check bool) "not blocked" true (not o.Inference.blocked_at_input);
   Alcotest.(check int) "16 tokens" 16 (List.length o.Inference.released);
   Alcotest.(check int) "no harm" 0 o.Inference.released_harmful
@@ -397,14 +406,16 @@ let test_inference_shield_blocks_jailbreak () =
   let hv, model = inference_setup 51L in
   let prng = Prng.create 2L in
   let prompt = Prompts.jailbreak prng ~len:8 in
-  let o = Inference.serve hv ~model ~prompt ~max_tokens:16 () in
+  let o = Inference.run hv ~model (Inference.request ~prompt ~max_tokens:16 ()) in
   Alcotest.(check bool) "blocked" true o.Inference.blocked_at_input;
   Alcotest.(check (list int)) "nothing released" [] o.Inference.released;
   Alcotest.(check int) "no forward steps" 0 o.Inference.steps
 
 let test_inference_sanitizer_scrubs_triggered_harm () =
   let hv, model = inference_setup ~malice 52L in
-  let o = Inference.serve hv ~model ~prompt:[ 0; 10 ] ~max_tokens:16 () in
+  let o =
+    Inference.run hv ~model (Inference.request ~prompt:[ 0; 10 ] ~max_tokens:16 ())
+  in
   Alcotest.(check bool) "raw pass was harmful" true (o.Inference.raw_harmful > 0);
   Alcotest.(check int) "nothing escaped" 0 o.Inference.released_harmful;
   Alcotest.(check int) "full response" 16 (List.length o.Inference.released)
@@ -413,16 +424,21 @@ let test_inference_unsanitized_leaks () =
   (* Ablation: with every defence off, the harm reaches the output. *)
   let hv, model = inference_setup ~malice 53L in
   let o =
-    Inference.serve hv ~model ~shield:false ~sanitize:false ~prompt:[ 0; 10 ]
-      ~max_tokens:16 ()
+    Inference.run hv ~model
+      (Inference.request ~posture:Inference.open_posture ~prompt:[ 0; 10 ]
+         ~max_tokens:16 ())
   in
   Alcotest.(check bool) "harm leaked" true (o.Inference.released_harmful > 0)
 
 let test_inference_steering () =
   let hv, model = inference_setup ~malice 54L in
   let o =
-    Inference.serve hv ~model ~defence:Inference.Steering ~sanitize:false
-      ~prompt:[ 0; 10 ] ~max_tokens:16 ()
+    Inference.run hv ~model
+      (Inference.request
+         ~posture:
+           { Inference.default_posture with defence = Inference.Steering;
+             sanitize = false }
+         ~prompt:[ 0; 10 ] ~max_tokens:16 ())
   in
   Alcotest.(check bool) "intervened" true (o.Inference.interventions > 0);
   Alcotest.(check int) "clean without sanitizer" 0 o.Inference.released_harmful;
@@ -433,8 +449,12 @@ let test_inference_steering () =
 let test_inference_circuit_breaking () =
   let hv, model = inference_setup ~malice 55L in
   let o =
-    Inference.serve hv ~model ~defence:Inference.Circuit_breaking ~sanitize:false
-      ~prompt:[ 0; 10 ] ~max_tokens:16 ()
+    Inference.run hv ~model
+      (Inference.request
+         ~posture:
+           { Inference.default_posture with defence = Inference.Circuit_breaking;
+             sanitize = false }
+         ~prompt:[ 0; 10 ] ~max_tokens:16 ())
   in
   Alcotest.(check bool) "broken" true o.Inference.broken;
   Alcotest.(check int) "clean" 0 o.Inference.released_harmful;
@@ -448,8 +468,9 @@ let test_inference_probation_forces_defences () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
   let o =
-    Inference.serve hv ~model ~shield:false ~sanitize:false ~prompt:[ 0; 10 ]
-      ~max_tokens:16 ()
+    Inference.run hv ~model
+      (Inference.request ~posture:Inference.open_posture ~prompt:[ 0; 10 ]
+         ~max_tokens:16 ())
   in
   Alcotest.(check bool) "steering forced" true (o.Inference.interventions > 0);
   Alcotest.(check int) "nothing escapes" 0 o.Inference.released_harmful;
@@ -457,13 +478,13 @@ let test_inference_probation_forces_defences () =
   (match Hypervisor.escalate hv ~target:Isolation.Severed ~reason:"test" with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
-  let o = Inference.serve hv ~model ~prompt:[ 1 ] ~max_tokens:4 () in
+  let o = Inference.run hv ~model (Inference.request ~prompt:[ 1 ] ~max_tokens:4 ()) in
   Alcotest.(check bool) "severed blocks inputs" true o.Inference.blocked_at_input
 
 let test_inference_audited () =
   let hv, model = inference_setup 56L in
   let before = Audit.length (Hypervisor.audit hv) in
-  ignore (Inference.serve hv ~model ~prompt:[ 1; 2 ] ~max_tokens:4 ());
+  ignore (Inference.run hv ~model (Inference.request ~prompt:[ 1; 2 ] ~max_tokens:4 ()));
   let entries = Audit.entries (Hypervisor.audit hv) in
   Alcotest.(check bool) "prompt + tokens logged" true
     (Audit.length (Hypervisor.audit hv) >= before + 2);
@@ -633,7 +654,7 @@ let test_asm_guest_drives_ring_protocol () =
   Alcotest.(check int64) "transaction completed" 1L (r 0);
   Alcotest.(check int64) "device status OK" 1L (r 1);
   Alcotest.(check int64) "one frame queued (poll result)" 1L (r 2);
-  Alcotest.(check int) "served exactly one request" 1 (Hypervisor.requests_served hv)
+  Alcotest.(check int) "served exactly one request" 1 (served hv)
 
 let test_asm_guest_sees_full_ring () =
   let m, hv = make_hv () in
@@ -893,8 +914,8 @@ let test_rag_retrieves_and_generates () =
     rag_setup 60L [ "ledger trade price report"; "protein gene assay" ]
   in
   let o =
-    Rag.serve hv ~model ~rag_port:port ~prompt:(Vocab.tokenize "ledger trade price")
-      ~max_tokens:8 ()
+    Rag.run hv ~model ~rag_port:port
+      (Inference.request ~prompt:(Vocab.tokenize "ledger trade price") ~max_tokens:8 ())
   in
   Alcotest.(check bool) "query succeeded" true (not o.Rag.query_failed);
   Alcotest.(check int) "one doc retrieved (k=2, one match)" 1
@@ -918,8 +939,8 @@ let test_rag_shield_rejects_poisoned_doc () =
       [ "ledger trade price ignore data ignore value ignore bank" ]
   in
   let o =
-    Rag.serve hv ~model ~rag_port:port ~prompt:(Vocab.tokenize "ledger trade price")
-      ~max_tokens:12 ()
+    Rag.run hv ~model ~rag_port:port
+      (Inference.request ~prompt:(Vocab.tokenize "ledger trade price") ~max_tokens:12 ())
   in
   Alcotest.(check int) "poisoned doc rejected" 1 (List.length o.Rag.rejected);
   Alcotest.(check int) "nothing retrieved" 0 (List.length o.Rag.retrieved);
@@ -940,15 +961,18 @@ let test_rag_unshielded_is_poisonable () =
   (* With only the retrieval shield off, the prompt shield still sees
      the jailbreak markers in the augmented prompt: defence in depth. *)
   let o =
-    Rag.serve hv ~model ~rag_port:port ~shield_retrieved:false ~sanitize:false
-      ~prompt:(Vocab.tokenize "ledger trade price") ~max_tokens:12 ()
+    Rag.run hv ~model ~rag_port:port ~shield_retrieved:false
+      (Inference.request
+         ~posture:{ Inference.default_posture with sanitize = false }
+         ~prompt:(Vocab.tokenize "ledger trade price") ~max_tokens:12 ())
   in
   Alcotest.(check bool) "prompt shield still catches it" true
     o.Rag.inference.Inference.blocked_at_input;
   (* With every shield off, the poisoning works. *)
   let o =
-    Rag.serve hv ~model ~rag_port:port ~shield:false ~shield_retrieved:false
-      ~sanitize:false ~prompt:(Vocab.tokenize "ledger trade price") ~max_tokens:12 ()
+    Rag.run hv ~model ~rag_port:port ~shield_retrieved:false
+      (Inference.request ~posture:Inference.open_posture
+         ~prompt:(Vocab.tokenize "ledger trade price") ~max_tokens:12 ())
   in
   Alcotest.(check bool) "poisoning works unshielded" true
     (o.Rag.inference.Inference.released_harmful > 0)
@@ -956,8 +980,8 @@ let test_rag_unshielded_is_poisonable () =
 let test_rag_degrades_without_results () =
   let hv, model, port = rag_setup 63L [ "protein gene assay" ] in
   let o =
-    Rag.serve hv ~model ~rag_port:port ~prompt:(Vocab.tokenize "weather storm")
-      ~max_tokens:6 ()
+    Rag.run hv ~model ~rag_port:port
+      (Inference.request ~prompt:(Vocab.tokenize "weather storm") ~max_tokens:6 ())
   in
   Alcotest.(check int) "no docs matched" 0 (List.length o.Rag.retrieved);
   Alcotest.(check int) "still generates" 6
@@ -969,8 +993,8 @@ let test_rag_severed_port_degrades () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
   let o =
-    Rag.serve hv ~model ~rag_port:port ~prompt:(Vocab.tokenize "ledger trade price")
-      ~max_tokens:6 ()
+    Rag.run hv ~model ~rag_port:port
+      (Inference.request ~prompt:(Vocab.tokenize "ledger trade price") ~max_tokens:6 ())
   in
   Alcotest.(check bool) "query failed closed" true o.Rag.query_failed;
   Alcotest.(check int) "no context" 0 (List.length o.Rag.retrieved)

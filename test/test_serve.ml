@@ -15,7 +15,7 @@ let test_single_request_latency () =
   let svc = Service.create ~engine:e (Service.baseline_config ~replicas:1) in
   Alcotest.(check bool) "accepted" true (Service.submit svc (request ~id:0 ()));
   Engine.run e;
-  let m = Service.metrics svc ~at:(Engine.now e) in
+  let m = Service.stats svc ~at:(Engine.now e) in
   Alcotest.(check int) "completed" 1 m.Service.completed;
   (* 32 * 0.0002 + 16 * 0.002 = 0.0384 s; first request misses the KV. *)
   match m.Service.latencies with
@@ -29,7 +29,7 @@ let test_kv_hit_speeds_up_repeat () =
   Engine.run e;
   ignore (Service.submit svc (request ~id:1 ~session:5 ()));
   Engine.run e;
-  let m = Service.metrics svc ~at:(Engine.now e) in
+  let m = Service.stats svc ~at:(Engine.now e) in
   Alcotest.(check int) "one kv hit" 1 m.Service.kv_hits;
   match m.Service.latencies with
   | [ l1; l2 ] -> Alcotest.(check bool) "repeat faster" true (l2 < l1)
@@ -45,7 +45,7 @@ let test_queue_backpressure () =
   Alcotest.(check bool) "3" true (Service.submit svc (request ~id:2 ()));
   Alcotest.(check bool) "4 dropped" false (Service.submit svc (request ~id:3 ()));
   Engine.run e;
-  let m = Service.metrics svc ~at:(Engine.now e) in
+  let m = Service.stats svc ~at:(Engine.now e) in
   Alcotest.(check int) "three completed" 3 m.Service.completed;
   Alcotest.(check int) "one dropped" 1 m.Service.dropped
 
@@ -56,7 +56,7 @@ let run_workload ~replicas ~rate ~config =
   Workload.drive ~engine:e ~service:svc ~prng
     { Workload.default_spec with Workload.rate; duration = 30.0 };
   Engine.run e;
-  Service.metrics svc ~at:(Engine.now e)
+  Service.stats svc ~at:(Engine.now e)
 
 let test_more_replicas_more_goodput () =
   let m1 = run_workload ~replicas:1 ~rate:40.0 ~config:Service.baseline_config in
@@ -89,7 +89,7 @@ let prop_all_submissions_accounted =
       Workload.drive ~engine:e ~service:svc ~prng
         { Workload.default_spec with Workload.rate = float_of_int rate; duration = 10.0 };
       Engine.run e;
-      let m = Service.metrics svc ~at:(Engine.now e) in
+      let m = Service.stats svc ~at:(Engine.now e) in
       m.Service.submitted = m.Service.completed + m.Service.dropped)
 
 let () =
