@@ -1457,9 +1457,120 @@ let a3 () =
     [ 0.0; 0.05; 0.2; 0.4 ];
   Table.print t
 
+(* ================================================================== *)
+(* R1: availability under a seeded fault storm (§3.4 recovery paths)  *)
+(* ================================================================== *)
+
+let r1 () =
+  let module Fault_plan = Guillotine_faults.Fault_plan in
+  let module Injector = Guillotine_faults.Injector in
+  let module Cluster = Guillotine_faults.Cluster in
+  say "R1  Availability under a deterministic fault storm";
+  say "    The same seeded Fault_plan.storm (brownouts, slowdowns, and a";
+  say "    permanent primary failure) hits a traditional single deployment";
+  say "    and a Guillotine cluster (retry + shedding + failover).  The";
+  say "    expected shape: the baseline dies with its primary; the cluster";
+  say "    keeps serving at >=10x the baseline's goodput.";
+  let horizon = 120.0 in
+  let load_duration = 100.0 in
+  let rate = 20.0 in
+  let drive engine submit seed =
+    let wl = Prng.create (Int64.of_int (0x3_0AD + seed)) in
+    let next_id = ref 0 in
+    ignore
+      (Engine.every engine ~period:(1.0 /. rate) (fun () ->
+           incr next_id;
+           ignore
+             (submit
+                {
+                  Service.id = !next_id;
+                  session = Prng.int wl 16;
+                  prompt_tokens = 16 + Prng.int wl 32;
+                  output_tokens = 8 + Prng.int wl 8;
+                });
+           Engine.now engine < load_duration));
+    next_id
+  in
+  let t =
+    Table.create ~title:"R1 fault storm: traditional vs guillotine cluster"
+      ~columns:
+        [
+          ("seed", Table.Right);
+          ("stack", Table.Left);
+          ("submitted", Table.Right);
+          ("completed", Table.Right);
+          ("availability", Table.Right);
+          ("p99 (s)", Table.Right);
+          ("goodput (req/s)", Table.Right);
+          ("goodput ratio", Table.Right);
+        ]
+  in
+  List.iter
+    (fun seed ->
+      let plan = Fault_plan.storm ~seed ~horizon in
+      (* Baseline: one traditional deployment, no retries, no shedding,
+         nowhere to fail over to.  The storm's primary-down is terminal. *)
+      let eb = Engine.create () in
+      let baseline =
+        Service.create
+          ~prng:(Prng.create (Int64.of_int (0xB0_0B + seed)))
+          ~engine:eb
+          (Service.baseline_config ~replicas:4)
+      in
+      let binj = Injector.create ~engine:eb () in
+      Injector.install binj ~service:baseline plan;
+      let bsub = drive eb (Service.submit baseline) seed in
+      Engine.run eb ~until:horizon ~max_events:5_000_000;
+      let bm = Service.stats baseline ~at:horizon in
+      let bs = Stats.summarize bm.Service.latencies in
+      (* Guillotine: resilient primary + backup behind failover.  The
+         SAME plan hits the primary. *)
+      let eg = Engine.create () in
+      let mk s =
+        Service.create
+          ~prng:(Prng.create (Int64.of_int (s + seed)))
+          ~engine:eg
+          (Service.resilient_config ~replicas:2)
+      in
+      let primary = mk 0x9121 and backup = mk 0xBACC in
+      let cluster = Cluster.create ~engine:eg ~primary ~backup () in
+      let ginj = Injector.create ~engine:eg () in
+      Injector.install ginj ~service:primary plan;
+      let gsub = drive eg (Cluster.submit cluster) seed in
+      Engine.run eg ~until:horizon ~max_events:5_000_000;
+      let pm = Service.stats primary ~at:horizon in
+      let km = Service.stats backup ~at:horizon in
+      let gs = Stats.summarize (pm.Service.latencies @ km.Service.latencies) in
+      let completed = Cluster.completed cluster in
+      let avail sub comp =
+        if sub = 0 then 1.0 else float_of_int comp /. float_of_int sub
+      in
+      let goodput comp = float_of_int comp /. load_duration in
+      let row stack sub comp p99 ratio =
+        Table.add_row t
+          [
+            string_of_int seed;
+            stack;
+            Table.cell_i sub;
+            Table.cell_i comp;
+            Table.cell_pct (avail sub comp);
+            Printf.sprintf "%.3f" p99;
+            Printf.sprintf "%.1f" (goodput comp);
+            ratio;
+          ]
+      in
+      row "traditional" !bsub bm.Service.completed bs.Stats.p99 "1.0x";
+      row "guillotine" !gsub completed gs.Stats.p99
+        (if bm.Service.completed = 0 then "inf"
+         else
+           Printf.sprintf "%.1fx"
+             (float_of_int completed /. float_of_int bm.Service.completed)))
+    [ 1; 2; 3 ];
+  Table.print t
+
 let all = [
   ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
   ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
   ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9); ("f10", f10); ("f11", f11);
-  ("a1", a1); ("a2", a2); ("a3", a3);
+  ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1);
 ]

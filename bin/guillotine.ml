@@ -8,6 +8,7 @@
      risk        classify a model card under the policy hypervisor
      covert      run the prime+probe covert channel
      trace       run a scenario and export its Chrome-trace timeline
+     faults      replay a named fault-injection scenario deterministically
      demo        containment walkthrough (same story as the example)
 
    Try:  dune exec bin/guillotine.exe -- attacks *)
@@ -420,6 +421,71 @@ let trace_cmd =
           transitions on one sim-time axis).")
     Term.(const run $ scenario $ seed $ out)
 
+(* ------------------------------ faults ---------------------------- *)
+
+let faults_cmd =
+  let module Scenarios = Guillotine_faults.Scenarios in
+  let module Telemetry = Guillotine_telemetry.Telemetry in
+  let module Isolation = Guillotine_hv.Isolation in
+  let run scenario seed out =
+    if scenario = "list" then begin
+      print_endline "available fault scenarios:";
+      List.iter (fun n -> Printf.printf "  %s\n" n) Scenarios.names
+    end
+    else begin
+      let o =
+        try Scenarios.run scenario ~seed
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+      in
+      print_endline (Scenarios.summary o);
+      print_newline ();
+      Table.print (Telemetry.table o.Scenarios.snapshots);
+      (* Replay with the same seed: the plane's determinism contract is
+         that the full telemetry stream comes back byte-identical. *)
+      let o2 = Scenarios.run scenario ~seed in
+      let identical =
+        o.Scenarios.trace = o2.Scenarios.trace
+        && o.Scenarios.verdict = o2.Scenarios.verdict
+        && o.Scenarios.recoveries = o2.Scenarios.recoveries
+      in
+      Printf.printf "\nreplay (seed %d): %s\n" seed
+        (if identical then "byte-identical telemetry" else "DIVERGED");
+      (match out with
+      | None -> ()
+      | Some out -> (
+        try
+          Out_channel.with_open_text out (fun oc ->
+              Out_channel.output_string oc o.Scenarios.trace);
+          Printf.printf "Chrome trace written to %s\n" out
+        with Sys_error e ->
+          Printf.eprintf "cannot write trace: %s\n" e;
+          exit 1));
+      if not identical then exit 1
+    end
+  in
+  let scenario =
+    Arg.(value & pos 0 string "list"
+         & info [] ~docv:"SCENARIO"
+             ~doc:"A scenario name from $(b,guillotine faults list).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the Chrome trace here.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Replay a named fault-injection scenario (DRAM flips, wedged cores, \
+          flaky NICs, heartbeat outages, fault storms) and print the verdict, \
+          recovery action, and telemetry; the run is replayed to prove the \
+          same seed reproduces byte-identical telemetry.")
+    Term.(const run $ scenario $ seed $ out)
+
 (* ------------------------------- demo ----------------------------- *)
 
 let demo_cmd =
@@ -449,5 +515,6 @@ let () =
             risk_cmd;
             covert_cmd;
             trace_cmd;
+            faults_cmd;
             demo_cmd;
           ]))

@@ -67,12 +67,23 @@ let create ?(seed = 0xDEC0DEL) ?(machine_config = Machine.default_config)
     ?(with_detectors = true) ?(name = "guillotine-0") ?ca () =
   let prng = Prng.create seed in
   let engine = Engine.create () in
-  let fabric = Fabric.create engine in
+  (* Derive the fabric's prng from the deployment seed directly rather
+     than splitting [prng]: keeps the split sequence (console keys, CA,
+     TLS, platform signer) stable while still making loss/corruption
+     draws — the fault plane's NIC faults — vary with the seed. *)
+  let fabric = Fabric.create ~prng:(Prng.create (Int64.logxor seed 0xFAB12CL)) engine in
   let machine = Machine.create ~config:machine_config () in
   let detectors =
     if with_detectors then begin
       let anomaly_detector, _ = Anomaly.create () in
-      [ Input_shield.detector (); Output_sanitizer.detector (); anomaly_detector ]
+      (* Stable detector names: their per-detector counters land in the
+         hv registry, and fresh same-seed rigs must snapshot
+         byte-identically for fault-plan replay. *)
+      [
+        Input_shield.detector ~name:"input-shield" ();
+        Output_sanitizer.detector ~name:"output-sanitizer" ();
+        anomaly_detector;
+      ]
     end
     else []
   in
@@ -231,6 +242,40 @@ let rollback t snap =
        (Audit.Note
           (Printf.sprintf "ROLLBACK to checkpoint (digest %s…)"
              (String.sub (Guillotine_machine.Snapshot.digest_hex snap) 0 12))))
+
+(* A core is "wedged" when it sits in Forced_pause at sweep time even
+   though it has executed instructions: the deployment's own pauses are
+   transient within a call, so a pause still visible from an engine
+   callback means nobody is coming back for it.  Cores that never ran
+   (spare cores with no program installed) are exempt. *)
+let wedged_cores t =
+  Machine.model_cores t.machine |> Array.to_list
+  |> List.filter (fun c ->
+         Core.instructions_retired c > 0
+         && match Core.status c with
+            | Core.Halted Core.Forced_pause -> true
+            | _ -> false)
+
+let enable_model_guard ?(period = 5.0) t model =
+  let known_good = checkpoint t in
+  let check () =
+    match wedged_cores t with
+    | c :: _ -> Error (Printf.sprintf "model core %d wedged" (Core.id c))
+    | [] ->
+      if verify_model_integrity t model then Ok ()
+      else Error "model weight measurement mismatch"
+  in
+  let recover ~reason:_ =
+    rollback t known_good;
+    (* [rollback] leaves every core paused; wake only the ones that were
+       ever in use so spare cores stay quiescent. *)
+    Array.iter
+      (fun c -> if Core.instructions_retired c > 0 then Core.resume c)
+      (Machine.model_cores t.machine);
+    if verify_model_integrity t model then Ok "snapshot rollback"
+    else Error "measurement still mismatched after rollback"
+  in
+  Console.start_recovery_sweep t.console ~period ~check ~recover
 
 (* ------------------------------------------------------------------ *)
 (* Attestation                                                         *)

@@ -96,6 +96,17 @@ val rollback : t -> Guillotine_machine.Snapshot.t -> unit
     self-modification).  Cores are left paused; the audit trail records
     the restored digest. *)
 
+val enable_model_guard :
+  ?period:float -> t -> Toymodel.t -> Guillotine_sim.Engine.handle
+(** Arm the automatic recovery path for a wedged or self-modified model:
+    capture a known-good checkpoint now, then sweep every [period]
+    sim-seconds (default 5) via {!Console.start_recovery_sweep}.  A
+    model core stuck in forced pause, or a weight-measurement mismatch,
+    triggers a rollback to the checkpoint (resuming the cores that were
+    in use); if the measurement still mismatches after rollback the
+    console falls back to forced offline isolation.  Returns the sweep
+    handle for cancellation. *)
+
 (** {2 Attestation} *)
 
 val wire_nic : t -> Guillotine_devices.Nic.t -> unit

@@ -27,6 +27,19 @@ type observation =
 
 type t = { name : string; observe : observation -> verdict }
 
+let one_shot ~name verdict =
+  let armed = ref true in
+  {
+    name;
+    observe =
+      (fun _ ->
+        if !armed then begin
+          armed := false;
+          verdict
+        end
+        else Clear);
+  }
+
 let fanout detectors obs =
   List.fold_left (fun acc d -> worst acc (d.observe obs)) Clear detectors
 

@@ -35,6 +35,12 @@ type t = {
   observe : observation -> verdict;
 }
 
+val one_shot : name:string -> verdict -> t
+(** A detector that returns [verdict] on its first observation and
+    [Clear] forever after — the fault-injection model of a detector
+    false alarm.  The containment machinery must treat it exactly like
+    a real alarm (the operator only learns it was spurious later). *)
+
 val fanout : t list -> observation -> verdict
 (** Feed all detectors, return the worst verdict. *)
 

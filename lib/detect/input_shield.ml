@@ -20,9 +20,14 @@ let check ?(marker_limit = 2) prompt =
 let registry : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 4
 let instance = ref 0
 
-let detector ?marker_limit () =
-  incr instance;
-  let name = Printf.sprintf "input-shield-%d" !instance in
+let detector ?marker_limit ?name () =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr instance;
+      Printf.sprintf "input-shield-%d" !instance
+  in
   let seen = ref 0 and blocked = ref 0 in
   Hashtbl.replace registry name (seen, blocked);
   {

@@ -16,9 +16,11 @@ type decision = Pass | Block of string
 
 val check : ?marker_limit:int -> int list -> decision
 
-val detector : ?marker_limit:int -> unit -> Detector.t
+val detector : ?marker_limit:int -> ?name:string -> unit -> Detector.t
 (** Wraps [check] for [Prompt] observations; a blocked prompt raises a
-    [Suspicious] alarm. *)
+    [Suspicious] alarm.  [name] overrides the generated instance name;
+    rigs that must replay with byte-identical telemetry pass a stable
+    one (per-instance {!stats} then require names to stay unique). *)
 
 val stats : Detector.t -> int * int
 (** (prompts seen, prompts blocked) — only valid on a detector created

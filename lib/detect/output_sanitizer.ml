@@ -22,9 +22,14 @@ let sanitize ?(replacement = default_replacement) tokens =
 let registry : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 4
 let instance = ref 0
 
-let detector ?(critical_after = 3) () =
-  incr instance;
-  let name = Printf.sprintf "output-sanitizer-%d" !instance in
+let detector ?(critical_after = 3) ?name () =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr instance;
+      Printf.sprintf "output-sanitizer-%d" !instance
+  in
   let seen = ref 0 and caught = ref 0 in
   Hashtbl.replace registry name (seen, caught);
   {

@@ -23,3 +23,13 @@ type t = {
   handle : now:int -> int64 array -> response;
   describe : unit -> string;
 }
+
+let throttled ~extra d =
+  {
+    d with
+    handle =
+      (fun ~now req ->
+        let r = d.handle ~now req in
+        let pad = extra () in
+        if pad <= 0 then r else { r with latency = r.latency + pad });
+  }

@@ -27,6 +27,12 @@ type t = {
   describe : unit -> string;  (** One-line status for audit logs. *)
 }
 
+val throttled : extra:(unit -> int) -> t -> t
+(** [throttled ~extra d] wraps [d] so every completion takes
+    [extra ()] additional ticks (clamped at 0).  The thunk is consulted
+    per request, so fault injection can stall the device for a window
+    and then release it. *)
+
 val status_ok : int
 val status_bad_request : int
 val status_denied : int

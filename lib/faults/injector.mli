@@ -1,0 +1,46 @@
+(** Installs a {!Fault_plan} onto a running simulation.
+
+    The injector owns its own telemetry registry ("faults"), clocked on
+    the discrete-event engine, so every injection and every clearing of
+    a timed fault shows up on the same Chrome-trace timeline as the
+    recovery actions it provokes: [fault.injected] / [fault.cleared]
+    instants plus [faults.injected] / [faults.cleared] /
+    [faults.skipped] counters.
+
+    Faults are applied to whichever targets are supplied at
+    {!install} time; a fault whose target is absent (e.g. a NIC fault
+    with no fabric) is counted as skipped rather than raising, so one
+    plan can drive both a full deployment and a serving-only rig. *)
+
+type t
+
+val create : engine:Guillotine_sim.Engine.t -> unit -> t
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.t
+
+val injected : t -> int
+(** Faults applied so far. *)
+
+val skipped : t -> int
+(** Faults whose target was absent at firing time. *)
+
+val device_stall_ticks : t -> int
+(** Current extra latency applied by {!wrap_device} wrappers. *)
+
+val wrap_device :
+  t -> Guillotine_devices.Device.t -> Guillotine_devices.Device.t
+(** Wrap a device so [Device_stall] faults slow its completions; the
+    wrapper reads the injector's stall window per request. *)
+
+val install :
+  t ->
+  ?deployment:Guillotine_core.Deployment.t ->
+  ?service:Guillotine_serve.Service.t ->
+  ?fabric:Guillotine_net.Fabric.t ->
+  ?heartbeat:Guillotine_physical.Heartbeat.t ->
+  Fault_plan.t ->
+  unit
+(** Schedule every event of the plan on the engine.  [fabric] defaults
+    to the deployment's fabric when a deployment is supplied.  Timed
+    faults (loss windows, stalls, outages, brownouts) schedule their own
+    clearing. *)

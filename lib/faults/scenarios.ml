@@ -1,0 +1,510 @@
+module Engine = Guillotine_sim.Engine
+module Prng = Guillotine_util.Prng
+module Telemetry = Guillotine_telemetry.Telemetry
+module Machine = Guillotine_machine.Machine
+module Lapic = Guillotine_machine.Lapic
+module Core = Guillotine_microarch.Core
+module Device = Guillotine_devices.Device
+module Fabric = Guillotine_net.Fabric
+module Attest = Guillotine_net.Attest
+module Detector = Guillotine_detect.Detector
+module Isolation = Guillotine_hv.Isolation
+module Hypervisor = Guillotine_hv.Hypervisor
+module Heartbeat = Guillotine_physical.Heartbeat
+module Console = Guillotine_physical.Console
+module Service = Guillotine_serve.Service
+module Deployment = Guillotine_core.Deployment
+module Toymodel = Guillotine_model.Toymodel
+module Guest_programs = Guillotine_model.Guest_programs
+module Asm = Guillotine_isa.Asm
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  verdict : string;
+  recovery : string;
+  faults_injected : int;
+  recoveries : int;
+  final_level : Isolation.level option;
+  snapshots : Telemetry.snapshot list;
+  trace : string;
+}
+
+let seed64 salt seed = Int64.of_int ((salt * 0x10001) + seed)
+
+let console_recoveries d =
+  Telemetry.get_counter
+    (Console.metrics (Deployment.console d))
+    "recoveries.completed"
+
+(* Snapshot + trace assembly: deployment subsystems first, then any
+   extra registries (injector, scenario-local), in a fixed order so
+   same-seed runs render byte-identically. *)
+let deployment_outcome ~scenario ~seed ~verdict ~recovery ~recoveries ~extra d
+    inj =
+  let extra_regs = Injector.telemetry inj :: extra in
+  {
+    scenario;
+    seed;
+    verdict;
+    recovery;
+    faults_injected = Injector.injected inj;
+    recoveries;
+    final_level = Some (Console.level (Deployment.console d));
+    snapshots =
+      Deployment.telemetry d @ List.map Telemetry.snapshot extra_regs;
+    trace =
+      Telemetry.export_chrome_trace (Deployment.registries d @ extra_regs);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 1. Heartbeat link outage: fail-safe forced offline.                 *)
+(* ------------------------------------------------------------------ *)
+
+let heartbeat_outage ~seed =
+  let d =
+    Deployment.create ~seed:(seed64 0xBEA7 seed) ~name:"hb-victim" ()
+  in
+  let engine = Deployment.engine d in
+  let hb =
+    Console.start_heartbeat (Deployment.console d) ~key:"console-hb" ()
+  in
+  let inj = Injector.create ~engine () in
+  let plan =
+    Fault_plan.make ~seed
+      [
+        {
+          at = 5.0;
+          fault =
+            Heartbeat_outage { side = Heartbeat.Console_side; duration = 12.0 };
+        };
+      ]
+  in
+  Injector.install inj ~deployment:d ~heartbeat:hb plan;
+  Deployment.settle ~horizon:60.0 d;
+  Heartbeat.stop hb;
+  let level = Console.level (Deployment.console d) in
+  let verdict = if level = Isolation.Offline then "contained" else "failed-open" in
+  deployment_outcome ~scenario:"heartbeat-outage" ~seed ~verdict
+    ~recovery:"forced offline isolation (fail-safe)"
+    ~recoveries:(Heartbeat.losses_detected hb)
+    ~extra:[] d inj
+
+(* ------------------------------------------------------------------ *)
+(* 2. DRAM bit flip in the weights: integrity sweep + rollback.        *)
+(* ------------------------------------------------------------------ *)
+
+let weight_tamper_rollback ~seed =
+  let d =
+    Deployment.create ~seed:(seed64 0x7A3B seed) ~name:"tamper-victim" ()
+  in
+  let engine = Deployment.engine d in
+  let model = Deployment.load_model d () in
+  ignore (Deployment.enable_model_guard ~period:5.0 d model);
+  let p = Prng.create (seed64 0xF11B seed) in
+  let addr =
+    Deployment.weights_base + Prng.int p (Toymodel.weights_words model)
+  in
+  let bit = Prng.int p 64 in
+  let inj = Injector.create ~engine () in
+  let plan =
+    Fault_plan.make ~seed [ { at = 7.0; fault = Dram_bit_flip { addr; bit } } ]
+  in
+  Injector.install inj ~deployment:d plan;
+  Deployment.settle ~horizon:30.0 d;
+  let recoveries = console_recoveries d in
+  let intact = Deployment.verify_model_integrity d model in
+  let level = Console.level (Deployment.console d) in
+  let verdict =
+    if recoveries >= 1 && intact && level = Isolation.Standard then "recovered"
+    else "unrecovered"
+  in
+  deployment_outcome ~scenario:"weight-tamper-rollback" ~seed ~verdict
+    ~recovery:"snapshot rollback" ~recoveries ~extra:[] d inj
+
+(* ------------------------------------------------------------------ *)
+(* 3. Wedged model core: watchdog sweep + rollback + resume.           *)
+(* ------------------------------------------------------------------ *)
+
+let core_wedge_rollback ~seed =
+  let d =
+    Deployment.create ~seed:(seed64 0x3ED6 seed) ~name:"wedge-victim" ()
+  in
+  let engine = Deployment.engine d in
+  let machine = Deployment.machine d in
+  let model = Deployment.load_model d () in
+  Machine.install_program machine ~core:0 ~code_pages:4 ~data_pages:4
+    (Asm.assemble_exn (Guest_programs.compute_loop ~iterations:50_000_000));
+  (* Scheduler: keep the guest executing through the whole run. *)
+  ignore
+    (Engine.every engine ~period:0.25 (fun () ->
+         ignore (Machine.run_models machine ~quantum:200);
+         true));
+  ignore (Deployment.enable_model_guard ~period:5.0 d model);
+  let inj = Injector.create ~engine () in
+  let plan =
+    Fault_plan.make ~seed [ { at = 7.0; fault = Core_wedge { core = 0 } } ]
+  in
+  Injector.install inj ~deployment:d plan;
+  Deployment.settle ~horizon:30.0 d;
+  let recoveries = console_recoveries d in
+  let level = Console.level (Deployment.console d) in
+  let core_running =
+    match Core.status (Machine.model_core machine 0) with
+    | Core.Running -> true
+    | _ -> false
+  in
+  let verdict =
+    if recoveries >= 1 && core_running && level = Isolation.Standard then
+      "recovered"
+    else "unrecovered"
+  in
+  deployment_outcome ~scenario:"core-wedge-rollback" ~seed ~verdict
+    ~recovery:"snapshot rollback" ~recoveries ~extra:[] d inj
+
+(* ------------------------------------------------------------------ *)
+(* 4. Detector false alarm: containment-first escalation.              *)
+(* ------------------------------------------------------------------ *)
+
+let false_alarm_probation ~seed =
+  let d =
+    Deployment.create ~seed:(seed64 0xFA15 seed) ~name:"false-alarm" ()
+  in
+  let engine = Deployment.engine d in
+  let inj = Injector.create ~engine () in
+  let plan =
+    Fault_plan.make ~seed
+      [
+        {
+          at = 2.0;
+          fault = Detector_false_alarm { severity = Detector.Suspicious };
+        };
+      ]
+  in
+  Injector.install inj ~deployment:d plan;
+  Deployment.settle ~horizon:10.0 d;
+  let level = Console.level (Deployment.console d) in
+  let verdict =
+    if level = Isolation.Probation then "contained" else "failed-open"
+  in
+  deployment_outcome ~scenario:"false-alarm-probation" ~seed ~verdict
+    ~recovery:"escalated to probation (alarm policy)" ~recoveries:0 ~extra:[] d
+    inj
+
+(* ------------------------------------------------------------------ *)
+(* 5. Flaky NIC during attestation: retry until a quote verifies.      *)
+(* ------------------------------------------------------------------ *)
+
+let nic_flaky_attest ~seed =
+  let d =
+    Deployment.create ~seed:(seed64 0xA77E seed) ~name:"attest-victim" ()
+  in
+  Deployment.enable_attestation_service d;
+  let engine = Deployment.engine d in
+  let fabric = Deployment.fabric d in
+  let reg =
+    Telemetry.create ~clock:(fun () -> Engine.now engine) ~name:"scenario" ()
+  in
+  let c_attempts = Telemetry.counter reg "attest.attempts" in
+  let c_rejected = Telemetry.counter reg "attest.rejected" in
+  let verifier_addr = 9999 in
+  let attempts = ref 0 in
+  let verified = ref false in
+  let expected_nonce = ref "" in
+  Fabric.attach fabric ~addr:verifier_addr (fun ~src:_ ~payload ->
+      let plen = String.length "QUOTE:" in
+      if
+        (not !verified)
+        && String.length payload > plen
+        && String.sub payload 0 plen = "QUOTE:"
+      then
+        match
+          Attest.decode_quote
+            (String.sub payload plen (String.length payload - plen))
+        with
+        | None -> Telemetry.incr c_rejected
+        | Some q -> (
+          match
+            Attest.verify_quote
+              ~platform_key:(Deployment.platform_key d)
+              ~expected_root:(Deployment.expected_measurement_root d)
+              ~nonce:!expected_nonce q
+          with
+          | Ok () ->
+            verified := true;
+            Telemetry.instant reg ~cat:"recovery"
+              ~args:[ ("attempts", string_of_int !attempts) ]
+              "attest.verified"
+          | Error _ -> Telemetry.incr c_rejected));
+  ignore
+    (Engine.every engine ~period:1.0 (fun () ->
+         if !verified then false
+         else begin
+           incr attempts;
+           Telemetry.incr c_attempts;
+           expected_nonce := Printf.sprintf "nonce-%d" !attempts;
+           Fabric.send fabric ~src:verifier_addr ~dest:(Deployment.net_addr d)
+             ~payload:("ATTEST:" ^ !expected_nonce);
+           true
+         end));
+  let inj = Injector.create ~engine () in
+  let plan =
+    Fault_plan.make ~seed
+      [
+        { at = 0.5; fault = Nic_loss { rate = 0.6; duration = 6.0 } };
+        { at = 0.5; fault = Attest_corruption { rate = 0.5; duration = 6.0 } };
+        { at = 0.5; fault = Nic_duplication { rate = 0.5; duration = 6.0 } };
+      ]
+  in
+  Injector.install inj ~deployment:d plan;
+  Deployment.settle ~horizon:30.0 d;
+  let verdict = if !verified then "recovered" else "unrecovered" in
+  let level = Console.level (Deployment.console d) in
+  ignore level;
+  deployment_outcome ~scenario:"nic-flaky-attest" ~seed ~verdict
+    ~recovery:"attestation retry" ~recoveries:(max 0 (!attempts - 1))
+    ~extra:[ reg ] d inj
+
+(* ------------------------------------------------------------------ *)
+(* 6. Stalled accelerator: admission shedding under backlog.           *)
+(* ------------------------------------------------------------------ *)
+
+let device_stall_shedding ~seed =
+  let engine = Engine.create () in
+  let service =
+    Service.create
+      ~prng:(Prng.create (seed64 0xD57A seed))
+      ~engine
+      (Service.resilient_config ~replicas:2)
+  in
+  let inj = Injector.create ~engine () in
+  let reg =
+    Telemetry.create ~clock:(fun () -> Engine.now engine) ~name:"scenario" ()
+  in
+  let c_stalled = Telemetry.counter reg "device.stalled_completions" in
+  (* Tick-level evidence of the stall: a wrapped GPU device polled on a
+     fixed cadence alongside the serving-level projection. *)
+  let base_latency = 10 in
+  let gpu =
+    Injector.wrap_device inj
+      {
+        Device.name = "gpu0";
+        kind = Device.Gpu;
+        handle = (fun ~now:_ _ -> Device.ok ~latency:base_latency ());
+        describe = (fun () -> "simulated accelerator");
+      }
+  in
+  ignore
+    (Engine.every engine ~period:0.5 (fun () ->
+         let r = gpu.Device.handle ~now:0 [| 0L |] in
+         if r.Device.latency > base_latency then Telemetry.incr c_stalled;
+         Engine.now engine < 59.0));
+  let wl = Prng.create (seed64 0x20AD seed) in
+  let next_id = ref 0 in
+  ignore
+    (Engine.every engine ~period:0.05 (fun () ->
+         incr next_id;
+         ignore
+           (Service.submit service
+              {
+                Service.id = !next_id;
+                session = Prng.int wl 8;
+                prompt_tokens = 16 + Prng.int wl 32;
+                output_tokens = 8 + Prng.int wl 8;
+              });
+         Engine.now engine < 59.9));
+  let plan =
+    Fault_plan.make ~seed
+      [
+        { at = 10.0; fault = Device_stall { extra_ticks = 500; duration = 20.0 } };
+        {
+          at = 10.0;
+          fault = Service_slowdown { extra_s = 0.25; duration = 20.0 };
+        };
+      ]
+  in
+  Injector.install inj ~service plan;
+  Engine.run engine ~until:90.0 ~max_events:2_000_000;
+  let s = Service.stats service ~at:90.0 in
+  let verdict =
+    if
+      s.Service.shed > 0
+      && s.Service.completed > 0
+      && Telemetry.counter_value c_stalled > 0
+    then "degraded-gracefully"
+    else "overloaded"
+  in
+  let regs = [ Service.telemetry service; Injector.telemetry inj; reg ] in
+  {
+    scenario = "device-stall-shedding";
+    seed;
+    verdict;
+    recovery = "admission shedding";
+    faults_injected = Injector.injected inj;
+    recoveries = s.Service.shed;
+    final_level = None;
+    snapshots =
+      [ Service.metrics service ]
+      @ List.map Telemetry.snapshot [ Injector.telemetry inj; reg ];
+    trace = Telemetry.export_chrome_trace regs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 7. Interrupt storm + glitched LAPIC: throttle contains it.          *)
+(* ------------------------------------------------------------------ *)
+
+let irq_storm_contained ~seed =
+  let d =
+    Deployment.create ~seed:(seed64 0x1245 seed) ~name:"storm-victim" ()
+  in
+  let engine = Deployment.engine d in
+  let machine = Deployment.machine d in
+  let hv = Deployment.hv d in
+  Machine.install_program machine ~core:0 ~code_pages:4 ~data_pages:4
+    (Asm.assemble_exn (Guest_programs.irq_flood ~count:500 ~line:3));
+  (* Let the flood run to completion before the hypervisor services
+     anything, so the injected LAPIC glitch has a pending set to lose. *)
+  ignore
+    (Engine.schedule_at engine ~at:1.0 (fun () ->
+         for _ = 1 to 5 do
+           ignore (Machine.run_models machine ~quantum:1000)
+         done));
+  ignore (Engine.schedule_at engine ~at:3.0 (fun () -> Hypervisor.service hv));
+  let inj = Injector.create ~engine () in
+  let plan =
+    Fault_plan.make ~seed
+      [
+        { at = 2.0; fault = Bus_stall { cycles = 50_000 } };
+        { at = 2.5; fault = Irq_drop };
+      ]
+  in
+  Injector.install inj ~deployment:d plan;
+  Deployment.settle ~horizon:10.0 d;
+  let _, dropped = Lapic.stats (Machine.lapic machine) in
+  let level = Console.level (Deployment.console d) in
+  let verdict =
+    if dropped > 0 && level = Isolation.Probation then "contained"
+    else "failed-open"
+  in
+  deployment_outcome ~scenario:"irq-storm-contained" ~seed ~verdict
+    ~recovery:"lapic throttle + alarm escalation" ~recoveries:dropped ~extra:[]
+    d inj
+
+(* ------------------------------------------------------------------ *)
+(* 8. Full fault storm on the primary: retry, shed, fail over.         *)
+(* ------------------------------------------------------------------ *)
+
+let fault_storm_failover ~seed =
+  let engine = Engine.create () in
+  let primary =
+    Service.create
+      ~prng:(Prng.create (seed64 0x9121 seed))
+      ~engine
+      (Service.resilient_config ~replicas:2)
+  in
+  let backup =
+    Service.create
+      ~prng:(Prng.create (seed64 0xBACC seed))
+      ~engine
+      (Service.resilient_config ~replicas:2)
+  in
+  let cluster = Cluster.create ~engine ~primary ~backup () in
+  let inj = Injector.create ~engine () in
+  let plan =
+    Fault_plan.make ~seed
+      [
+        { at = 5.0; fault = Service_brownout { rate = 0.4; duration = 20.0 } };
+        { at = 40.0; fault = Primary_down { duration = None } };
+      ]
+  in
+  Injector.install inj ~service:primary plan;
+  let wl = Prng.create (seed64 0x57CA seed) in
+  let next_id = ref 0 in
+  ignore
+    (Engine.every engine ~period:0.1 (fun () ->
+         incr next_id;
+         ignore
+           (Cluster.submit cluster
+              {
+                Service.id = !next_id;
+                session = Prng.int wl 16;
+                prompt_tokens = 16 + Prng.int wl 32;
+                output_tokens = 8 + Prng.int wl 8;
+              });
+         Engine.now engine < 99.9));
+  Engine.run engine ~until:130.0 ~max_events:2_000_000;
+  let availability = Cluster.availability cluster in
+  let backup_completed =
+    Telemetry.get_counter
+      (Telemetry.snapshot (Service.telemetry backup))
+      "requests.completed"
+  in
+  let verdict =
+    if Cluster.failovers cluster > 0 && backup_completed > 0 && availability >= 0.9
+    then "failed-over"
+    else "degraded"
+  in
+  let regs =
+    [
+      Service.telemetry primary;
+      Service.telemetry backup;
+      Cluster.telemetry cluster;
+      Injector.telemetry inj;
+    ]
+  in
+  {
+    scenario = "fault-storm-failover";
+    seed;
+    verdict;
+    recovery = "retry with backoff + failover to backup";
+    faults_injected = Injector.injected inj;
+    recoveries = Cluster.failovers cluster;
+    final_level = None;
+    snapshots =
+      [ Service.metrics primary; Service.metrics backup ]
+      @ List.map Telemetry.snapshot
+          [ Cluster.telemetry cluster; Injector.telemetry inj ];
+    trace = Telemetry.export_chrome_trace regs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("heartbeat-outage", heartbeat_outage);
+    ("weight-tamper-rollback", weight_tamper_rollback);
+    ("core-wedge-rollback", core_wedge_rollback);
+    ("false-alarm-probation", false_alarm_probation);
+    ("nic-flaky-attest", nic_flaky_attest);
+    ("device-stall-shedding", device_stall_shedding);
+    ("irq-storm-contained", irq_storm_contained);
+    ("fault-storm-failover", fault_storm_failover);
+  ]
+
+let names = List.map fst all
+
+let run name ~seed =
+  match List.assoc_opt name all with
+  | Some f -> f ~seed
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Scenarios.run: unknown scenario %S (known: %s)" name
+         (String.concat ", " names))
+
+let summary o =
+  let level =
+    match o.final_level with
+    | Some l -> Isolation.to_string l
+    | None -> "n/a (no deployment)"
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "scenario        %s (seed %d)" o.scenario o.seed;
+      Printf.sprintf "verdict         %s" o.verdict;
+      Printf.sprintf "recovery        %s" o.recovery;
+      Printf.sprintf "faults injected %d" o.faults_injected;
+      Printf.sprintf "recovery count  %d" o.recoveries;
+      Printf.sprintf "final level     %s" level;
+    ]

@@ -1,0 +1,43 @@
+(** Named end-to-end fault scenarios with golden outcomes.
+
+    Each scenario builds a fresh rig (deployment, serving stack, or
+    both), installs a {!Fault_plan} derived from the given seed, lets
+    the simulation play out, and reduces the run to an {!outcome}: the
+    containment verdict, the recovery action taken, the final isolation
+    level, and the full telemetry (snapshots + Chrome trace).
+
+    Scenarios are deterministic: running the same (name, seed) twice
+    yields byte-identical snapshots and traces — the property the
+    regression harness and the CI seed matrix pin down. *)
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  verdict : string;
+      (** "contained" / "recovered" / "degraded-gracefully" /
+          "failed-over", or a failure verdict when containment or
+          recovery did not happen. *)
+  recovery : string;  (** the recovery mechanism that engaged *)
+  faults_injected : int;
+  recoveries : int;
+      (** recovery actions taken (rollbacks, retries, failovers, shed
+          requests — scenario-specific) *)
+  final_level : Guillotine_hv.Isolation.level option;
+      (** [None] for serving-only scenarios with no deployment *)
+  snapshots : Guillotine_telemetry.Telemetry.snapshot list;
+  trace : string;  (** Chrome-trace JSON across every registry *)
+}
+
+val names : string list
+(** The eight scenarios:
+    ["heartbeat-outage"], ["weight-tamper-rollback"],
+    ["core-wedge-rollback"], ["false-alarm-probation"],
+    ["nic-flaky-attest"], ["device-stall-shedding"],
+    ["irq-storm-contained"], ["fault-storm-failover"]. *)
+
+val run : string -> seed:int -> outcome
+(** Raises [Invalid_argument] for an unknown scenario name. *)
+
+val summary : outcome -> string
+(** Multi-line human summary (verdict, recovery, counts, level) —
+    stable across same-seed runs. *)

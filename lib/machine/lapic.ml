@@ -49,6 +49,14 @@ let raise_line t ~now ~line ~src_core =
     end
   end
 
+let drop_pending t =
+  let n = Guillotine_util.Bounded_queue.length t.queue in
+  for _ = 1 to n do
+    ignore (Guillotine_util.Bounded_queue.pop t.queue)
+  done;
+  t.dropped <- t.dropped + n;
+  n
+
 let pop t = Guillotine_util.Bounded_queue.pop t.queue
 let pending t = Guillotine_util.Bounded_queue.length t.queue
 let stats t = (t.accepted, t.dropped)

@@ -26,6 +26,11 @@ val raise_line : t -> now:int -> line:int -> src_core:int -> bool
 val pop : t -> request option
 (** Next pending request, FIFO. *)
 
+val drop_pending : t -> int
+(** Discard every queued request, counting them as dropped — the
+    fault-injection model of a glitched interrupt controller losing its
+    pending set.  Returns how many were discarded. *)
+
 val pending : t -> int
 
 val stats : t -> int * int

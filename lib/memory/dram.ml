@@ -23,6 +23,11 @@ let write t addr v =
 let read_int t addr = Int64.to_int (read t addr)
 let write_int t addr v = write t addr (Int64.of_int v)
 
+let flip_bit t ~addr ~bit =
+  check t addr;
+  if bit < 0 || bit > 63 then invalid_arg "Dram.flip_bit: bit out of range";
+  t.data.(addr) <- Int64.logxor t.data.(addr) (Int64.shift_left 1L bit)
+
 let load_words t ~at words =
   check t at;
   if at + Array.length words > Array.length t.data then

@@ -27,6 +27,13 @@ val read_int : t -> int -> int
 
 val write_int : t -> int -> int -> unit
 
+val flip_bit : t -> addr:int -> bit:int -> unit
+(** Invert one bit of the word at [addr] ([bit] in 0..63).  This is the
+    fault-injection model of a cosmic-ray upset / Rowhammer-style
+    disturbance: it bypasses the MMU entirely, as a real charge leak
+    would.  Integrity sweeps are expected to catch the resulting digest
+    mismatch. *)
+
 val load_words : t -> at:int -> int64 array -> unit
 val load_program : t -> Guillotine_isa.Asm.program -> unit
 (** Copies the image at the program's origin. *)

@@ -32,6 +32,21 @@ val send : t -> src:int -> dest:int -> payload:string -> unit
 (** Queue a frame for delivery.  Frames to detached or unknown addresses
     vanish (there is no wire). *)
 
+val set_loss : t -> float -> unit
+(** Change the per-frame drop probability mid-run (fault injection:
+    a flaky or cut link).  Frames already in flight are unaffected. *)
+
+val set_duplication : t -> float -> unit
+(** Per-frame probability that an accepted frame is delivered twice
+    (fault injection: a misbehaving switch).  Default 0. *)
+
+val set_corruption : t -> float -> unit
+(** Per-frame probability that an accepted frame has a bit flipped
+    before delivery (fault injection: attestation corruption on the
+    wire).  Default 0. *)
+
 val frames_sent : t -> int
 val frames_delivered : t -> int
 val frames_dropped : t -> int
+val frames_duplicated : t -> int
+val frames_corrupted : t -> int

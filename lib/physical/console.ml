@@ -231,6 +231,40 @@ let start_integrity_sweep t ~period ~check =
            force_offline t ~reason:("integrity sweep failed: " ^ reason);
            false))
 
+let start_recovery_sweep t ~period ~check ~recover =
+  let c_recovered = Telemetry.counter t.telemetry "recoveries.completed" in
+  let c_failed = Telemetry.counter t.telemetry "recoveries.failed" in
+  let audit_note msg =
+    ignore
+      (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+         ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+         (Guillotine_hv.Audit.Note msg))
+  in
+  Engine.every t.engine ~period (fun () ->
+      match check () with
+      | Ok () -> true
+      | Error reason ->
+        let sp =
+          Telemetry.span t.telemetry ~cat:"recovery" ~args:[ ("reason", reason) ]
+            "console.recovery"
+        in
+        (match recover ~reason with
+        | Ok action ->
+          Telemetry.incr c_recovered;
+          Telemetry.finish ~args:[ ("action", action) ] sp;
+          audit_note (Printf.sprintf "recovered (%s): %s" reason action);
+          true
+        | Error e ->
+          Telemetry.incr c_failed;
+          Telemetry.finish ~args:[ ("failed", e) ] sp;
+          ignore
+            (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+               ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+               (Guillotine_hv.Audit.Invariant_failure
+                  { message = "recovery sweep: " ^ reason }));
+          force_offline t ~reason:(Printf.sprintf "unrecoverable (%s): %s" reason e);
+          false))
+
 let start_heartbeat t ?period ?timeout ~key () =
   Heartbeat.start ~engine:t.engine ?period ?timeout ~telemetry:t.telemetry ~key
     ~on_loss:(fun side ->

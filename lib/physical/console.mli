@@ -79,6 +79,20 @@ val start_integrity_sweep :
     image against its load-time digest, or the software hypervisor's
     invariant checker. *)
 
+val start_recovery_sweep :
+  t ->
+  period:float ->
+  check:(unit -> (unit, string) result) ->
+  recover:(reason:string -> (string, string) result) ->
+  Guillotine_sim.Engine.handle
+(** Like {!start_integrity_sweep}, but with a recovery path: when
+    [check] fails, [recover ~reason] is attempted first (e.g. a snapshot
+    rollback of a wedged or self-modified model).  [Ok action] audits
+    the recovery and keeps sweeping; [Error _] falls back to
+    {!force_offline} and stops.  Each recovery is a [console.recovery]
+    span and bumps [recoveries.completed] / [recoveries.failed].
+    Returns the engine handle so the sweep can be cancelled. *)
+
 (** {2 Heartbeat} *)
 
 val start_heartbeat :

@@ -1,5 +1,6 @@
 module Engine = Guillotine_sim.Engine
 module Bounded_queue = Guillotine_util.Bounded_queue
+module Prng = Guillotine_util.Prng
 module Telemetry = Guillotine_telemetry.Telemetry
 
 type config = {
@@ -12,6 +13,9 @@ type config = {
   kv_saving : float;
   overhead_per_request : float;
   overhead_per_token : float;
+  max_attempts : int;
+  backoff_base : float;
+  shed_watermark : float;
 }
 
 let baseline_config ~replicas =
@@ -25,6 +29,9 @@ let baseline_config ~replicas =
     kv_saving = 0.8;
     overhead_per_request = 0.0;
     overhead_per_token = 0.0;
+    max_attempts = 1;
+    backoff_base = 0.05;
+    shed_watermark = 1.0;
   }
 
 let guillotine_config ~replicas =
@@ -32,6 +39,13 @@ let guillotine_config ~replicas =
     (baseline_config ~replicas) with
     overhead_per_request = 0.002;
     overhead_per_token = 0.00002;
+  }
+
+let resilient_config ~replicas =
+  {
+    (guillotine_config ~replicas) with
+    max_attempts = 4;
+    shed_watermark = 0.75;
   }
 
 type request = {
@@ -78,26 +92,38 @@ type replica = {
   mutable busy_time : float; (* cumulative seconds of service *)
 }
 
-type pending = { request : request; arrived : float }
+type pending = { request : request; arrived : float; attempts : int }
 
 type t = {
   engine : Engine.t;
   cfg : config;
   queue : pending Bounded_queue.t;
   replicas : replica array;
+  prng : Prng.t;
   mutable kv_hits : int;
   mutable latencies : float list;
+  mutable fault_rate : float;
+  mutable down : bool;
+  mutable slowdown : unit -> float;
+  mutable failover : (request -> unit) option;
   telemetry : Telemetry.t;
   c_submitted : Telemetry.counter;
   c_dropped : Telemetry.counter;
   c_completed : Telemetry.counter;
   c_kv_hits : Telemetry.counter;
+  c_retried : Telemetry.counter;
+  c_shed : Telemetry.counter;
+  c_failed : Telemetry.counter;
+  c_failed_over : Telemetry.counter;
   g_queue_depth : Telemetry.gauge;
   h_latency : Telemetry.histogram;
 }
 
-let create ~engine (cfg : config) =
+let create ?prng ~engine (cfg : config) =
   if cfg.replicas <= 0 then invalid_arg "Service.create: replicas must be positive";
+  if cfg.max_attempts < 1 then invalid_arg "Service.create: max_attempts must be >= 1";
+  if cfg.shed_watermark < 0.0 || cfg.shed_watermark > 1.0 then
+    invalid_arg "Service.create: shed_watermark out of range";
   let telemetry =
     Telemetry.create ~clock:(fun () -> Engine.now engine) ~name:"serve" ()
   in
@@ -108,18 +134,36 @@ let create ~engine (cfg : config) =
     replicas =
       Array.init cfg.replicas (fun _ ->
           { kv = kv_create cfg.kv_entries; busy = false; busy_time = 0.0 });
+    prng = (match prng with Some p -> p | None -> Prng.create 0x5E21CEL);
     kv_hits = 0;
     latencies = [];
+    fault_rate = 0.0;
+    down = false;
+    slowdown = (fun () -> 0.0);
+    failover = None;
     telemetry;
     c_submitted = Telemetry.counter telemetry "requests.submitted";
     c_dropped = Telemetry.counter telemetry "requests.dropped";
     c_completed = Telemetry.counter telemetry "requests.completed";
     c_kv_hits = Telemetry.counter telemetry "kv.hits";
+    c_retried = Telemetry.counter telemetry "requests.retried";
+    c_shed = Telemetry.counter telemetry "requests.shed";
+    c_failed = Telemetry.counter telemetry "requests.failed";
+    c_failed_over = Telemetry.counter telemetry "requests.failed_over";
     g_queue_depth = Telemetry.gauge telemetry "queue.depth";
     h_latency = Telemetry.histogram telemetry "request.latency_s";
   }
 
 let telemetry t = t.telemetry
+
+let set_fault t ~rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Service.set_fault: rate out of range";
+  t.fault_rate <- rate
+
+let set_down t b = t.down <- b
+let is_down t = t.down
+let set_slowdown t f = t.slowdown <- f
+let set_failover t h = t.failover <- Some h
 
 (* The prefix key: sessions share prefixes, so reuse the session id
    bucketed by prefix length (a stand-in for hashing the first k
@@ -143,6 +187,16 @@ let service_time t replica (r : request) =
   in
   prefill +. decode +. mediation
 
+let give_up t (request : request) =
+  match t.failover with
+  | Some h ->
+    Telemetry.incr t.c_failed_over;
+    Telemetry.instant t.telemetry ~cat:"recovery"
+      ~args:[ ("request", string_of_int request.id) ]
+      "request.failed_over";
+    h request
+  | None -> Telemetry.incr t.c_failed
+
 let rec dispatch t =
   match
     Array.fold_left
@@ -153,10 +207,10 @@ let rec dispatch t =
   | Some replica -> (
     match Bounded_queue.pop t.queue with
     | None -> ()
-    | Some { request; arrived } ->
+    | Some ({ request; arrived; attempts } as p) ->
       Telemetry.set t.g_queue_depth (float_of_int (Bounded_queue.length t.queue));
       replica.busy <- true;
-      let dt = service_time t replica request in
+      let dt = service_time t replica request +. t.slowdown () in
       replica.busy_time <- replica.busy_time +. dt;
       let sp =
         Telemetry.span t.telemetry ~cat:"serve"
@@ -164,34 +218,80 @@ let rec dispatch t =
             [
               ("request", string_of_int request.id);
               ("session", string_of_int request.session);
+              ("attempt", string_of_int attempts);
             ]
           "request.service"
+      in
+      (* The attempt's fate is decided at dispatch: an injected fault or
+         a downed deployment wastes the replica time either way. *)
+      let failed =
+        t.down || (t.fault_rate > 0.0 && Prng.float t.prng 1.0 < t.fault_rate)
       in
       ignore
         (Engine.schedule t.engine ~delay:dt (fun () ->
              replica.busy <- false;
-             Telemetry.incr t.c_completed;
-             let latency = Engine.now t.engine -. arrived in
-             t.latencies <- latency :: t.latencies;
-             Telemetry.observe t.h_latency latency;
-             Telemetry.finish sp;
+             (if not failed then begin
+                Telemetry.incr t.c_completed;
+                let latency = Engine.now t.engine -. arrived in
+                t.latencies <- latency :: t.latencies;
+                Telemetry.observe t.h_latency latency;
+                Telemetry.finish sp
+              end
+              else begin
+                Telemetry.finish ~args:[ ("failed", "true") ] sp;
+                if attempts < t.cfg.max_attempts then begin
+                  Telemetry.incr t.c_retried;
+                  let backoff =
+                    t.cfg.backoff_base *. (2.0 ** float_of_int (attempts - 1))
+                  in
+                  ignore
+                    (Engine.schedule t.engine ~delay:backoff (fun () ->
+                         if Bounded_queue.push t.queue { p with attempts = attempts + 1 }
+                         then begin
+                           Telemetry.set t.g_queue_depth
+                             (float_of_int (Bounded_queue.length t.queue));
+                           dispatch t
+                         end
+                         else give_up t request))
+                end
+                else give_up t request
+              end);
              dispatch t)))
+
+let shed_threshold t =
+  int_of_float (ceil (t.cfg.shed_watermark *. float_of_int t.cfg.queue_capacity))
 
 let submit t request =
   Telemetry.incr t.c_submitted;
-  let accepted = Bounded_queue.push t.queue { request; arrived = Engine.now t.engine } in
-  if accepted then begin
-    Telemetry.set t.g_queue_depth (float_of_int (Bounded_queue.length t.queue));
-    dispatch t
+  if t.cfg.shed_watermark < 1.0 && Bounded_queue.length t.queue >= shed_threshold t
+  then begin
+    (* Admission shedding: refuse early while the queue still has slack,
+       so retries of already-admitted work keep somewhere to land. *)
+    Telemetry.incr t.c_shed;
+    false
   end
-  else Telemetry.incr t.c_dropped;
-  accepted
+  else begin
+    let accepted =
+      Bounded_queue.push t.queue
+        { request; arrived = Engine.now t.engine; attempts = 1 }
+    in
+    if accepted then begin
+      Telemetry.set t.g_queue_depth (float_of_int (Bounded_queue.length t.queue));
+      dispatch t
+    end
+    else Telemetry.incr t.c_dropped;
+    accepted
+  end
 
 type stats = {
   submitted : int;
   dropped : int;
   completed : int;
   kv_hits : int;
+  retried : int;
+  shed : int;
+  failed : int;
+  failed_over : int;
   latencies : float list;
   goodput : float;
   busy_fraction : float;
@@ -205,6 +305,10 @@ let stats t ~at =
     dropped = Telemetry.counter_value t.c_dropped;
     completed;
     kv_hits = t.kv_hits;
+    retried = Telemetry.counter_value t.c_retried;
+    shed = Telemetry.counter_value t.c_shed;
+    failed = Telemetry.counter_value t.c_failed;
+    failed_over = Telemetry.counter_value t.c_failed_over;
     latencies = List.rev t.latencies;
     goodput = (if at > 0.0 then float_of_int completed /. at else 0.0);
     busy_fraction =

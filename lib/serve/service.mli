@@ -21,14 +21,23 @@ type config = {
   kv_saving : float;          (** fraction of prefill saved on a hit *)
   overhead_per_request : float;
   overhead_per_token : float;
+  max_attempts : int;         (** total tries per request (1 = no retry) *)
+  backoff_base : float;       (** retry delay doubles from this, seconds *)
+  shed_watermark : float;     (** queue fraction above which admission sheds;
+                                  1.0 disables shedding *)
 }
 
 val baseline_config : replicas:int -> config
-(** No mediation overhead. *)
+(** No mediation overhead, no retries, no shedding. *)
 
 val guillotine_config : replicas:int -> config
 (** [baseline_config] plus default mediation overhead (2 ms/request,
     20 us/token). *)
+
+val resilient_config : replicas:int -> config
+(** [guillotine_config] plus the recovery posture used under fault
+    injection: up to 4 attempts with exponential backoff, admission
+    shedding above 75% queue occupancy. *)
 
 type request = {
   id : int;
@@ -39,16 +48,52 @@ type request = {
 
 type t
 
-val create : engine:Guillotine_sim.Engine.t -> config -> t
+val create :
+  ?prng:Guillotine_util.Prng.t -> engine:Guillotine_sim.Engine.t -> config -> t
+(** [prng] seeds the attempt-failure draws used by {!set_fault}
+    (defaults to a fixed seed, so runs stay deterministic). *)
 
 val submit : t -> request -> bool
-(** [false] if the admission queue was full (request dropped). *)
+(** [false] if the request was shed (queue above the watermark) or the
+    admission queue was full (request dropped). *)
+
+(** {2 Fault injection and recovery hooks}
+
+    A dispatched attempt fails when the deployment is marked down or an
+    injected fault fires; a failed attempt still occupies its replica
+    for the full service time.  Failed attempts are retried with
+    exponential backoff up to [max_attempts]; a request that exhausts
+    its attempts is handed to the failover handler (if any) or counted
+    failed. *)
+
+val set_fault : t -> rate:float -> unit
+(** Probability in [0,1] that any dispatched attempt fails.  0 (the
+    default) restores fault-free service. *)
+
+val set_down : t -> bool -> unit
+(** Mark the whole deployment down: every attempt fails until cleared.
+    The fault model of a wedged or powered-off primary. *)
+
+val is_down : t -> bool
+
+val set_slowdown : t -> (unit -> float) -> unit
+(** Extra seconds added to every attempt's service time, consulted per
+    dispatch — the service-level projection of a stalled device. *)
+
+val set_failover : t -> (request -> unit) -> unit
+(** Handler for requests that exhaust their attempts (typically
+    [fun r -> ignore (submit backup r)]).  Each invocation records a
+    [request.failed_over] instant and bumps [requests.failed_over]. *)
 
 type stats = {
   submitted : int;
   dropped : int;
   completed : int;
   kv_hits : int;
+  retried : int;              (** failed attempts that were requeued *)
+  shed : int;                 (** refused at admission by the watermark *)
+  failed : int;               (** exhausted attempts, no failover handler *)
+  failed_over : int;          (** exhausted attempts handed to failover *)
   latencies : float list;     (** per completed request, seconds *)
   goodput : float;            (** completed per second of sim time elapsed *)
   busy_fraction : float;      (** mean replica utilisation *)

@@ -44,12 +44,28 @@ let every t ~period f =
      caller's handle keeps working after the first firing. *)
   let flag = ref false in
   let rec fire () =
-    if not !flag then
-      if f () then begin
+    if not !flag then begin
+      let again =
+        try f ()
+        with
+        | Simulation_error _ as e ->
+          flag := true;
+          raise e
+        | e ->
+          (* A raising callback cancels the recurrence: leaving it queued
+             would re-raise on every subsequent period. *)
+          flag := true;
+          raise
+            (Simulation_error
+               (Printf.sprintf "t=%.6f: Engine.every callback raised: %s"
+                  t.clock (Printexc.to_string e)))
+      in
+      if again then begin
         let inner = enqueue t ~at:(t.clock +. period) fire in
         (* Reflect external cancellation into the freshly queued event. *)
         if !flag then inner := true
       end
+    end
   in
   let first = enqueue t ~at:(t.clock +. period) fire in
   ignore first;

@@ -26,7 +26,9 @@ val schedule_at : t -> at:float -> (unit -> unit) -> handle
 val every : t -> period:float -> (unit -> bool) -> handle
 (** [every t ~period f] fires [f] each [period]; rescheduling stops when
     [f] returns [false] or the handle is cancelled.  The first firing is
-    one period from now. *)
+    one period from now.  If [f] raises, the recurrence is cancelled and
+    the exception surfaces as {!Simulation_error} (stamped with the
+    simulated time); [Simulation_error] itself propagates unchanged. *)
 
 val cancel : handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)

@@ -287,18 +287,23 @@ let export_chrome_trace regs =
     if !first then first := false else Buffer.add_string buf ",";
     add ()
   in
+  (* Thread ids are positions in [regs], not the registries' global
+     creation ids: the export of a fresh same-seed rig must come back
+     byte-identical no matter how many registries the process has made
+     before (the fault plane's replay contract hinges on this). *)
+  let tids = List.mapi (fun i t -> (i, t)) regs in
   (* Thread metadata first (ts 0 keeps the timestamp sequence sorted:
      every clock in the system starts at 0). *)
   List.iter
-    (fun t ->
+    (fun (tid, t) ->
       emit (fun () ->
           Buffer.add_string buf
             (Printf.sprintf
                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"%s\"}}"
-               t.reg_id (json_escape t.reg_name))))
-    regs;
+               tid (json_escape t.reg_name))))
+    tids;
   let events =
-    List.concat_map (fun t -> List.rev_map (fun ev -> (t.reg_id, ev)) t.events) regs
+    List.concat_map (fun (tid, t) -> List.rev_map (fun ev -> (tid, ev)) t.events) tids
   in
   let events =
     List.stable_sort (fun (_, a) (_, b) -> Float.compare a.ev_ts b.ev_ts) events

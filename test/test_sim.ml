@@ -64,6 +64,35 @@ let test_every_cancel () =
   Engine.run e ~until:10.0;
   Alcotest.(check int) "stopped by cancel" 2 !count
 
+let test_every_raising_callback_cancels () =
+  (* A raising callback must surface as Simulation_error AND cancel the
+     recurrence: resuming the engine afterwards must not re-fire it. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore
+    (Engine.every e ~period:1.0 (fun () ->
+         incr count;
+         if !count = 2 then failwith "tick exploded";
+         true));
+  Alcotest.check_raises "surfaced with sim time"
+    (Engine.Simulation_error "t=2.000000: Engine.every callback raised: Failure(\"tick exploded\")")
+    (fun () -> Engine.run e);
+  (* The broken timer is gone: draining the queue fires nothing more. *)
+  Engine.run e ~until:10.0;
+  Alcotest.(check int) "no further firings" 2 !count;
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending e)
+
+let test_every_simulation_error_passthrough () =
+  (* Engine.fail inside a recurring callback keeps its own message. *)
+  let e = Engine.create () in
+  ignore
+    (Engine.every e ~period:0.5 (fun () -> Engine.fail e "deliberate stop"));
+  Alcotest.check_raises "passthrough"
+    (Engine.Simulation_error "t=0.500000: deliberate stop") (fun () ->
+      Engine.run e);
+  Engine.run e;
+  Alcotest.(check int) "recurrence cancelled" 0 (Engine.pending e)
+
 let test_run_until_horizon () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -131,6 +160,10 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
           Alcotest.test_case "recurring" `Quick test_every_recurring;
           Alcotest.test_case "recurring cancel" `Quick test_every_cancel;
+          Alcotest.test_case "raising callback cancels recurrence" `Quick
+            test_every_raising_callback_cancels;
+          Alcotest.test_case "Simulation_error passes through every" `Quick
+            test_every_simulation_error_passthrough;
           Alcotest.test_case "run until horizon" `Quick test_run_until_horizon;
           Alcotest.test_case "event budget guard" `Quick test_event_budget_guard;
           Alcotest.test_case "past scheduling rejected" `Quick

@@ -196,6 +196,75 @@ let test_bounded_queue_fifo () =
   Alcotest.(check bool) "push after pop" true (Bounded_queue.push q 5);
   Alcotest.(check (list int)) "snapshot" [ 2; 3; 5 ] (Bounded_queue.to_list q)
 
+let prop_bounded_queue_fifo =
+  (* Any push/pop script against a bounded queue behaves exactly like a
+     plain FIFO list truncated at capacity: accepted pushes come back in
+     order, rejections happen iff the model is full, and the length
+     never exceeds capacity. *)
+  QCheck.Test.make ~name:"bounded queue = capacity-limited FIFO" ~count:300
+    QCheck.(pair (int_range 1 8) (small_list (option small_int)))
+    (fun (cap, script) ->
+      let q = Bounded_queue.create ~capacity:cap in
+      let model = ref [] in
+      List.for_all
+        (fun step ->
+          let ok =
+            match step with
+            | Some x ->
+              let accepted = Bounded_queue.push q x in
+              let model_full = List.length !model >= cap in
+              if accepted then model := !model @ [ x ];
+              accepted = not model_full
+            | None -> (
+              let popped = Bounded_queue.pop q in
+              match (!model, popped) with
+              | [], None -> true
+              | m :: rest, Some v ->
+                model := rest;
+                v = m
+              | _ -> false)
+          in
+          ok
+          && Bounded_queue.length q = List.length !model
+          && Bounded_queue.length q <= Bounded_queue.capacity q
+          && Bounded_queue.to_list q = !model)
+        script)
+
+let prop_heap_pop_ordering =
+  QCheck.Test.make ~name:"heap pop never goes backwards" ~count:200
+    QCheck.(list (pair small_int small_int))
+    (fun xs ->
+      let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+      List.iter (Heap.push h) xs;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (k, _) -> (match prev with Some p -> k >= p | None -> true) && drain (Some k)
+      in
+      drain None)
+
+let prop_prng_copy_replays =
+  QCheck.Test.make ~name:"prng copy replays the exact stream" ~count:100
+    QCheck.(pair int (int_range 0 64))
+    (fun (seed, skip) ->
+      let a = Prng.create (Int64.of_int seed) in
+      for _ = 1 to skip do
+        ignore (Prng.int64 a)
+      done;
+      let b = Prng.copy a in
+      List.init 32 (fun _ -> Prng.int64 a) = List.init 32 (fun _ -> Prng.int64 b))
+
+let prop_prng_split_deterministic =
+  QCheck.Test.make ~name:"prng split is a pure function of the parent state"
+    ~count:100 QCheck.int (fun seed ->
+      let seed = Int64.of_int seed in
+      let s1 = Prng.split (Prng.create seed) in
+      let s2 = Prng.split (Prng.create seed) in
+      let xs = List.init 32 (fun _ -> Prng.int64 s1) in
+      let ys = List.init 32 (fun _ -> Prng.int64 s2) in
+      let parent = List.init 32 (fun _ -> Prng.int64 (Prng.create seed)) in
+      xs = ys && xs <> parent)
+
 let test_bits_roundtrip () =
   let s = "Guillotine" in
   Alcotest.(check string) "roundtrip" s (Bits.to_string (Bits.of_string s))
@@ -258,6 +327,8 @@ let () =
             test_prng_sample_without_replacement;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
           Alcotest.test_case "choose covers all" `Quick test_prng_choose_covers_all;
+          qc prop_prng_copy_replays;
+          qc prop_prng_split_deterministic;
         ] );
       ( "stats",
         [
@@ -275,9 +346,13 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           qc prop_heap_sorts;
+          qc prop_heap_pop_ordering;
         ] );
       ( "bounded_queue",
-        [ Alcotest.test_case "fifo with capacity" `Quick test_bounded_queue_fifo ] );
+        [
+          Alcotest.test_case "fifo with capacity" `Quick test_bounded_queue_fifo;
+          qc prop_bounded_queue_fifo;
+        ] );
       ( "bits",
         [
           Alcotest.test_case "roundtrip" `Quick test_bits_roundtrip;
