@@ -1568,9 +1568,152 @@ let r1 () =
     [ 1; 2; 3 ];
   Table.print t
 
+(* ================================================================== *)
+(* O1: detection latency + observability overhead (§4 self-checking)  *)
+(* ================================================================== *)
+
+let o1 () =
+  let module Scenarios = Guillotine_faults.Scenarios in
+  let module Telemetry = Guillotine_telemetry.Telemetry in
+  say "O1  Detection latency and observability overhead (§4 self-checking)";
+  say "    Every golden fault scenario replays with the monitoring plane";
+  say "    attached: 2 Hz time-series sampling of every registry, the stock";
+  say "    SLO watchdog ruleset, and the cross-layer flight recorder.";
+  say "    Expected shape: every injected fault is detected (finite alert";
+  say "    latency), and monitoring costs <5%% wall-clock on the f-series.";
+  let t =
+    Table.create ~title:"O1 detection latency (seed 1)"
+      ~columns:
+        [
+          ("scenario", Table.Left);
+          ("verdict", Table.Left);
+          ("fault at (s)", Table.Right);
+          ("first alert", Table.Left);
+          ("severity", Table.Left);
+          ("latency (s)", Table.Right);
+          ("alerts", Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let m = Scenarios.run_monitored name ~seed:1 in
+      let fault_at =
+        match m.Scenarios.first_fault_at with
+        | Some a -> Printf.sprintf "%.2f" a
+        | None -> "-"
+      in
+      let rule, severity =
+        match m.Scenarios.first_fault_at with
+        | Some at -> (
+          match
+            List.find_opt (fun (_, _, raised) -> raised >= at) m.Scenarios.alerts
+          with
+          | Some (r, s, _) -> (r, s)
+          | None -> ("-", "-"))
+        | None -> ("-", "-")
+      in
+      let latency =
+        match m.Scenarios.detection_latency_s with
+        | Some l -> Printf.sprintf "%.2f" l
+        | None -> "UNDETECTED"
+      in
+      Table.add_row t
+        [
+          name;
+          m.Scenarios.base.Scenarios.verdict;
+          fault_at;
+          rule;
+          severity;
+          latency;
+          string_of_int (List.length m.Scenarios.alerts);
+        ])
+    Scenarios.names;
+  Table.print t;
+  (* Overhead, measured where the <5% target is meaningful: the six
+     deployment-backed scenarios do f-series-scale work (attestation,
+     sealing, rollback crypto — ~1s of host CPU each), so the monitor's
+     2 Hz sampling should vanish into that.  Median-of-reps per side to
+     shrug off scheduler noise. *)
+  let reps = 3 in
+  let median f =
+    let ts =
+      List.init reps (fun _ ->
+          let t0 = Sys.time () in
+          ignore (f ());
+          Sys.time () -. t0)
+    in
+    List.nth (List.sort Float.compare ts) (reps / 2)
+  in
+  let deployment_scenarios =
+    [
+      "heartbeat-outage"; "weight-tamper-rollback"; "core-wedge-rollback";
+      "false-alarm-probation"; "nic-flaky-attest"; "irq-storm-contained";
+    ]
+  in
+  let ov =
+    Table.create ~title:"O1 observability overhead (f-series-scale rigs)"
+      ~columns:
+        [
+          ("scenario", Table.Left);
+          ("bare (s)", Table.Right);
+          ("monitored (s)", Table.Right);
+          ("overhead", Table.Right);
+        ]
+  in
+  let total_bare = ref 0.0 and total_mon = ref 0.0 in
+  List.iter
+    (fun name ->
+      let bare = median (fun () -> Scenarios.run name ~seed:1) in
+      let monitored = median (fun () -> Scenarios.run_monitored name ~seed:1) in
+      total_bare := !total_bare +. bare;
+      total_mon := !total_mon +. monitored;
+      Table.add_row ov
+        [
+          name;
+          Printf.sprintf "%.3f" bare;
+          Printf.sprintf "%.3f" monitored;
+          Printf.sprintf "%+.1f%%" (100.0 *. ((monitored -. bare) /. bare));
+        ])
+    deployment_scenarios;
+  say "";
+  Table.print ov;
+  let overall = 100.0 *. ((!total_mon -. !total_bare) /. !total_bare) in
+  say "aggregate overhead: %+.1f%%  (target <5%%: %s)" overall
+    (if overall < 5.0 then "PASS" else "FAIL");
+  (* The two serving rigs run 90-130 simulated seconds in a few
+     milliseconds of host CPU, so a wall-clock ratio against them is
+     noise-over-noise; report the monitor's absolute per-sample cost
+     instead (what any real deployment would pay per 0.5 s tick). *)
+  say "";
+  List.iter
+    (fun name ->
+      let bare = median (fun () -> Scenarios.run name ~seed:1) in
+      let t0 = Sys.time () in
+      let m = Scenarios.run_monitored name ~seed:1 in
+      let monitored_once = Sys.time () -. t0 in
+      let samples =
+        List.fold_left
+          (fun acc (snap : Telemetry.snapshot) ->
+            if snap.Telemetry.component <> "obs" then acc
+            else
+              List.fold_left
+                (fun acc -> function
+                  | "samples.taken", Telemetry.Counter n -> acc + n
+                  | _ -> acc)
+                acc snap.Telemetry.values)
+          0 m.Scenarios.base.Scenarios.snapshots
+      in
+      let per_sample_us =
+        if samples = 0 then 0.0
+        else 1e6 *. Float.max 0.0 (monitored_once -. bare) /. float_of_int samples
+      in
+      say "  %-24s %4d samples, ~%.0f us per sample (bare run: %.3fs host CPU)"
+        name samples per_sample_us bare)
+    [ "device-stall-shedding"; "fault-storm-failover" ]
+
 let all = [
   ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
   ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
   ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9); ("f10", f10); ("f11", f11);
-  ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1);
+  ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("o1", o1);
 ]

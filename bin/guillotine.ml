@@ -9,6 +9,8 @@
      covert      run the prime+probe covert channel
      trace       run a scenario and export its Chrome-trace timeline
      faults      replay a named fault-injection scenario deterministically
+     monitor     replay a fault scenario with the observability plane attached
+     report      print the incident report for a monitored fault scenario
      demo        containment walkthrough (same story as the example)
 
    Try:  dune exec bin/guillotine.exe -- attacks *)
@@ -486,6 +488,138 @@ let faults_cmd =
           same seed reproduces byte-identical telemetry.")
     Term.(const run $ scenario $ seed $ out)
 
+(* ------------------------------ monitor --------------------------- *)
+
+let monitor_cmd =
+  let module Scenarios = Guillotine_faults.Scenarios in
+  let run scenario seed out =
+    if scenario = "list" then begin
+      print_endline "available fault scenarios:";
+      List.iter (fun n -> Printf.printf "  %s\n" n) Scenarios.names
+    end
+    else begin
+      let m =
+        try Scenarios.run_monitored scenario ~seed
+        with Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+      in
+      print_endline (Scenarios.summary m.Scenarios.base);
+      print_newline ();
+      let t =
+        Table.create ~title:"watchdog alerts"
+          ~columns:
+            [
+              ("raised at", Table.Right);
+              ("severity", Table.Left);
+              ("rule", Table.Left);
+            ]
+      in
+      List.iter
+        (fun (name, severity, at) ->
+          Table.add_row t [ Printf.sprintf "%.3fs" at; severity; name ])
+        m.Scenarios.alerts;
+      Table.print t;
+      (match m.Scenarios.first_fault_at with
+      | Some at -> Printf.printf "\nfirst fault injected at %.3fs\n" at
+      | None -> print_endline "\nno fault applied");
+      (match m.Scenarios.detection_latency_s with
+      | Some l -> Printf.printf "detection latency     %.3fs\n" l
+      | None -> print_endline "detection latency     NOT DETECTED");
+      (match m.Scenarios.incident_text with
+      | Some text ->
+        print_newline ();
+        print_endline text
+      | None -> ());
+      (* Replay: a monitored run must be as deterministic as the
+         unmonitored plane — same seed, byte-identical incident report
+         and telemetry stream. *)
+      let m2 = Scenarios.run_monitored scenario ~seed in
+      let identical =
+        m.Scenarios.incident_json = m2.Scenarios.incident_json
+        && m.Scenarios.base.Scenarios.trace = m2.Scenarios.base.Scenarios.trace
+        && m.Scenarios.alerts = m2.Scenarios.alerts
+      in
+      Printf.printf "\nreplay (seed %d): %s\n" seed
+        (if identical then "byte-identical incident report + telemetry"
+         else "DIVERGED");
+      (match out with
+      | None -> ()
+      | Some out -> (
+        try
+          Out_channel.with_open_text out (fun oc ->
+              Out_channel.output_string oc m.Scenarios.base.Scenarios.trace);
+          Printf.printf "Chrome trace (with alert track) written to %s\n" out
+        with Sys_error e ->
+          Printf.eprintf "cannot write trace: %s\n" e;
+          exit 1));
+      if not identical then exit 1;
+      if m.Scenarios.detection_latency_s = None then exit 1
+    end
+  in
+  let scenario =
+    Arg.(value & pos 0 string "list"
+         & info [] ~docv:"SCENARIO"
+             ~doc:"A scenario name from $(b,guillotine monitor list).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the Chrome trace here.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Replay a fault scenario with the observability plane attached: \
+          time-series sampling of every registry, SLO watchdogs, a flight \
+          recorder, and an incident report for the first alert after the \
+          fault.  Exits non-zero if the fault goes undetected or the replay \
+          diverges.")
+    Term.(const run $ scenario $ seed $ out)
+
+(* ------------------------------ report ---------------------------- *)
+
+let report_cmd =
+  let module Scenarios = Guillotine_faults.Scenarios in
+  let run scenario seed json =
+    let m =
+      try Scenarios.run_monitored scenario ~seed
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    let body =
+      if json then m.Scenarios.incident_json else m.Scenarios.incident_text
+    in
+    match body with
+    | Some body -> print_endline body
+    | None ->
+      Printf.eprintf "no alert fired for %s at seed %d: nothing to report\n"
+        scenario seed;
+      exit 1
+  in
+  let scenario =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SCENARIO"
+             ~doc:"A scenario name from $(b,guillotine monitor list).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable form.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a monitored fault scenario and print just the incident report: \
+          the firing alert correlated with the flight-recorder window around \
+          it and the fault schedule.  Deterministic for a given (scenario, \
+          seed).")
+    Term.(const run $ scenario $ seed $ json)
+
 (* ------------------------------- demo ----------------------------- *)
 
 let demo_cmd =
@@ -516,5 +650,7 @@ let () =
             covert_cmd;
             trace_cmd;
             faults_cmd;
+            monitor_cmd;
+            report_cmd;
             demo_cmd;
           ]))

@@ -21,6 +21,10 @@ module Core = Guillotine_microarch.Core
 module Prng = Guillotine_util.Prng
 module Crypto = Guillotine_crypto
 module Telemetry = Guillotine_telemetry.Telemetry
+module Monitor = Guillotine_obs.Monitor
+module Watchdog = Guillotine_obs.Watchdog
+module Timeseries = Guillotine_obs.Timeseries
+module Recorder = Guillotine_obs.Recorder
 
 let weights_base = 64 * 1024
 
@@ -47,6 +51,8 @@ type t = {
   mutable model_digest : string option;
   mutable frame_handlers : (src:int -> payload:string -> bool) list;
       (* inbound dispatch: first handler returning true consumes *)
+  mutable monitor : Monitor.t option;
+  mutable request_seq : int;
 }
 
 let next_addr = ref 100
@@ -133,6 +139,8 @@ let create ?(seed = 0xDEC0DEL) ?(machine_config = Machine.default_config)
     platform_public_key;
     model_digest = None;
     frame_handlers = [];
+    monitor = None;
+    request_seq = 0;
   }
   in
   t_ref := Some t;
@@ -195,7 +203,27 @@ let load_model t ?malice () =
     (Machine.model_cores t.machine);
   model
 
-let serve t ~model request = Inference.run t.hv ~model request
+let serve t ~model request =
+  match t.monitor with
+  | None -> Inference.run t.hv ~model request
+  | Some m ->
+    (* Thread a causal request id through the flight recorder: every
+       event any layer journals while this request is in flight — a
+       detector verdict, an isolation change — carries the same id. *)
+    t.request_seq <- t.request_seq + 1;
+    let id = t.request_seq in
+    let recorder = Monitor.recorder m in
+    Recorder.with_request recorder id (fun () ->
+        Recorder.record recorder ~source:"deploy" ~kind:"request.begin"
+          (Printf.sprintf "prompt_tokens=%d max_tokens=%d"
+             (List.length request.Inference.prompt)
+             request.Inference.max_tokens);
+        let outcome = Inference.run t.hv ~model request in
+        Recorder.record recorder ~source:"deploy" ~kind:"request.end"
+          (Printf.sprintf "released=%d blocked=%b broken=%b"
+             (List.length outcome.Inference.released)
+             outcome.Inference.blocked_at_input outcome.Inference.broken);
+        outcome)
 
 let serve_prompt t ~model ?(shield = true) ?(defence = Inference.No_defence)
     ?(sanitize = true) ~prompt ~max_tokens () =
@@ -337,6 +365,110 @@ let settle ?(horizon = default_settle_horizon) t =
   Engine.run t.engine ~until:(Engine.now t.engine +. horizon) ~max_events:1_000_000
 
 (* ------------------------------------------------------------------ *)
+(* Monitoring & forensics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let default_slo_rules =
+  let r = Watchdog.rule in
+  let delta = Timeseries.Delta in
+  [
+    (* Isolation / recovery plane: any state change is worth paging on
+       in a rig that is supposed to be healthy. *)
+    r ~name:"isolation-transition" ~metric:"console.transitions.completed"
+      ~signal:delta ~about:"an isolation transition completed"
+      (Watchdog.Above 0.0);
+    r ~name:"alarm-received" ~metric:"console.alarms.received" ~signal:delta
+      ~about:"the console received a detector alarm" (Watchdog.Above 0.0);
+    r ~name:"recovery-completed" ~metric:"console.recoveries.completed"
+      ~signal:delta ~about:"the recovery sweep repaired the model"
+      (Watchdog.Above 0.0);
+    r ~name:"recovery-failed" ~metric:"console.recoveries.failed" ~signal:delta
+      ~severity:Watchdog.Critical ~about:"a recovery attempt failed"
+      (Watchdog.Above 0.0);
+    r ~name:"heartbeat-loss" ~metric:"console.heartbeat.losses" ~signal:delta
+      ~severity:Watchdog.Critical ~about:"a heartbeat timed out"
+      (Watchdog.Above 0.0);
+    r ~name:"heartbeat-stale" ~metric:"console.heartbeat.beats" ~warmup:2.0
+      ~severity:Watchdog.Critical
+      ~about:"no heartbeat exchange observed at all" (Watchdog.Stale 5.0);
+    (* Network health: link-quality gauges scraped off the fabric (the
+       NOC's switch port counters) catch injected NIC degradation even
+       when no victim traffic crosses the fault window. *)
+    r ~name:"link-loss" ~metric:"fabric.link.loss_rate"
+      ~about:"the fabric is dropping frames" (Watchdog.Above 0.0);
+    r ~name:"link-corruption" ~metric:"fabric.link.corruption_rate"
+      ~about:"the fabric is corrupting frames" (Watchdog.Above 0.0);
+    r ~name:"link-duplication" ~metric:"fabric.link.duplication_rate"
+      ~about:"the fabric is duplicating frames" (Watchdog.Above 0.0);
+    r ~name:"dma-blocked" ~metric:"machine.dma.bursts_blocked" ~signal:delta
+      ~severity:Watchdog.Critical
+      ~about:"a device pushed DMA outside its granted windows"
+      (Watchdog.Above 0.0);
+    (* Observability self-check: a registry overwriting events means the
+       forensic record is incomplete. *)
+    r ~name:"telemetry-drops" ~metric:"*.telemetry.events_dropped"
+      ~about:"a telemetry buffer overflowed and dropped events"
+      (Watchdog.Above 0.0);
+    (* Serving SLOs: inert unless a serving source is attached. *)
+    r ~name:"latency-slo" ~metric:"serve.request.latency_s.p99"
+      ~for_duration:1.0 ~about:"p99 request latency above 500 ms"
+      (Watchdog.Above 0.5);
+    r ~name:"request-shed" ~metric:"serve.requests.shed" ~signal:delta
+      ~about:"admission control is shedding requests" (Watchdog.Above 0.0);
+    r ~name:"request-retried" ~metric:"serve.requests.retried" ~signal:delta
+      ~about:"request attempts are failing and being retried"
+      (Watchdog.Above 0.0);
+    r ~name:"request-failover" ~metric:"serve.requests.failed_over"
+      ~signal:delta ~severity:Watchdog.Critical
+      ~about:"requests are exhausting attempts and failing over"
+      (Watchdog.Above 0.0);
+    r ~name:"queue-depth" ~metric:"serve.queue.depth"
+      ~about:"the admission queue is saturating" (Watchdog.Above 40.0);
+    r ~name:"goodput-floor" ~metric:"serve.goodput_rps" ~warmup:5.0
+      ~about:"goodput collapsed below 1 request/s" (Watchdog.Below 1.0);
+  ]
+
+let monitor t = t.monitor
+
+let enable_monitoring ?period ?window ?(rules = default_slo_rules)
+    ?(escalate = false) t =
+  match t.monitor with
+  | Some m -> m
+  | None ->
+    let m = Monitor.create ?period ?window ~engine:t.engine () in
+    (* Same unified clock as every other registry, so the alert track
+       lines up with subsystem timelines in the exported trace. *)
+    Telemetry.set_clock (Monitor.telemetry m) (fun () ->
+        Engine.now t.engine +. (1e-9 *. float_of_int (Machine.now t.machine)));
+    Monitor.add_registry m (Machine.telemetry t.machine);
+    Monitor.add_registry m (Hypervisor.telemetry t.hv);
+    Monitor.add_registry m (Console.telemetry t.console);
+    Monitor.add_registry m (Kill_switch.telemetry (Console.switches t.console));
+    Monitor.add_source m (fun () -> Fabric.metrics t.fabric);
+    List.iter (Monitor.add_rule m) rules;
+    (* Cross-layer flight recorder: point every producer's event sink at
+       the journal.  Sinks are plain closures; the producers never learn
+       about the observability plane. *)
+    let recorder = Monitor.recorder m in
+    let sink source ~kind detail =
+      Guillotine_obs.Recorder.record recorder ~source ~kind detail
+    in
+    Console.set_event_sink t.console (sink "console");
+    Kill_switch.set_event_sink (Console.switches t.console) (sink "switches");
+    Hypervisor.set_event_sink t.hv (sink "hv");
+    (if escalate then
+       Monitor.on_alert m (fun (alert : Watchdog.alert) ->
+           if alert.Watchdog.rule.Watchdog.severity = Watchdog.Critical then
+             Console.on_watchdog_alert t.console ~severity:Detector.Critical
+               ~reason:
+                 (Printf.sprintf "watchdog rule %s: %s"
+                    alert.Watchdog.rule.Watchdog.rule_name
+                    alert.Watchdog.rule.Watchdog.about)));
+    Monitor.start m;
+    t.monitor <- Some m;
+    m
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -347,6 +479,7 @@ let registries t =
     Console.telemetry t.console;
     Kill_switch.telemetry (Console.switches t.console);
   ]
+  @ (match t.monitor with Some m -> [ Monitor.telemetry m ] | None -> [])
 
 let telemetry t =
   [

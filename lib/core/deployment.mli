@@ -65,7 +65,11 @@ val load_model : t -> ?malice:Toymodel.malice -> unit -> Toymodel.t
 
 val serve : t -> model:Toymodel.t -> Inference.request -> Inference.outcome
 (** Serve one inference request through the mediated pipeline — build
-    requests with {!Inference.request} and a {!Inference.posture}. *)
+    requests with {!Inference.request} and a {!Inference.posture}.
+    When monitoring is enabled, the request gets a fresh causal id and
+    every flight-recorder event journaled while it is in flight
+    ([request.begin]/[request.end], detector verdicts, isolation
+    changes) is stamped with it. *)
 
 val serve_prompt :
   t ->
@@ -150,6 +154,35 @@ val settle : ?horizon:float -> t -> unit
     (default {!default_settle_horizon}), letting actuations, heartbeats
     and network traffic complete. *)
 
+(** {2 Monitoring & forensics} *)
+
+val default_slo_rules : Guillotine_obs.Watchdog.rule list
+(** The stock watchdog ruleset: isolation transitions, detector alarms,
+    recovery outcomes, heartbeat loss and staleness, fabric link
+    quality, blocked DMA, telemetry buffer overflow, plus serving SLOs
+    (p99 latency, shed/retry/failover, queue depth, goodput floor) that
+    stay inert unless a serving source is attached to the monitor. *)
+
+val enable_monitoring :
+  ?period:float ->
+  ?window:float ->
+  ?rules:Guillotine_obs.Watchdog.rule list ->
+  ?escalate:bool ->
+  t ->
+  Guillotine_obs.Monitor.t
+(** Attach one {!Guillotine_obs.Monitor} to this deployment (idempotent:
+    a second call returns the existing monitor).  Samples every
+    subsystem registry plus the fabric's link-quality gauges on the
+    unified clock, installs [rules] (default {!default_slo_rules}),
+    and points every subsystem's event sink at the monitor's flight
+    recorder.  Sampling never touches the observed subsystems' state or
+    PRNGs, so a monitored run replays byte-identically with the same
+    seed.  [escalate] (default false) additionally routes Critical
+    watchdog alerts into {!Console.on_watchdog_alert} — opt-in because
+    it makes the watchdog an actor rather than an observer. *)
+
+val monitor : t -> Guillotine_obs.Monitor.t option
+
 (** {2 Telemetry}
 
     Every subsystem registry is re-pointed at one unified sim-time
@@ -164,7 +197,8 @@ val telemetry : t -> Guillotine_telemetry.Telemetry.snapshot list
 
 val registries : t -> Guillotine_telemetry.Telemetry.t list
 (** The live registries themselves (for custom export or extra
-    instrumentation). *)
+    instrumentation).  Includes the monitor's "obs" registry — the
+    alert track — when monitoring is enabled. *)
 
 val export_trace : t -> string
 (** Chrome-trace JSON of every recorded span and instant across all

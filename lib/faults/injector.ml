@@ -19,6 +19,8 @@ type t = {
   c_cleared : Telemetry.counter;
   c_skipped : Telemetry.counter;
   stall : int ref;
+  mutable event_sink : (kind:string -> string -> unit) option;
+  mutable first_injection_at : float option;
 }
 
 let create ~engine () =
@@ -32,9 +34,17 @@ let create ~engine () =
     c_cleared = Telemetry.counter telemetry "faults.cleared";
     c_skipped = Telemetry.counter telemetry "faults.skipped";
     stall = ref 0;
+    event_sink = None;
+    first_injection_at = None;
   }
 
 let telemetry t = t.telemetry
+let set_event_sink t sink = t.event_sink <- Some sink
+let first_injection_at t = t.first_injection_at
+
+let emit t ~kind detail =
+  match t.event_sink with Some sink -> sink ~kind detail | None -> ()
+
 let injected t = Telemetry.counter_value t.c_injected
 let skipped t = Telemetry.counter_value t.c_skipped
 let device_stall_ticks t = !(t.stall)
@@ -46,16 +56,21 @@ let mark t which fault =
   match which with
   | `Injected ->
     Telemetry.incr t.c_injected;
+    if t.first_injection_at = None then
+      t.first_injection_at <- Some (Engine.now t.engine);
     Telemetry.instant t.telemetry ~cat:"fault" ~args:[ ("fault", desc) ]
-      "fault.injected"
+      "fault.injected";
+    emit t ~kind:"fault.injected" desc
   | `Cleared ->
     Telemetry.incr t.c_cleared;
     Telemetry.instant t.telemetry ~cat:"fault" ~args:[ ("fault", desc) ]
-      "fault.cleared"
+      "fault.cleared";
+    emit t ~kind:"fault.cleared" desc
   | `Skipped ->
     Telemetry.incr t.c_skipped;
     Telemetry.instant t.telemetry ~cat:"fault" ~args:[ ("fault", desc) ]
-      "fault.skipped"
+      "fault.skipped";
+    emit t ~kind:"fault.skipped" desc
 
 (* Apply one fault now.  Returns a clearing action for timed faults. *)
 let apply t ~deployment ~service ~fabric ~heartbeat fault =

@@ -18,6 +18,15 @@ val create : engine:Guillotine_sim.Engine.t -> unit -> t
 
 val telemetry : t -> Guillotine_telemetry.Telemetry.t
 
+val set_event_sink : t -> (kind:string -> string -> unit) -> unit
+(** Forward [fault.injected] / [fault.cleared] / [fault.skipped] events
+    (detail = {!Fault_plan.describe}) to an external journal — the
+    observability plane's flight recorder. *)
+
+val first_injection_at : t -> float option
+(** Sim time of the first fault actually applied (not skipped), if any —
+    the reference point for detection-latency measurements. *)
+
 val injected : t -> int
 (** Faults applied so far. *)
 

@@ -17,6 +17,10 @@ module Deployment = Guillotine_core.Deployment
 module Toymodel = Guillotine_model.Toymodel
 module Guest_programs = Guillotine_model.Guest_programs
 module Asm = Guillotine_isa.Asm
+module Monitor = Guillotine_obs.Monitor
+module Watchdog = Guillotine_obs.Watchdog
+module Recorder = Guillotine_obs.Recorder
+module Report = Guillotine_obs.Report
 
 type outcome = {
   scenario : string;
@@ -31,6 +35,45 @@ type outcome = {
 }
 
 let seed64 salt seed = Int64.of_int ((salt * 0x10001) + seed)
+
+(* --- Optional observability attachment ----------------------------- *)
+(* Every scenario takes [?obs], a cell the caller can pass to receive
+   the monitor; applying a scenario with [~seed] alone erases the
+   argument, so unmonitored runs are byte-identical to the pre-obs
+   goldens.  Sampling never touches scenario PRNGs, so monitored runs
+   replay byte-identically too. *)
+
+let attach_deployment_monitor obs d inj =
+  match obs with
+  | None -> None
+  | Some r ->
+    let m = Deployment.enable_monitoring d in
+    Monitor.add_registry m (Injector.telemetry inj);
+    Injector.set_event_sink inj (fun ~kind detail ->
+        Recorder.record (Monitor.recorder m) ~source:"faults" ~kind detail);
+    r := Some m;
+    Some m
+
+let attach_serving_monitor obs ~engine ~sources ~registries ~sinks =
+  match obs with
+  | None -> None
+  | Some r ->
+    let m = Monitor.create ~engine () in
+    List.iter (Monitor.add_source m) sources;
+    List.iter (Monitor.add_registry m) registries;
+    List.iter (Monitor.add_rule m) Deployment.default_slo_rules;
+    let recorder = Monitor.recorder m in
+    List.iter
+      (fun (source, set) ->
+        set (fun ~kind detail -> Recorder.record recorder ~source ~kind detail))
+      sinks;
+    Monitor.start m;
+    r := Some m;
+    Some m
+
+let obs_regs = function
+  | Some m -> [ Monitor.telemetry m ]
+  | None -> []
 
 let console_recoveries d =
   Telemetry.get_counter
@@ -61,7 +104,7 @@ let deployment_outcome ~scenario ~seed ~verdict ~recovery ~recoveries ~extra d
 (* 1. Heartbeat link outage: fail-safe forced offline.                 *)
 (* ------------------------------------------------------------------ *)
 
-let heartbeat_outage ~seed =
+let heartbeat_outage ?obs ~seed () =
   let d =
     Deployment.create ~seed:(seed64 0xBEA7 seed) ~name:"hb-victim" ()
   in
@@ -81,6 +124,7 @@ let heartbeat_outage ~seed =
       ]
   in
   Injector.install inj ~deployment:d ~heartbeat:hb plan;
+  ignore (attach_deployment_monitor obs d inj);
   Deployment.settle ~horizon:60.0 d;
   Heartbeat.stop hb;
   let level = Console.level (Deployment.console d) in
@@ -94,7 +138,7 @@ let heartbeat_outage ~seed =
 (* 2. DRAM bit flip in the weights: integrity sweep + rollback.        *)
 (* ------------------------------------------------------------------ *)
 
-let weight_tamper_rollback ~seed =
+let weight_tamper_rollback ?obs ~seed () =
   let d =
     Deployment.create ~seed:(seed64 0x7A3B seed) ~name:"tamper-victim" ()
   in
@@ -111,6 +155,7 @@ let weight_tamper_rollback ~seed =
     Fault_plan.make ~seed [ { at = 7.0; fault = Dram_bit_flip { addr; bit } } ]
   in
   Injector.install inj ~deployment:d plan;
+  ignore (attach_deployment_monitor obs d inj);
   Deployment.settle ~horizon:30.0 d;
   let recoveries = console_recoveries d in
   let intact = Deployment.verify_model_integrity d model in
@@ -126,7 +171,7 @@ let weight_tamper_rollback ~seed =
 (* 3. Wedged model core: watchdog sweep + rollback + resume.           *)
 (* ------------------------------------------------------------------ *)
 
-let core_wedge_rollback ~seed =
+let core_wedge_rollback ?obs ~seed () =
   let d =
     Deployment.create ~seed:(seed64 0x3ED6 seed) ~name:"wedge-victim" ()
   in
@@ -146,6 +191,7 @@ let core_wedge_rollback ~seed =
     Fault_plan.make ~seed [ { at = 7.0; fault = Core_wedge { core = 0 } } ]
   in
   Injector.install inj ~deployment:d plan;
+  ignore (attach_deployment_monitor obs d inj);
   Deployment.settle ~horizon:30.0 d;
   let recoveries = console_recoveries d in
   let level = Console.level (Deployment.console d) in
@@ -166,7 +212,7 @@ let core_wedge_rollback ~seed =
 (* 4. Detector false alarm: containment-first escalation.              *)
 (* ------------------------------------------------------------------ *)
 
-let false_alarm_probation ~seed =
+let false_alarm_probation ?obs ~seed () =
   let d =
     Deployment.create ~seed:(seed64 0xFA15 seed) ~name:"false-alarm" ()
   in
@@ -182,6 +228,7 @@ let false_alarm_probation ~seed =
       ]
   in
   Injector.install inj ~deployment:d plan;
+  ignore (attach_deployment_monitor obs d inj);
   Deployment.settle ~horizon:10.0 d;
   let level = Console.level (Deployment.console d) in
   let verdict =
@@ -195,7 +242,7 @@ let false_alarm_probation ~seed =
 (* 5. Flaky NIC during attestation: retry until a quote verifies.      *)
 (* ------------------------------------------------------------------ *)
 
-let nic_flaky_attest ~seed =
+let nic_flaky_attest ?obs ~seed () =
   let d =
     Deployment.create ~seed:(seed64 0xA77E seed) ~name:"attest-victim" ()
   in
@@ -257,6 +304,9 @@ let nic_flaky_attest ~seed =
       ]
   in
   Injector.install inj ~deployment:d plan;
+  Option.iter
+    (fun m -> Monitor.add_registry m reg)
+    (attach_deployment_monitor obs d inj);
   Deployment.settle ~horizon:30.0 d;
   let verdict = if !verified then "recovered" else "unrecovered" in
   let level = Console.level (Deployment.console d) in
@@ -269,7 +319,7 @@ let nic_flaky_attest ~seed =
 (* 6. Stalled accelerator: admission shedding under backlog.           *)
 (* ------------------------------------------------------------------ *)
 
-let device_stall_shedding ~seed =
+let device_stall_shedding ?obs ~seed () =
   let engine = Engine.create () in
   let service =
     Service.create
@@ -324,6 +374,16 @@ let device_stall_shedding ~seed =
       ]
   in
   Injector.install inj ~service plan;
+  let m =
+    attach_serving_monitor obs ~engine
+      ~sources:[ (fun () -> Service.metrics service) ]
+      ~registries:[ Injector.telemetry inj; reg ]
+      ~sinks:
+        [
+          ("serve", Service.set_event_sink service);
+          ("faults", Injector.set_event_sink inj);
+        ]
+  in
   Engine.run engine ~until:90.0 ~max_events:2_000_000;
   let s = Service.stats service ~at:90.0 in
   let verdict =
@@ -334,7 +394,9 @@ let device_stall_shedding ~seed =
     then "degraded-gracefully"
     else "overloaded"
   in
-  let regs = [ Service.telemetry service; Injector.telemetry inj; reg ] in
+  let regs =
+    [ Service.telemetry service; Injector.telemetry inj; reg ] @ obs_regs m
+  in
   {
     scenario = "device-stall-shedding";
     seed;
@@ -345,7 +407,7 @@ let device_stall_shedding ~seed =
     final_level = None;
     snapshots =
       [ Service.metrics service ]
-      @ List.map Telemetry.snapshot [ Injector.telemetry inj; reg ];
+      @ List.map Telemetry.snapshot ([ Injector.telemetry inj; reg ] @ obs_regs m);
     trace = Telemetry.export_chrome_trace regs;
   }
 
@@ -353,7 +415,7 @@ let device_stall_shedding ~seed =
 (* 7. Interrupt storm + glitched LAPIC: throttle contains it.          *)
 (* ------------------------------------------------------------------ *)
 
-let irq_storm_contained ~seed =
+let irq_storm_contained ?obs ~seed () =
   let d =
     Deployment.create ~seed:(seed64 0x1245 seed) ~name:"storm-victim" ()
   in
@@ -379,6 +441,7 @@ let irq_storm_contained ~seed =
       ]
   in
   Injector.install inj ~deployment:d plan;
+  ignore (attach_deployment_monitor obs d inj);
   Deployment.settle ~horizon:10.0 d;
   let _, dropped = Lapic.stats (Machine.lapic machine) in
   let level = Console.level (Deployment.console d) in
@@ -394,7 +457,7 @@ let irq_storm_contained ~seed =
 (* 8. Full fault storm on the primary: retry, shed, fail over.         *)
 (* ------------------------------------------------------------------ *)
 
-let fault_storm_failover ~seed =
+let fault_storm_failover ?obs ~seed () =
   let engine = Engine.create () in
   let primary =
     Service.create
@@ -418,6 +481,26 @@ let fault_storm_failover ~seed =
       ]
   in
   Injector.install inj ~service:primary plan;
+  let m =
+    attach_serving_monitor obs ~engine
+      ~sources:
+        [
+          (fun () -> Service.metrics primary);
+          (* Re-component the backup so the two "serve" registries do
+             not collide in the series store; the default serving rules
+             watch the primary, where the faults land. *)
+          (fun () ->
+            let s = Service.metrics backup in
+            Telemetry.snapshot_of ~component:"backup" s.Telemetry.values);
+        ]
+      ~registries:[ Cluster.telemetry cluster; Injector.telemetry inj ]
+      ~sinks:
+        [
+          ("serve", Service.set_event_sink primary);
+          ("backup", Service.set_event_sink backup);
+          ("faults", Injector.set_event_sink inj);
+        ]
+  in
   let wl = Prng.create (seed64 0x57CA seed) in
   let next_id = ref 0 in
   ignore
@@ -451,6 +534,7 @@ let fault_storm_failover ~seed =
       Cluster.telemetry cluster;
       Injector.telemetry inj;
     ]
+    @ obs_regs m
   in
   {
     scenario = "fault-storm-failover";
@@ -463,7 +547,7 @@ let fault_storm_failover ~seed =
     snapshots =
       [ Service.metrics primary; Service.metrics backup ]
       @ List.map Telemetry.snapshot
-          [ Cluster.telemetry cluster; Injector.telemetry inj ];
+          ([ Cluster.telemetry cluster; Injector.telemetry inj ] @ obs_regs m);
     trace = Telemetry.export_chrome_trace regs;
   }
 
@@ -487,11 +571,90 @@ let names = List.map fst all
 
 let run name ~seed =
   match List.assoc_opt name all with
-  | Some f -> f ~seed
+  | Some f -> f ~seed ()
   | None ->
     invalid_arg
       (Printf.sprintf "Scenarios.run: unknown scenario %S (known: %s)" name
          (String.concat ", " names))
+
+(* ------------------------------------------------------------------ *)
+(* Monitored runs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type monitored = {
+  base : outcome;
+  alerts : (string * string * float) list;
+  first_fault_at : float option;
+  detection_latency_s : float option;
+  incident_text : string option;
+  incident_json : string option;
+}
+
+let run_monitored name ~seed =
+  match List.assoc_opt name all with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Scenarios.run_monitored: unknown scenario %S (known: %s)"
+         name
+         (String.concat ", " names))
+  | Some f ->
+    let cell = ref None in
+    let base = f ~obs:cell ~seed () in
+    (match !cell with
+    | None ->
+      {
+        base;
+        alerts = [];
+        first_fault_at = None;
+        detection_latency_s = None;
+        incident_text = None;
+        incident_json = None;
+      }
+    | Some m ->
+      (* End-of-run flush: counter movement since the last periodic tick
+         still gets one watchdog evaluation. *)
+      Monitor.sample_now m;
+      let alerts =
+        List.map
+          (fun (a : Watchdog.alert) ->
+            ( a.Watchdog.rule.Watchdog.rule_name,
+              Watchdog.severity_string a.Watchdog.rule.Watchdog.severity,
+              a.Watchdog.raised_at ))
+          (Monitor.alerts m)
+      in
+      let first_fault_at =
+        List.find_map
+          (fun (e : Recorder.event) ->
+            if String.equal e.Recorder.kind "fault.injected" then
+              Some e.Recorder.at
+            else None)
+          (Recorder.events (Monitor.recorder m))
+      in
+      let detection_alert =
+        match first_fault_at with
+        | Some at -> Monitor.first_alert_after m ~at
+        | None -> Monitor.first_alert m
+      in
+      let detection_latency_s =
+        match (first_fault_at, detection_alert) with
+        | Some at, Some a -> Some (a.Watchdog.raised_at -. at)
+        | _ -> None
+      in
+      let incident =
+        Option.map
+          (fun alert ->
+            Report.build ~label:name ~seed ~alert
+              ~recorder:(Monitor.recorder m) ())
+          detection_alert
+      in
+      {
+        base;
+        alerts;
+        first_fault_at;
+        detection_latency_s;
+        incident_text = Option.map Report.to_text incident;
+        incident_json = Option.map Report.to_json incident;
+      })
 
 let summary o =
   let level =

@@ -38,6 +38,36 @@ val names : string list
 val run : string -> seed:int -> outcome
 (** Raises [Invalid_argument] for an unknown scenario name. *)
 
+(** {2 Monitored runs}
+
+    {!run_monitored} replays a scenario with the observability plane
+    attached: an {!Guillotine_obs.Monitor} sampling every registry in
+    the rig, the stock {!Guillotine_core.Deployment.default_slo_rules}
+    watchdog ruleset, and a flight recorder receiving every subsystem's
+    event sink (isolation transitions, kill-switch actuations, fault
+    injections, shed/retry/failover decisions, detector verdicts).
+    Monitoring is purely read-only over the rig: verdicts, counters and
+    rig telemetry are unchanged from {!run} on the same (name, seed),
+    and the whole monitored outcome replays byte-identically.  The
+    [base] snapshots and trace additionally carry the monitor's own
+    registry (sampling counters, alert instants). *)
+
+type monitored = {
+  base : outcome;
+  alerts : (string * string * float) list;
+      (** (rule name, severity, raised-at), chronological *)
+  first_fault_at : float option;
+      (** sim time of the first applied (non-skipped) fault *)
+  detection_latency_s : float option;
+      (** first alert at/after the first fault, minus the fault time *)
+  incident_text : string option;
+      (** deterministic incident report for that alert *)
+  incident_json : string option;
+}
+
+val run_monitored : string -> seed:int -> monitored
+(** Raises [Invalid_argument] for an unknown scenario name. *)
+
 val summary : outcome -> string
 (** Multi-line human summary (verdict, recovery, counts, level) —
     stable across same-seed runs. *)

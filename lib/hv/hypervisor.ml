@@ -48,6 +48,7 @@ type t = {
   mutable level : Isolation.level;
   mutable destroyed : bool;
   mutable alarm_sink : (severity:Detector.severity -> reason:string -> unit) option;
+  mutable event_sink : (kind:string -> string -> unit) option;
   mutable last_lapic_dropped : int;
   last_fault_reported : (int, Core.halt_reason) Hashtbl.t;
   telemetry : Telemetry.t;
@@ -96,6 +97,7 @@ let create ~machine ?(detectors = []) ?(mediation_cost = 300)
     level = Isolation.Standard;
     destroyed = false;
     alarm_sink = None;
+    event_sink = None;
     last_lapic_dropped = 0;
     last_fault_reported = Hashtbl.create 4;
     telemetry;
@@ -119,6 +121,10 @@ let destroyed t = t.destroyed
 let add_detector t d =
   t.detectors <- Detector.with_telemetry t.telemetry d :: t.detectors
 let set_alarm_sink t f = t.alarm_sink <- Some f
+let set_event_sink t f = t.event_sink <- Some f
+
+let emit t ~kind detail =
+  match t.event_sink with Some sink -> sink ~kind detail | None -> ()
 let telemetry t = t.telemetry
 let metrics t = Telemetry.snapshot t.telemetry
 let requests_served t = Telemetry.counter_value t.c_served
@@ -140,6 +146,8 @@ let observe t obs =
     Telemetry.instant t.telemetry ~cat:"detector"
       ~args:[ ("severity", severity_string severity); ("reason", reason) ]
       "detector.alarm";
+    emit t ~kind:"detector.alarm"
+      (Printf.sprintf "severity=%s reason=%s" (severity_string severity) reason);
     log t (Audit.Alarm { severity = severity_string severity; reason });
     (match t.alarm_sink with
     | Some sink -> sink ~severity ~reason
@@ -512,6 +520,9 @@ let apply_level t ~authorized_by target =
           ("authorized_by", authorized_by);
         ]
       "isolation.change";
+    emit t ~kind:"isolation.applied"
+      (Printf.sprintf "from=%s to=%s authorized_by=%s"
+         (Isolation.to_string from) (Isolation.to_string target) authorized_by);
     log t
       (Audit.Isolation_change
          {

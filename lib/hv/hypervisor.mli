@@ -53,6 +53,12 @@ val add_detector : t -> Detector.t -> unit
 val set_alarm_sink : t -> (severity:Detector.severity -> reason:string -> unit) -> unit
 (** Wired by the control console; called on every non-Clear verdict. *)
 
+val set_event_sink : t -> (kind:string -> string -> unit) -> unit
+(** Forward structured events ([detector.alarm] verdicts,
+    [isolation.applied] level changes) to an external journal — the
+    observability plane's flight recorder.  Events recorded inside a
+    served request inherit its causal id there. *)
+
 val notify : t -> Detector.observation -> unit
 (** Feed an observation to the detector set (and the alarm sink, on any
     non-Clear verdict).  The mediation loop calls this internally for

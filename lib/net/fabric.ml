@@ -102,3 +102,18 @@ let frames_delivered t = t.delivered
 let frames_dropped t = t.dropped
 let frames_duplicated t = t.duplicated
 let frames_corrupted t = t.corrupted
+
+module Telemetry = Guillotine_telemetry.Telemetry
+
+let metrics t =
+  Telemetry.snapshot_of ~component:"fabric"
+    [
+      ("frames.sent", Telemetry.Counter t.sent);
+      ("frames.delivered", Telemetry.Counter t.delivered);
+      ("frames.dropped", Telemetry.Counter t.dropped);
+      ("frames.duplicated", Telemetry.Counter t.duplicated);
+      ("frames.corrupted", Telemetry.Counter t.corrupted);
+      ("link.loss_rate", Telemetry.Gauge t.loss);
+      ("link.duplication_rate", Telemetry.Gauge t.duplication);
+      ("link.corruption_rate", Telemetry.Gauge t.corruption);
+    ]

@@ -50,3 +50,10 @@ val frames_delivered : t -> int
 val frames_dropped : t -> int
 val frames_duplicated : t -> int
 val frames_corrupted : t -> int
+
+val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
+(** Uniform metrics surface ("fabric"): frame counters plus the
+    currently configured loss/duplication/corruption rates as gauges —
+    the link-quality view a NOC would scrape from switch port counters.
+    A watchdog rule on [link.loss_rate] detects an injected NIC fault
+    even when no victim traffic happens to cross the degraded window. *)

@@ -1,0 +1,70 @@
+(** Monitor: the assembled observability plane for one rig.
+
+    Owns a {!Timeseries} store, a {!Watchdog}, a flight {!Recorder},
+    and its own telemetry registry ("obs").  Once {!start}ed it samples
+    every attached snapshot source on a fixed cadence of the sim
+    engine, feeds the series, and evaluates the watchdog; newly raised
+    and cleared alerts are emitted as [alert.raised] / [alert.cleared]
+    instants on the "obs" registry — the alert track that shows up in
+    the Chrome-trace export alongside the subsystem timelines.
+
+    Sampling only reads metric values and writes monitor-local state:
+    it never touches the observed subsystems or their PRNGs, so a
+    monitored same-seed run replays byte-identically, and an
+    unmonitored run is byte-identical to one that never created a
+    monitor. *)
+
+type t
+
+val create :
+  ?period:float ->
+  ?window:float ->
+  ?capacity:int ->
+  ?max_windows:int ->
+  engine:Guillotine_sim.Engine.t ->
+  unit ->
+  t
+(** [period] is the sampling cadence (default 0.5 s); [window] the
+    time-series window width (default 1.0 s); [capacity] the flight
+    recorder ring bound (default 4096). *)
+
+val series : t -> Timeseries.t
+val watchdog : t -> Watchdog.t
+val recorder : t -> Recorder.t
+
+val telemetry : t -> Guillotine_telemetry.Telemetry.t
+(** The "obs" registry: [samples.taken] / [alerts.raised] /
+    [alerts.cleared] counters, [series.tracked] gauge, and the alert
+    instants. *)
+
+val add_source : t -> (unit -> Guillotine_telemetry.Telemetry.snapshot) -> unit
+(** Attach a snapshot thunk; each metric is recorded under
+    ["component.metric"].  Counters sample as counters; gauges as
+    gauges; histogram summaries expand to [.p50]/[.p90]/[.p99] gauges
+    plus a [.count] counter. *)
+
+val add_registry : t -> Guillotine_telemetry.Telemetry.t -> unit
+(** [add_source] on the registry's snapshot. *)
+
+val add_rule : t -> Watchdog.rule -> unit
+
+val on_alert : t -> (Watchdog.alert -> unit) -> unit
+(** Called for each newly raised alert, after it is journaled. *)
+
+val start : t -> unit
+(** Begin the sampling loop on the engine (idempotent).  The first
+    tick lands one period from now. *)
+
+val sample_now : t -> unit
+(** One manual sample-and-evaluate tick (used by tests and by
+    end-of-run flushes; the periodic loop calls exactly this). *)
+
+val alerts : t -> Watchdog.alert list
+val first_alert : t -> Watchdog.alert option
+
+val first_alert_after : t -> at:float -> Watchdog.alert option
+(** First alert raised at or after [at] — the detection event for a
+    fault injected at [at]. *)
+
+val detection_latency : t -> since:float -> float option
+(** [first_alert_after ~at:since] minus [since]. *)

@@ -1,0 +1,59 @@
+type event = {
+  at : float;
+  seq : int;
+  request : int option;
+  source : string;
+  kind : string;
+  detail : string;
+}
+
+type t = {
+  capacity : int;
+  clock : unit -> float;
+  ring : event option array;
+  mutable next : int;          (* total recorded; ring slot = next mod capacity *)
+  mutable ambient : int option;
+}
+
+let create ?(capacity = 4096) ~clock () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  { capacity; clock; ring = Array.make capacity None; next = 0; ambient = None }
+
+let record t ?request ~source ~kind detail =
+  let request = match request with Some _ as r -> r | None -> t.ambient in
+  let ev =
+    { at = t.clock (); seq = t.next; request; source; kind; detail }
+  in
+  t.ring.(t.next mod t.capacity) <- Some ev;
+  t.next <- t.next + 1
+
+let with_request t id f =
+  let saved = t.ambient in
+  t.ambient <- Some id;
+  Fun.protect ~finally:(fun () -> t.ambient <- saved) f
+
+let current_request t = t.ambient
+
+let events t =
+  let n = min t.next t.capacity in
+  let first = t.next - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let recorded t = t.next
+let dropped t = max 0 (t.next - t.capacity)
+let occupancy t = float_of_int (min t.next t.capacity) /. float_of_int t.capacity
+
+let window t ~around ~before ~after =
+  List.filter
+    (fun ev -> ev.at >= around -. before && ev.at <= around +. after)
+    (events t)
+
+let event_to_string ev =
+  Printf.sprintf "t=%.3fs #%d [%s] %s %s%s" ev.at ev.seq ev.source ev.kind
+    ev.detail
+    (match ev.request with
+    | Some r -> Printf.sprintf " (req %d)" r
+    | None -> "")

@@ -1,0 +1,83 @@
+(** Time-series store: periodic samples of telemetry metrics bucketed
+    into fixed-width windows on the sim clock.
+
+    The monitor samples every attached registry on a fixed cadence and
+    feeds each metric here under the key ["component.metric"].  Samples
+    land in the window [floor (at / width)]; when a sample arrives for a
+    later window the open one is closed into a {!point} carrying
+    windowed aggregates.
+
+    Aggregates are computed with {!Guillotine_util.Stats.summarize} —
+    the exact code path used by telemetry snapshot summaries — so a
+    windowed p99 and a snapshot p99 over the same samples can never
+    disagree.
+
+    Counter semantics: [delta] is the last value of the window minus
+    the last value of the previous window (or minus the first sample of
+    the series for the very first window), and [rate] is [delta /
+    width].  For a monotone counter both are always non-negative.
+    Gauges get the same treatment, where [delta] reads as net change
+    over the window. *)
+
+type kind = Counter | Gauge
+
+type point = {
+  window_start : float;
+  window_end : float;
+  samples : int;        (** raw samples that landed in the window *)
+  last : float;         (** final sample of the window *)
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  delta : float;        (** [last] minus the previous window's [last] *)
+  rate : float;         (** [delta /. width] *)
+}
+
+type t
+
+val create : ?width:float -> ?max_windows:int -> unit -> t
+(** [width] is the window size in sim-seconds (default 1.0);
+    [max_windows] bounds retained closed windows per series (default
+    512, oldest dropped first). *)
+
+val width : t -> float
+
+val record : t -> name:string -> kind:kind -> at:float -> float -> unit
+(** Feed one sample.  Series are created on first use.  Samples must
+    arrive in non-decreasing [at] order per series (the monitor's
+    sampling loop guarantees this). *)
+
+val names : t -> string list
+(** Series keys in first-seen order. *)
+
+val count : t -> int
+(** Number of tracked series — O(1), unlike [List.length (names t)]. *)
+
+val matching : t -> string -> string list
+(** [matching t pattern] returns series whose key equals [pattern], or
+    — when [pattern] starts with ["*."] — whose key ends with the
+    suffix after the [*].  Lets one watchdog rule cover e.g. every
+    registry's [telemetry.events_dropped]. *)
+
+val points : t -> string -> point list
+(** Closed windows, chronological.  Empty for unknown series. *)
+
+(** Scalar view of the most recent window (the open window when it has
+    samples, otherwise the last closed one) — what watchdog rules
+    evaluate.  [Rate] and [Delta] on a still-open window use the full
+    window width as denominator, which under-reports rather than
+    spikes. *)
+type signal = Last | Mean | Min | Max | P50 | P90 | P99 | Rate | Delta | Count
+
+val signal_value : t -> string -> signal -> float option
+(** [None] when the series is unknown or has no samples yet. *)
+
+val staleness : t -> name:string -> now:float -> float option
+(** Seconds since the series' raw value last {e changed} (not merely
+    was sampled).  [None] for unknown series — absence-of-heartbeat
+    rules stay silent until the metric exists at all. *)
+
+val last_sample_at : t -> string -> float option

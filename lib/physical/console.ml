@@ -19,7 +19,13 @@ type t = {
   c_transitions : Telemetry.counter;
   c_transition_failures : Telemetry.counter;
   h_transition_latency : Telemetry.histogram;
+  mutable event_sink : (kind:string -> string -> unit) option;
+  mutable sweep_once : (unit -> unit) option;
+      (* one out-of-cycle pass of the active recovery sweep *)
 }
+
+let emit t ~kind detail =
+  match t.event_sink with Some sink -> sink ~kind detail | None -> ()
 
 let default_policy = function
   | Detector.Notice -> None
@@ -82,7 +88,10 @@ let orchestrate t ~authorized_by target =
         t.history <- (target, took) :: t.history;
         Telemetry.incr t.c_transitions;
         Telemetry.observe t.h_transition_latency took;
-        Telemetry.finish sp
+        Telemetry.finish sp;
+        emit t ~kind:"isolation.transition"
+          (Printf.sprintf "target=%s authorized_by=%s took=%.3fs"
+             (Isolation.to_string target) authorized_by took)
       | Error e ->
         Telemetry.incr t.c_transition_failures;
         Telemetry.finish ~args:[ ("failed", e) ] sp;
@@ -146,23 +155,28 @@ let rec create ~engine ~hv ?hsm ?switches ?(alarm_policy = default_policy) ?prng
       c_transitions = Telemetry.counter telemetry "transitions.completed";
       c_transition_failures = Telemetry.counter telemetry "transitions.failed";
       h_transition_latency = Telemetry.histogram telemetry "transition.latency_s";
+      event_sink = None;
+      sweep_once = None;
     }
   in
   Hypervisor.set_alarm_sink hv (fun ~severity ~reason -> on_alarm t ~severity ~reason);
   t
 
-and on_alarm t ~severity ~reason =
-  Telemetry.incr t.c_alarms;
+and apply_alarm_policy t ~severity ~authorized_by =
   match t.alarm_policy severity with
   | None -> ()
   | Some target ->
     if
       Isolation.software_may_transition ~from:(Hypervisor.level t.hv) ~target
       && t.pending = None
-    then begin
-      ignore reason;
-      ignore (orchestrate t ~authorized_by:"console-alarm-policy" target)
-    end
+    then ignore (orchestrate t ~authorized_by target)
+
+and on_alarm t ~severity ~reason =
+  Telemetry.incr t.c_alarms;
+  emit t ~kind:"alarm.received"
+    (Format.asprintf "severity=%a reason=%s" Detector.pp_severity severity
+       reason);
+  apply_alarm_policy t ~severity ~authorized_by:"console-alarm-policy"
 
 (* ------------------------------------------------------------------ *)
 (* Quorum flows                                                        *)
@@ -205,6 +219,7 @@ let force_offline t ~reason =
       (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
          ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
          (Guillotine_hv.Audit.Note ("forced offline: " ^ reason)));
+    emit t ~kind:"force.offline" reason;
     ignore (orchestrate t ~authorized_by:"fail-safe" Isolation.Offline)
   end
 
@@ -240,30 +255,50 @@ let start_recovery_sweep t ~period ~check ~recover =
          ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
          (Guillotine_hv.Audit.Note msg))
   in
-  Engine.every t.engine ~period (fun () ->
-      match check () with
-      | Ok () -> true
-      | Error reason ->
-        let sp =
-          Telemetry.span t.telemetry ~cat:"recovery" ~args:[ ("reason", reason) ]
-            "console.recovery"
-        in
-        (match recover ~reason with
-        | Ok action ->
-          Telemetry.incr c_recovered;
-          Telemetry.finish ~args:[ ("action", action) ] sp;
-          audit_note (Printf.sprintf "recovered (%s): %s" reason action);
-          true
-        | Error e ->
-          Telemetry.incr c_failed;
-          Telemetry.finish ~args:[ ("failed", e) ] sp;
-          ignore
-            (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
-               ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
-               (Guillotine_hv.Audit.Invariant_failure
-                  { message = "recovery sweep: " ^ reason }));
-          force_offline t ~reason:(Printf.sprintf "unrecoverable (%s): %s" reason e);
-          false))
+  let pass () =
+    match check () with
+    | Ok () -> true
+    | Error reason ->
+      let sp =
+        Telemetry.span t.telemetry ~cat:"recovery" ~args:[ ("reason", reason) ]
+          "console.recovery"
+      in
+      (match recover ~reason with
+      | Ok action ->
+        Telemetry.incr c_recovered;
+        Telemetry.finish ~args:[ ("action", action) ] sp;
+        audit_note (Printf.sprintf "recovered (%s): %s" reason action);
+        emit t ~kind:"recovery.completed"
+          (Printf.sprintf "reason=%s action=%s" reason action);
+        true
+      | Error e ->
+        Telemetry.incr c_failed;
+        Telemetry.finish ~args:[ ("failed", e) ] sp;
+        ignore
+          (Guillotine_hv.Audit.append (Hypervisor.audit t.hv)
+             ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
+             (Guillotine_hv.Audit.Invariant_failure
+                { message = "recovery sweep: " ^ reason }));
+        emit t ~kind:"recovery.failed"
+          (Printf.sprintf "reason=%s error=%s" reason e);
+        force_offline t ~reason:(Printf.sprintf "unrecoverable (%s): %s" reason e);
+        false)
+  in
+  t.sweep_once <- Some (fun () -> ignore (pass ()));
+  Engine.every t.engine ~period (fun () -> pass ())
+
+let set_event_sink t sink = t.event_sink <- Some sink
+
+let on_watchdog_alert t ~severity ~reason =
+  Telemetry.incr (Telemetry.counter t.telemetry "watchdog.alerts");
+  emit t ~kind:"watchdog.alert" reason;
+  (* An SLO page is operator-grade evidence: run an out-of-cycle pass of
+     the active recovery sweep immediately rather than waiting for the
+     next period, then route through the same escalation policy as a
+     detector alarm. *)
+  ignore reason;
+  (match t.sweep_once with Some pass -> pass () | None -> ());
+  apply_alarm_policy t ~severity ~authorized_by:"console-watchdog"
 
 let start_heartbeat t ?period ?timeout ~key () =
   Heartbeat.start ~engine:t.engine ?period ?timeout ~telemetry:t.telemetry ~key

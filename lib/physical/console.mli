@@ -61,6 +61,13 @@ val submit :
 val on_alarm : t -> severity:Detector.severity -> reason:string -> unit
 (** The alarm sink (installed automatically at [create]). *)
 
+val on_watchdog_alert : t -> severity:Detector.severity -> reason:string -> unit
+(** Entry point for the observability plane: a firing SLO watchdog
+    alert bumps [watchdog.alerts], runs one out-of-cycle pass of the
+    active recovery sweep (if any), and then applies the ordinary alarm
+    policy under the authority ["console-watchdog"].  Software may
+    still only tighten isolation. *)
+
 val force_offline : t -> reason:string -> unit
 (** Unconditional safety action (used by heartbeat loss). *)
 
@@ -114,3 +121,9 @@ val telemetry : t -> Guillotine_telemetry.Telemetry.t
 val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
 (** Uniform metrics surface — same shape as [Hypervisor.metrics],
     [Machine.metrics], and [Service.metrics]. *)
+
+val set_event_sink : t -> (kind:string -> string -> unit) -> unit
+(** Forward structured events (isolation transitions, alarms received,
+    recovery outcomes, forced-offline actions) to an external journal —
+    the observability plane's flight recorder.  The console does not
+    depend on where they go; absent a sink, events are dropped. *)

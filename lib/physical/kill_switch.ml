@@ -14,6 +14,7 @@ type t = {
   mutable immolated : bool;
   telemetry : Telemetry.t;
   c_actuations : Telemetry.counter;
+  mutable event_sink : (kind:string -> string -> unit) option;
 }
 
 let default_latencies =
@@ -41,6 +42,7 @@ let create ~engine ?fabric ?(net_addrs = []) ?(latencies = []) () =
     immolated = false;
     telemetry;
     c_actuations = Telemetry.counter telemetry "actuations";
+    event_sink = None;
   }
 
 let network t = t.network
@@ -54,14 +56,21 @@ let latency_of t name =
   | Some l -> l
   | None -> invalid_arg ("Kill_switch.latency_of: unknown actuation " ^ name)
 
+let set_event_sink t sink = t.event_sink <- Some sink
+
+let emit t ~kind detail =
+  match t.event_sink with Some sink -> sink ~kind detail | None -> ()
+
 let actuate t name ~on_done apply =
   Telemetry.incr t.c_actuations;
   Telemetry.incr (Telemetry.counter t.telemetry ("actuations." ^ name));
+  emit t ~kind:"kill_switch.initiated" name;
   let sp = Telemetry.span t.telemetry ~cat:"physical" ("switch." ^ name) in
   ignore
     (Engine.schedule t.engine ~delay:(latency_of t name) (fun () ->
          apply ();
          Telemetry.finish sp;
+         emit t ~kind:"kill_switch.actuated" name;
          on_done ()))
 
 let unplug_fabric t =

@@ -58,3 +58,8 @@ val telemetry : t -> Guillotine_telemetry.Telemetry.t
     trigger to physical completion.  Its clock is sim time. *)
 
 val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
+
+val set_event_sink : t -> (kind:string -> string -> unit) -> unit
+(** Forward [kill_switch.initiated] / [kill_switch.actuated] events
+    (detail = actuation name) to an external journal — the
+    observability plane's flight recorder. *)

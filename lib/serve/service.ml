@@ -106,6 +106,7 @@ type t = {
   mutable down : bool;
   mutable slowdown : unit -> float;
   mutable failover : (request -> unit) option;
+  mutable event_sink : (kind:string -> string -> unit) option;
   telemetry : Telemetry.t;
   c_submitted : Telemetry.counter;
   c_dropped : Telemetry.counter;
@@ -141,6 +142,7 @@ let create ?prng ~engine (cfg : config) =
     down = false;
     slowdown = (fun () -> 0.0);
     failover = None;
+    event_sink = None;
     telemetry;
     c_submitted = Telemetry.counter telemetry "requests.submitted";
     c_dropped = Telemetry.counter telemetry "requests.dropped";
@@ -155,6 +157,10 @@ let create ?prng ~engine (cfg : config) =
   }
 
 let telemetry t = t.telemetry
+let set_event_sink t sink = t.event_sink <- Some sink
+
+let emit t ~kind detail =
+  match t.event_sink with Some sink -> sink ~kind detail | None -> ()
 
 let set_fault t ~rate =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Service.set_fault: rate out of range";
@@ -194,8 +200,11 @@ let give_up t (request : request) =
     Telemetry.instant t.telemetry ~cat:"recovery"
       ~args:[ ("request", string_of_int request.id) ]
       "request.failed_over";
+    emit t ~kind:"request.failover" (Printf.sprintf "request=%d" request.id);
     h request
-  | None -> Telemetry.incr t.c_failed
+  | None ->
+    Telemetry.incr t.c_failed;
+    emit t ~kind:"request.failed" (Printf.sprintf "request=%d" request.id)
 
 let rec dispatch t =
   match
@@ -241,6 +250,8 @@ let rec dispatch t =
                 Telemetry.finish ~args:[ ("failed", "true") ] sp;
                 if attempts < t.cfg.max_attempts then begin
                   Telemetry.incr t.c_retried;
+                  emit t ~kind:"request.retry"
+                    (Printf.sprintf "request=%d attempt=%d" request.id attempts);
                   let backoff =
                     t.cfg.backoff_base *. (2.0 ** float_of_int (attempts - 1))
                   in
@@ -268,6 +279,7 @@ let submit t request =
     (* Admission shedding: refuse early while the queue still has slack,
        so retries of already-admitted work keep somewhere to land. *)
     Telemetry.incr t.c_shed;
+    emit t ~kind:"request.shed" (Printf.sprintf "request=%d" request.id);
     false
   end
   else begin

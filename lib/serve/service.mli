@@ -117,3 +117,8 @@ val telemetry : t -> Guillotine_telemetry.Telemetry.t
 val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
 (** Uniform metrics surface — registry values plus computed
     [goodput_rps] / [busy_fraction] gauges at the current sim time. *)
+
+val set_event_sink : t -> (kind:string -> string -> unit) -> unit
+(** Forward per-request lifecycle decisions ([request.shed],
+    [request.retry], [request.failover], [request.failed]) to an
+    external journal — the observability plane's flight recorder. *)

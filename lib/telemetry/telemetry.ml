@@ -8,6 +8,8 @@ type histogram = {
   h_name : string;
   mutable h_samples : float list; (* reversed *)
   mutable h_count : int;
+  mutable h_cached_at : int; (* h_count the cached summary was built at *)
+  mutable h_cached : Stats.summary;
 }
 
 type metric =
@@ -112,7 +114,10 @@ let gauge_value g = g.g_value
 let histogram t name =
   register t name
     (fun () ->
-      let h = { h_name = name; h_samples = []; h_count = 0 } in
+      let h =
+        { h_name = name; h_samples = []; h_count = 0;
+          h_cached_at = -1; h_cached = Stats.summarize [] }
+      in
       (M_histogram h, h))
     (function M_histogram h -> Some h | _ -> None)
 
@@ -128,7 +133,18 @@ let observe h v =
   else h.h_samples <- v :: h.h_samples
 
 let histogram_count h = h.h_count
-let histogram_summary h = Stats.summarize h.h_samples
+
+(* Summaries are read far more often than histograms change once a
+   monitor is sampling registries on a fixed cadence, so memoise on the
+   observation count: [h_count] uniquely determines [h_samples] (the
+   window reset in [observe] happens at a fixed count), making it a
+   sound cache key. *)
+let histogram_summary h =
+  if h.h_cached_at <> h.h_count then begin
+    h.h_cached <- Stats.summarize h.h_samples;
+    h.h_cached_at <- h.h_count
+  end;
+  h.h_cached
 
 (* ------------------------------------------------------------------ *)
 (* Trace events                                                        *)
@@ -206,7 +222,18 @@ let snapshot t =
         | M_histogram h -> (name, Summary (histogram_summary h)))
       t.order
   in
-  { component = t.reg_name; values }
+  (* Self-observability: expose the event buffer's health as gauges so
+     watchdog rules can alert on telemetry saturation.  Gauges, not
+     counters, so [counter_sum] keeps measuring only subsystem
+     activity. *)
+  let self =
+    [
+      ("telemetry.events_dropped", Gauge (float_of_int t.dropped));
+      ( "telemetry.buffer_occupancy",
+        Gauge (float_of_int t.recorded /. float_of_int (max 1 t.max_events)) );
+    ]
+  in
+  { component = t.reg_name; values = values @ self }
 
 let snapshot_of ~component values = { component; values }
 
@@ -303,13 +330,27 @@ let export_chrome_trace regs =
                tid (json_escape t.reg_name))))
     tids;
   let events =
-    List.concat_map (fun (tid, t) -> List.rev_map (fun ev -> (tid, ev)) t.events) tids
+    List.concat_map
+      (fun (tid, t) ->
+        List.rev t.events |> List.mapi (fun seq ev -> (tid, seq, ev)))
+      tids
   in
+  (* Explicit total order: timestamp, then thread, then each registry's
+     own recording sequence.  Events sharing a timestamp (an alert
+     instant landing on the same tick as the span that triggered it)
+     therefore serialise identically on every export — same-seed traces
+     byte-compare. *)
   let events =
-    List.stable_sort (fun (_, a) (_, b) -> Float.compare a.ev_ts b.ev_ts) events
+    List.sort
+      (fun (atid, aseq, a) (btid, bseq, b) ->
+        match Float.compare a.ev_ts b.ev_ts with
+        | 0 -> (
+          match compare atid btid with 0 -> compare aseq bseq | c -> c)
+        | c -> c)
+      events
   in
   List.iter
-    (fun (tid, ev) ->
+    (fun (tid, _, ev) ->
       emit (fun () ->
           Buffer.add_string buf
             (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"

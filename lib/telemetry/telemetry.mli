@@ -112,6 +112,12 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+(** All registered metrics in registration order, followed by two
+    synthetic self-observability gauges: [telemetry.events_dropped]
+    (events lost to the buffer bound) and [telemetry.buffer_occupancy]
+    (recorded / max_events, in [0,1]).  Both are gauges so
+    {!counter_sum} still measures only subsystem activity; watchdog
+    rules can target them to alert on telemetry self-saturation. *)
 
 val snapshot_of : component:string -> (string * value) list -> snapshot
 (** For subsystems that compute metrics on demand (e.g. per-core
@@ -136,4 +142,10 @@ val export_chrome_trace : t list -> string
 (** JSON for [chrome://tracing] / Perfetto: one thread per registry,
     all spans/instants merged and sorted so timestamps are
     non-decreasing.  Timestamps are clock seconds scaled to
-    microseconds. *)
+    microseconds.
+
+    Ordering is a documented total order, not an accident of the sort:
+    (timestamp, position of the registry in the argument list, the
+    registry's own recording sequence).  Two exports of the same
+    registries in the same order are byte-identical — the replay
+    contract the fault plane and the incident reporter pin. *)

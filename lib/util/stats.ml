@@ -49,7 +49,10 @@ let summarize xs =
   | [] -> empty_summary
   | _ ->
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    (* Float.compare agrees with polymorphic compare on floats (including
+       NaN ordering) but avoids the generic-compare path — summaries are
+       recomputed on every telemetry snapshot, so this sort is hot. *)
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     {
       count = n;

@@ -18,7 +18,21 @@ val summarize : float list -> summary
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [\[0,1\]]; [sorted] must be sorted
-    ascending and non-empty.  Linear interpolation between ranks. *)
+    ascending and non-empty.
+
+    Linear interpolation at rank [q * (n - 1)] (the "exclusive" /
+    numpy-default convention): with [r = q * (n - 1)], the result is
+    [sorted.(floor r)] plus [frac r] of the gap to [sorted.(ceil r)].
+    Pinned behaviour for tiny samples:
+    - [n = 1]: every quantile is the single sample;
+    - [n = 2]: [p50] is the midpoint of the two samples, [p0]/[p100]
+      the endpoints, and e.g. [p90 = a +. 0.9 *. (b -. a)];
+    - [n = 3]: [p50] is the middle sample exactly; quantiles below 0.5
+      interpolate within the lower pair, above 0.5 within the upper.
+
+    Both telemetry snapshot summaries and the observability plane's
+    windowed aggregates go through this function (via {!summarize}),
+    so the two surfaces cannot disagree on a percentile. *)
 
 val mean : float list -> float
 val stddev : float list -> float

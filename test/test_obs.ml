@@ -1,0 +1,258 @@
+(* Observability-plane tests: time-series window algebra, watchdog
+   state-machine properties, the console escalation path, and the
+   incident-report golden.
+
+   Layering mirrors the library: the qcheck properties hit Timeseries
+   and Watchdog in isolation (pure, no sim engine), the console test
+   exercises the escalation path end to end, and the scenario tests pin
+   the monitored fault scenarios — golden incident text at seed 1,
+   replay-equality at whatever seed the CI matrix supplies via
+   FAULTS_SEED. *)
+
+module Timeseries = Guillotine_obs.Timeseries
+module Watchdog = Guillotine_obs.Watchdog
+module Scenarios = Guillotine_faults.Scenarios
+module Telemetry = Guillotine_telemetry.Telemetry
+module Engine = Guillotine_sim.Engine
+module Machine = Guillotine_machine.Machine
+module Hypervisor = Guillotine_hv.Hypervisor
+module Console = Guillotine_physical.Console
+module Hsm = Guillotine_hsm.Hsm
+module Detector = Guillotine_detect.Detector
+module Isolation = Guillotine_hv.Isolation
+module Prng = Guillotine_util.Prng
+
+let matrix_seed =
+  match Sys.getenv_opt "FAULTS_SEED" with
+  | Some s -> (try int_of_string s with Failure _ -> 1)
+  | None -> 1
+
+(* ------------------- window algebra (qcheck) ----------------------- *)
+
+(* Feed a cumulative counter into a series, then close the last window
+   by recording the final value once more far in the future.  The
+   trailing open window has delta 0, so the closed windows carry the
+   whole story. *)
+let feed_counter increments =
+  let ts = Timeseries.create ~width:1.0 () in
+  let v = ref 0.0 in
+  List.iteri
+    (fun i inc ->
+      v := !v +. inc;
+      Timeseries.record ts ~name:"c" ~kind:Timeseries.Counter
+        ~at:(0.3 *. float_of_int i)
+        !v)
+    increments;
+  Timeseries.record ts ~name:"c" ~kind:Timeseries.Counter
+    ~at:(0.3 *. float_of_int (List.length increments) +. 100.0)
+    !v;
+  (Timeseries.points ts "c", !v)
+
+let increments_gen =
+  QCheck.(list_of_size Gen.(int_range 1 40) (float_range 0.0 100.0))
+
+let prop_window_deltas_sum_to_counter_delta =
+  QCheck.Test.make ~count:200 ~name:"sum of window deltas = counter delta"
+    increments_gen (fun incs ->
+      QCheck.assume (incs <> []);
+      let points, total = feed_counter incs in
+      let first = List.hd incs in
+      let sum =
+        List.fold_left (fun acc p -> acc +. p.Timeseries.delta) 0.0 points
+      in
+      (* The very first window's delta is measured against its own first
+         sample, so the telescoped sum is [last - first]. *)
+      Float.abs (sum -. (total -. first)) < 1e-6)
+
+let prop_monotone_counter_rates_non_negative =
+  QCheck.Test.make ~count:200 ~name:"monotone counter never rates negative"
+    increments_gen (fun incs ->
+      QCheck.assume (incs <> []);
+      let points, _ = feed_counter incs in
+      List.for_all
+        (fun p -> p.Timeseries.delta >= 0.0 && p.Timeseries.rate >= 0.0)
+        points)
+
+(* ------------------- watchdog hysteresis (qcheck) ------------------ *)
+
+(* A gauge oscillating strictly inside the hysteresis band around the
+   threshold can raise at most one alert: clearing needs a confident
+   retreat past [threshold - clear_margin], which the band excludes. *)
+let prop_hysteresis_no_flapping =
+  let threshold = 10.0 and margin = 2.0 in
+  let band_gen =
+    QCheck.(
+      list_of_size Gen.(int_range 1 60)
+        (float_range (threshold -. margin +. 0.1) (threshold +. margin)))
+  in
+  QCheck.Test.make ~count:200 ~name:"hysteresis: in-band oscillation no-flap"
+    band_gen (fun values ->
+      let ts = Timeseries.create ~width:1.0 () in
+      let wd = Watchdog.create () in
+      Watchdog.add_rule wd
+        (Watchdog.rule ~name:"flap" ~metric:"g" ~clear_margin:margin
+           (Watchdog.Above threshold));
+      (* First sample breaches outright so the alert is up, then the
+         in-band oscillation follows. *)
+      List.iteri
+        (fun i v ->
+          let at = float_of_int i in
+          let v = if i = 0 then threshold +. 1.0 else v in
+          Timeseries.record ts ~name:"g" ~kind:Timeseries.Gauge ~at v;
+          ignore (Watchdog.evaluate wd ~now:at ts))
+        (0.0 :: values);
+      List.length (Watchdog.alerts wd) = 1)
+
+(* ----------------------- stale rule (unit) ------------------------- *)
+
+let test_stale_rule () =
+  let ts = Timeseries.create ~width:1.0 () in
+  let wd = Watchdog.create () in
+  Watchdog.add_rule wd
+    (Watchdog.rule ~name:"hb" ~metric:"beats" ~severity:Watchdog.Critical
+       (Watchdog.Stale 2.0));
+  (* Nothing recorded yet: absence of the series is not staleness. *)
+  let raised, _ = Watchdog.evaluate wd ~now:10.0 ts in
+  Alcotest.(check int) "unknown series stays silent" 0 (List.length raised);
+  (* A beating heartbeat. *)
+  for i = 0 to 10 do
+    Timeseries.record ts ~name:"beats" ~kind:Timeseries.Counter
+      ~at:(0.5 *. float_of_int i)
+      (float_of_int i)
+  done;
+  let raised, _ = Watchdog.evaluate wd ~now:6.0 ts in
+  Alcotest.(check int) "fresh value healthy" 0 (List.length raised);
+  (* The value stops changing at t=5.0; breach after 2 stale seconds. *)
+  let raised, _ = Watchdog.evaluate wd ~now:8.0 ts in
+  Alcotest.(check int) "staleness past budget raises" 1 (List.length raised);
+  match Watchdog.alerts wd with
+  | [ a ] ->
+    Alcotest.(check (float 1e-9)) "raised at evaluation time" 8.0
+      a.Watchdog.raised_at
+  | _ -> Alcotest.fail "expected exactly one alert"
+
+(* ------------------ console escalation path (unit) ----------------- *)
+
+let test_console_watchdog_alert () =
+  let e = Engine.create () in
+  let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
+  let hsm = Hsm.create ~key_height:4 (Prng.create 77L) in
+  let console = Console.create ~engine:e ~hv ~hsm () in
+  (* A recovery sweep whose check always fails but always recovers: the
+     out-of-cycle pass triggered by the alert must run it immediately,
+     not at the next period. *)
+  ignore
+    (Console.start_recovery_sweep console ~period:1000.0
+       ~check:(fun () -> Error "wedged")
+       ~recover:(fun ~reason:_ -> Ok "rolled back"));
+  Console.on_watchdog_alert console ~severity:Detector.Suspicious
+    ~reason:"latency SLO breach";
+  Engine.run ~until:50.0 e;
+  let snap = Console.metrics console in
+  Alcotest.(check int) "watchdog.alerts bumped" 1
+    (Telemetry.get_counter snap "watchdog.alerts");
+  Alcotest.(check bool) "out-of-cycle sweep recovered" true
+    (Telemetry.get_counter snap "recoveries.completed" >= 1);
+  (* Suspicious routes through the stock alarm policy: Probation. *)
+  Alcotest.(check string) "alarm policy applied" "probation"
+    (Isolation.to_string (Console.level console))
+
+(* ------------------- monitored scenarios (pinning) ----------------- *)
+
+let test_detection_finite name () =
+  let m = Scenarios.run_monitored name ~seed:1 in
+  match m.Scenarios.detection_latency_s with
+  | Some l ->
+    Alcotest.(check bool) "latency non-negative" true (l >= 0.0)
+  | None -> Alcotest.fail "fault went undetected at seed 1"
+
+let test_monitored_replay name () =
+  let a = Scenarios.run_monitored name ~seed:matrix_seed in
+  let b = Scenarios.run_monitored name ~seed:matrix_seed in
+  Alcotest.(check (option string)) "incident json replays"
+    a.Scenarios.incident_json b.Scenarios.incident_json;
+  Alcotest.(check string) "trace replays" a.Scenarios.base.Scenarios.trace
+    b.Scenarios.base.Scenarios.trace;
+  Alcotest.(check bool) "alerts replay" true
+    (a.Scenarios.alerts = b.Scenarios.alerts)
+
+let golden_incident_text =
+  String.concat "\n"
+    [
+      "INCIDENT heartbeat-outage (seed 1)";
+      "alert            heartbeat-loss [critical]";
+      "about            a heartbeat timed out";
+      "metric           console.heartbeat.losses";
+      "raised at        8.000s (value 1)";
+      "cleared at       9.000s";
+      "first fault at   5.000s";
+      "detection        3.000s after injection";
+      "faults injected:";
+      "  t=5.000s heartbeat outage (console) for 12s";
+      "flight recorder (12 events around the alert):";
+      "  t=5.000s #0 [faults] fault.injected heartbeat outage (console) for 12s";
+      "  t=8.000s #1 [console] force.offline heartbeat loss";
+      "  t=8.000s #2 [switches] kill_switch.initiated power_cut";
+      "  t=8.000s #3 [switches] kill_switch.initiated disconnect";
+      "  t=8.000s #4 [obs] alert.raised heartbeat-loss [critical] value=1";
+      "  t=8.500s #5 [switches] kill_switch.actuated disconnect";
+      "  t=9.000s #6 [obs] alert.cleared heartbeat-loss";
+      "  t=10.000s #7 [switches] kill_switch.actuated power_cut";
+      "  t=10.000s #8 [hv] isolation.applied from=standard to=offline \
+       authorized_by=fail-safe";
+      "  t=10.000s #9 [console] isolation.transition target=offline \
+       authorized_by=fail-safe took=2.000s";
+      "  t=10.000s #10 [obs] alert.raised isolation-transition [warning] value=1";
+      "  t=11.000s #11 [obs] alert.cleared isolation-transition";
+      (* incident_text ends with a newline *)
+      "";
+    ]
+
+let test_golden_incident_report () =
+  if matrix_seed <> 1 then ()
+  else
+    let m = Scenarios.run_monitored "heartbeat-outage" ~seed:1 in
+    match m.Scenarios.incident_text with
+    | Some text ->
+      Alcotest.(check string) "incident text pinned" golden_incident_text text
+    | None -> Alcotest.fail "no incident report at seed 1"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "timeseries",
+        [
+          qc prop_window_deltas_sum_to_counter_delta;
+          qc prop_monotone_counter_rates_non_negative;
+        ] );
+      ( "watchdog",
+        [
+          qc prop_hysteresis_no_flapping;
+          Alcotest.test_case "stale rule" `Quick test_stale_rule;
+        ] );
+      ( "console",
+        [
+          Alcotest.test_case "watchdog alert escalation" `Quick
+            test_console_watchdog_alert;
+        ] );
+      ( "scenarios",
+        List.map
+          (fun name ->
+            Alcotest.test_case (name ^ " detected") `Quick
+              (test_detection_finite name))
+          Scenarios.names
+        @ List.map
+            (fun name ->
+              Alcotest.test_case
+                (Printf.sprintf "%s replay(seed=%d)" name matrix_seed)
+                `Quick (test_monitored_replay name))
+            Scenarios.names
+        @ [
+            Alcotest.test_case "golden incident report" `Quick
+              test_golden_incident_report;
+          ] );
+    ]

@@ -328,6 +328,55 @@ let test_chrome_trace_golden () =
   Alcotest.(check bool) "hv thread" true (List.mem "hv" thread_names);
   Alcotest.(check bool) "console thread" true (List.mem "console" thread_names)
 
+let test_chrome_trace_tiebreak_deterministic () =
+  (* Events sharing one timestamp must export in a pinned order:
+     registry (tid) first, then each registry's recording sequence.
+     Two identically-built pairs of registries must serialize
+     byte-identically — the property the golden traces lean on. *)
+  let build () =
+    let clock () = 1.0 in
+    let a = Telemetry.create ~clock ~name:"alpha" () in
+    let b = Telemetry.create ~clock ~name:"beta" () in
+    (* Interleave recording across registries at the same instant. *)
+    Telemetry.instant b "b.first";
+    Telemetry.instant a "a.first";
+    Telemetry.instant b "b.second";
+    Telemetry.instant a "a.second";
+    Telemetry.export_chrome_trace [ a; b ]
+  in
+  let j1 = build () and j2 = build () in
+  Alcotest.(check string) "same-ts export byte-identical" j1 j2;
+  let pos name =
+    let rec find i =
+      if i + String.length name > String.length j1 then
+        Alcotest.fail (name ^ " missing from trace")
+      else if String.sub j1 i (String.length name) = name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* Within a registry, recording order survives the sort... *)
+  Alcotest.(check bool) "a.first before a.second" true
+    (pos "a.first" < pos "a.second");
+  Alcotest.(check bool) "b.first before b.second" true
+    (pos "b.first" < pos "b.second");
+  (* ...and the first-listed registry's events come first at a tie. *)
+  Alcotest.(check bool) "alpha track before beta at same ts" true
+    (pos "a.second" < pos "b.first")
+
+let test_snapshot_self_gauges () =
+  let reg = Telemetry.create ~max_events:8 ~name:"svc" () in
+  for i = 1 to 11 do
+    Telemetry.instant reg (Printf.sprintf "e%d" i)
+  done;
+  let snap = Telemetry.snapshot reg in
+  (match Telemetry.find snap "telemetry.events_dropped" with
+  | Some (Telemetry.Gauge g) -> Alcotest.(check (float 1e-9)) "dropped" 3.0 g
+  | _ -> Alcotest.fail "expected telemetry.events_dropped gauge");
+  match Telemetry.find snap "telemetry.buffer_occupancy" with
+  | Some (Telemetry.Gauge g) -> Alcotest.(check (float 1e-9)) "occupancy" 1.0 g
+  | _ -> Alcotest.fail "expected telemetry.buffer_occupancy gauge"
+
 let test_chrome_trace_escapes_strings () =
   let reg = Telemetry.create ~name:"t" () in
   Telemetry.instant reg ~args:[ ("msg", "quote \" backslash \\ newline \n tab \t") ]
@@ -361,6 +410,10 @@ let () =
       ( "chrome-trace",
         [
           Alcotest.test_case "golden export" `Quick test_chrome_trace_golden;
+          Alcotest.test_case "same-ts tiebreak deterministic" `Quick
+            test_chrome_trace_tiebreak_deterministic;
           Alcotest.test_case "string escaping" `Quick test_chrome_trace_escapes_strings;
         ] );
+      ( "self-observability",
+        [ Alcotest.test_case "snapshot self gauges" `Quick test_snapshot_self_gauges ] );
     ]

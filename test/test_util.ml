@@ -127,6 +127,32 @@ let test_stats_percentile_interpolates () =
   Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile arr 0.0);
   Alcotest.(check (float 1e-9)) "p100" 40.0 (Stats.percentile arr 1.0)
 
+let test_stats_percentile_tiny_n () =
+  (* The pinned n<=3 behaviour documented in stats.mli: both telemetry
+     snapshots and observability window aggregates rely on it. *)
+  let one = [| 42.0 |] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9)) "n=1 constant" 42.0 (Stats.percentile one q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  let two = [| 10.0; 30.0 |] in
+  Alcotest.(check (float 1e-9)) "n=2 p50 midpoint" 20.0 (Stats.percentile two 0.5);
+  Alcotest.(check (float 1e-9)) "n=2 p0 endpoint" 10.0 (Stats.percentile two 0.0);
+  Alcotest.(check (float 1e-9)) "n=2 p100 endpoint" 30.0 (Stats.percentile two 1.0);
+  Alcotest.(check (float 1e-9)) "n=2 p90 interp" 28.0 (Stats.percentile two 0.9);
+  let three = [| 1.0; 5.0; 11.0 |] in
+  Alcotest.(check (float 1e-9)) "n=3 p50 exact middle" 5.0
+    (Stats.percentile three 0.5);
+  Alcotest.(check (float 1e-9)) "n=3 p25 lower pair" 3.0
+    (Stats.percentile three 0.25);
+  Alcotest.(check (float 1e-9)) "n=3 p75 upper pair" 8.0
+    (Stats.percentile three 0.75);
+  Alcotest.(check (float 1e-9)) "n=3 p99 near max" (5.0 +. (0.98 *. 6.0))
+    (Stats.percentile three 0.99);
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 0.5))
+
 let test_stats_histogram () =
   let h = Stats.histogram ~bins:2 [ 0.; 1.; 2.; 3. ] in
   Alcotest.(check int) "two bins" 2 (Array.length h);
@@ -337,6 +363,8 @@ let () =
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile interpolates" `Quick
             test_stats_percentile_interpolates;
+          Alcotest.test_case "percentile tiny n pinned" `Quick
+            test_stats_percentile_tiny_n;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "streaming counter" `Quick test_stats_counter_matches_batch;
         ] );
