@@ -11,6 +11,7 @@
      faults      replay a named fault-injection scenario deterministically
      monitor     replay a fault scenario with the observability plane attached
      report      print the incident report for a monitored fault scenario
+     vet         statically vet a guest program (or the whole corpus)
      demo        containment walkthrough (same story as the example)
 
    Try:  dune exec bin/guillotine.exe -- attacks *)
@@ -28,6 +29,8 @@ module Workload = Guillotine_serve.Workload
 module Risk = Guillotine_policy.Risk
 module Regulation = Guillotine_policy.Regulation
 module Prng = Guillotine_util.Prng
+module Vet = Guillotine_vet.Vet
+module Vet_corpus = Guillotine_core.Vet_corpus
 
 (* ----------------------------- attacks ---------------------------- *)
 
@@ -620,6 +623,137 @@ let report_cmd =
           seed).")
     Term.(const run $ scenario $ seed $ json)
 
+(* ------------------------------- vet ------------------------------ *)
+
+let vet_cmd =
+  let exit_for (r : Vet.report) =
+    match r.Vet.verdict with Vet.Reject -> 1 | _ -> 0
+  in
+  let print_report json r =
+    if json then print_endline (Vet.to_json r) else print_string (Vet.to_text r)
+  in
+  let run_suite json =
+    let rows =
+      List.map
+        (fun (e : Vet_corpus.entry) ->
+          let r = Vet_corpus.vet e in
+          (e, r, r.Vet.verdict = e.Vet_corpus.expected))
+        Vet_corpus.all
+    in
+    if json then begin
+      print_string "[";
+      List.iteri
+        (fun i (e, r, ok) ->
+          if i > 0 then print_string ",";
+          Printf.printf
+            "{\"name\":\"%s\",\"expected\":\"%s\",\"report\":%s,\"as_expected\":%b}"
+            e.Vet_corpus.name
+            (Vet.verdict_label e.Vet_corpus.expected)
+            (Vet.to_json r) ok)
+        rows;
+      print_endline "]"
+    end
+    else begin
+      Printf.printf "%-22s %-10s %-22s %-22s %s\n" "guest" "class" "expected"
+        "verdict" "findings (E/W/I)";
+      List.iter
+        (fun ((e : Vet_corpus.entry), (r : Vet.report), ok) ->
+          let count sev =
+            List.length
+              (List.filter
+                 (fun (f : Guillotine_vet.Lints.finding) -> f.severity = sev)
+                 r.Vet.findings)
+          in
+          Printf.printf "%-22s %-10s %-22s %-22s %d/%d/%d%s\n"
+            e.Vet_corpus.name
+            (if e.Vet_corpus.malicious then "malicious" else "benign")
+            (Vet.verdict_label e.Vet_corpus.expected)
+            (Vet.verdict_label r.Vet.verdict)
+            (count Guillotine_vet.Lints.Error)
+            (count Guillotine_vet.Lints.Warn)
+            (count Guillotine_vet.Lints.Info)
+            (if ok then "" else "   <- UNEXPECTED"))
+        rows
+    end;
+    let mismatches = List.filter (fun (_, _, ok) -> not ok) rows in
+    if mismatches <> [] then begin
+      Printf.eprintf "vet suite: %d unexpected verdict(s)\n"
+        (List.length mismatches);
+      exit 1
+    end
+  in
+  let run file guest suite list_guests json code_pages data_pages =
+    if list_guests then
+      List.iter
+        (fun (e : Vet_corpus.entry) ->
+          Printf.printf "%-22s %-10s %-22s %s\n" e.Vet_corpus.name
+            (if e.Vet_corpus.malicious then "malicious" else "benign")
+            (Vet.verdict_label e.Vet_corpus.expected)
+            e.Vet_corpus.about)
+        Vet_corpus.all
+    else if suite then run_suite json
+    else
+      match (guest, file) with
+      | Some name, _ -> (
+          match Vet_corpus.find name with
+          | None ->
+            Printf.eprintf "unknown guest %S (try --list)\n" name;
+            exit 2
+          | Some e ->
+            let r = Vet_corpus.vet e in
+            print_report json r;
+            exit (exit_for r))
+      | None, Some file -> (
+          let source = In_channel.with_open_text file In_channel.input_all in
+          match Asm.assemble source with
+          | Error e ->
+            Printf.eprintf "%s:%d: %s\n" file e.Asm.line e.Asm.message;
+            exit 2
+          | Ok p ->
+            let r =
+              Vet.run ~label:(Filename.basename file) ~code_pages ~data_pages p
+            in
+            print_report json r;
+            exit (exit_for r))
+      | None, None ->
+        prerr_endline "nothing to vet: pass FILE, --guest NAME, or --suite";
+        exit 2
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Assembly source to vet.")
+  in
+  let guest =
+    Arg.(value & opt (some string) None
+         & info [ "guest" ] ~docv:"NAME" ~doc:"Vet a named corpus guest.")
+  in
+  let suite =
+    Arg.(value & flag
+         & info [ "suite" ]
+             ~doc:"Vet the whole corpus and check every expected verdict.")
+  in
+  let list_guests =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the corpus guests.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON.") in
+  let code_pages =
+    Arg.(value & opt int 4
+         & info [ "code-pages" ] ~docv:"N" ~doc:"Granted code pages (FILE mode).")
+  in
+  let data_pages =
+    Arg.(value & opt int 4
+         & info [ "data-pages" ] ~docv:"N" ~doc:"Granted data pages (FILE mode).")
+  in
+  Cmd.v
+    (Cmd.info "vet"
+       ~doc:
+         "Statically vet a GRISC guest program: CFG + abstract \
+          interpretation + lint rules, producing an \
+          admit/admit-with-warnings/reject verdict before anything runs.  \
+          Exit status 1 on rejection.")
+    Term.(const run $ file $ guest $ suite $ list_guests $ json $ code_pages
+          $ data_pages)
+
 (* ------------------------------- demo ----------------------------- *)
 
 let demo_cmd =
@@ -652,5 +786,6 @@ let () =
             faults_cmd;
             monitor_cmd;
             report_cmd;
+            vet_cmd;
             demo_cmd;
           ]))

@@ -1,6 +1,7 @@
-(* Side-channel lab: run the prime+probe covert channel against a
-   co-tenant (traditional) machine and against Guillotine's split cores,
-   recovering an actual ASCII secret.
+(* Side-channel lab: first show the admission-time vetter refusing the
+   covert guest outright, then run the prime+probe covert channel
+   against a co-tenant (traditional) machine and against Guillotine's
+   split cores, recovering an actual ASCII secret.
 
    Run with:  dune exec examples/side_channel_lab.exe *)
 
@@ -9,6 +10,8 @@ module Cotenant = Guillotine_baseline.Cotenant
 module Machine = Guillotine_machine.Machine
 module Core = Guillotine_microarch.Core
 module Bits = Guillotine_util.Bits
+module Vet = Guillotine_vet.Vet
+module Vet_corpus = Guillotine_core.Vet_corpus
 
 let show name (r : Covert.result) =
   Printf.printf "\n[%s]\n" name;
@@ -24,6 +27,22 @@ let show name (r : Covert.result) =
   Printf.printf "  decoded  : %S\n" decoded
 
 let () =
+  (* Stage 0: the guest never gets to run.  The GRISC implementation of
+     this very attack — a flush+reload loop branching on rdcycle-derived
+     latency — is caught by the static vetter at admission time, before
+     a single cycle executes. *)
+  print_endline "stage 0: admission-time vetting of the covert guest";
+  (match Vet_corpus.find "covert-flush-reload" with
+  | None -> print_endline "  (corpus entry missing?)"
+  | Some entry ->
+    let report = Vet_corpus.vet entry in
+    print_string (Vet.to_text report));
+  print_newline ();
+  print_endline "The microarchitectural experiment below is what that verdict";
+  print_endline "prevents — here staged against host-level cache models, where";
+  print_endline "no admission gate exists to interpose.";
+  print_newline ();
+
   let secret_text = "LAUNCH-CODE-7741" in
   let secret = Bits.of_string secret_text in
   Printf.printf "secret to exfiltrate: %S (%d bits)\n" secret_text (List.length secret);

@@ -203,6 +203,11 @@ let load_model t ?malice () =
     (Machine.model_cores t.machine);
   model
 
+let install_guest t ?(vet = Hypervisor.default_vet_policy) ?label ~core
+    ~code_pages ~data_pages program =
+  Hypervisor.install_program t.hv ~vet_policy:vet ?label ~core ~code_pages
+    ~data_pages program
+
 let serve t ~model request =
   match t.monitor with
   | None -> Inference.run t.hv ~model request

@@ -63,6 +63,22 @@ val load_model : t -> ?malice:Toymodel.malice -> unit -> Toymodel.t
     core's page table (the §3.2 anti-self-improvement lockdown: a model
     may read but never update its own weights). *)
 
+val install_guest :
+  t ->
+  ?vet:Hypervisor.vet_policy ->
+  ?label:string ->
+  core:int ->
+  code_pages:int ->
+  data_pages:int ->
+  Guillotine_isa.Asm.program ->
+  (Guillotine_vet.Vet.report option, Guillotine_vet.Vet.report) result
+(** Load an assembly guest onto a model core {e through the admission
+    gate}: the program is statically vetted (default
+    {!Hypervisor.default_vet_policy} — enforcing, no extra windows)
+    before installation.  [Error report] means the guest was rejected
+    and nothing was installed.  Use [Machine.install_program] directly
+    to bypass vetting (the pre-gate behaviour). *)
+
 val serve : t -> model:Toymodel.t -> Inference.request -> Inference.outcome
 (** Serve one inference request through the mediated pipeline — build
     requests with {!Inference.request} and a {!Inference.posture}.

@@ -1,0 +1,159 @@
+module Vet = Guillotine_vet.Vet
+module Absint = Guillotine_vet.Absint
+module Asm = Guillotine_isa.Asm
+module Guest = Guillotine_model.Guest_programs
+
+type entry = {
+  name : string;
+  source : string;
+  code_pages : int;
+  data_pages : int;
+  extra : Absint.range list;
+  malicious : bool;
+  expected : Vet.verdict;
+  about : string;
+}
+
+(* The standard grant the examples and tests use. *)
+let code_pages = 4
+let data_pages = 4
+
+(* One granted IO page at virtual page 101, as the port tests map it. *)
+let io_vpage = 101
+let io_base = io_vpage * 256
+let io_window = { Absint.base = io_base; len = 256; writable = true }
+
+let benign =
+  [
+    {
+      name = "compute-loop";
+      source = Guest.compute_loop ~iterations:32;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = false;
+      expected = Vet.Admit;
+      about = "bounded arithmetic loop, checksum to the result page";
+    };
+    {
+      name = "io-request";
+      source = Guest.io_request ~io_vaddr:io_base ~opcode:3 ~arg:0 ~line:0;
+      code_pages;
+      data_pages;
+      extra = [ io_window ];
+      malicious = false;
+      expected = Vet.Admit;
+      about = "minimal mailbox round-trip through a granted IO window";
+    };
+    {
+      name = "ring-transact";
+      source =
+        Guest.ring_transact ~req_base:io_base ~resp_base:(io_base + 128)
+          ~line:0 ~payload:[ 7; 9 ];
+      code_pages;
+      data_pages;
+      extra = [ io_window ];
+      malicious = false;
+      expected = Vet.Admit_with_warnings;
+      about =
+        "full ring protocol; slot addresses computed from loaded cursors \
+         cannot be proven in-bounds statically";
+    };
+    {
+      name = "preemptive-scheduler";
+      source = Guest.preemptive_scheduler;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = false;
+      expected = Vet.Admit_with_warnings;
+      about =
+        "guest-internal timer-driven multitasking; never halts and the \
+         context switch indexes TCBs by a loaded value";
+    };
+  ]
+
+let malicious =
+  [
+    {
+      name = "timing-probe";
+      source = Guest.timing_probe ~iterations:64;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about = "rdcycle/clflush/load loop — the flush+reload instruction mix";
+    };
+    {
+      name = "covert-flush-reload";
+      source = Guest.covert_flush_reload ~rounds:32;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about = "covert-channel receiver: branches on measured reload latency";
+    };
+    {
+      name = "spectre-probe";
+      source = Guest.spectre_probe ~rounds:16;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about =
+        "bounds-check-bypass probe: out-of-bounds read feeding a timed \
+         probe-array access";
+    };
+    {
+      name = "irq-flood";
+      source = Guest.irq_flood ~count:5_000 ~line:0;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about = "doorbell storm: 5000 rings against an admission budget of 64";
+    };
+    {
+      name = "wx-injection";
+      source = Guest.wx_injection;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about = "code injection: plants an encoded instruction and jumps to it";
+    };
+    {
+      name = "self-improve";
+      source = Guest.self_improve_attempt;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about = "writes its own code page — provable store escape";
+    };
+    {
+      name = "memory-probe";
+      source = Guest.memory_probe ~start:0x40000 ~stride:256;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about = "address-space reconnaissance walk far outside the grant";
+    };
+  ]
+
+let all = benign @ malicious
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let vet ?policy e =
+  let program = Asm.assemble_exn e.source in
+  Vet.run ?policy ~label:e.name ~extra:e.extra ~code_pages:e.code_pages
+    ~data_pages:e.data_pages program

@@ -1,0 +1,32 @@
+(** The named vetting corpus: every canned guest program paired with its
+    install grant and the verdict the static vetter must produce.
+
+    This is the single source of truth consumed by the [guillotine vet]
+    CLI, the V1 bench, the CI smoke step and [test/test_vet.ml] — one
+    list, so a new guest or a changed verdict is visible to all four at
+    once.  Benign guests must come out [Admit] (or
+    [Admit_with_warnings] where the protocol genuinely computes
+    addresses from loaded ring cursors); the adversarial suite must be
+    [Reject]ed, statically, before a single instruction runs. *)
+
+module Vet = Guillotine_vet.Vet
+module Absint = Guillotine_vet.Absint
+
+type entry = {
+  name : string;  (** CLI / CI identifier, kebab-case *)
+  source : string;  (** GRISC assembly *)
+  code_pages : int;
+  data_pages : int;
+  extra : Absint.range list;  (** granted IO windows, matching the ports *)
+  malicious : bool;
+  expected : Vet.verdict;
+  about : string;  (** one-line description for listings *)
+}
+
+val all : entry list
+(** The full corpus, benign first, deterministic order. *)
+
+val find : string -> entry option
+
+val vet : ?policy:Vet.policy -> entry -> Vet.report
+(** Assemble and vet the entry under its recorded grant. *)

@@ -12,6 +12,7 @@ type event =
   | Attestation of { ok : bool; detail : string }
   | Heartbeat_missed of { side : string }
   | Invariant_failure of { message : string }
+  | Vet_decision of { label : string; verdict : string; findings : int }
   | Note of string
 
 type entry = { seq : int; tick : int; event : event; digest : string }
@@ -45,6 +46,8 @@ let event_bytes = function
   | Attestation { ok; detail } -> Printf.sprintf "attest:%b:%s" ok detail
   | Heartbeat_missed { side } -> "hbmiss:" ^ side
   | Invariant_failure { message } -> "invariant:" ^ message
+  | Vet_decision { label; verdict; findings } ->
+    Printf.sprintf "vet:%s:%s:%d" label verdict findings
   | Note s -> "note:" ^ s
 
 let entry_digest ~prev ~seq ~tick event =
@@ -92,6 +95,8 @@ let pp_event ppf = function
     Format.fprintf ppf "attestation %s: %s" (if ok then "OK" else "FAILED") detail
   | Heartbeat_missed { side } -> Format.fprintf ppf "heartbeat missed (%s)" side
   | Invariant_failure { message } -> Format.fprintf ppf "INVARIANT FAILURE: %s" message
+  | Vet_decision { label; verdict; findings } ->
+    Format.fprintf ppf "vet %s: %s (%d findings)" label verdict findings
   | Note s -> Format.fprintf ppf "%s" s
 
 let pp_entry ppf e =

@@ -18,6 +18,7 @@ type event =
   | Attestation of { ok : bool; detail : string }
   | Heartbeat_missed of { side : string }
   | Invariant_failure of { message : string }
+  | Vet_decision of { label : string; verdict : string; findings : int }
   | Note of string
 
 type entry = { seq : int; tick : int; event : event; digest : string }

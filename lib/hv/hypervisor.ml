@@ -175,6 +175,62 @@ let enable_probe_monitor t ?(window = 256) ?(threshold = 0.25) () =
     (Machine.model_cores t.machine)
 
 (* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Vet = Guillotine_vet.Vet
+module Vet_absint = Guillotine_vet.Absint
+
+type vet_policy = {
+  vet : Vet.policy;
+  enforce : bool;
+  extra : Vet_absint.range list;
+}
+
+let default_vet_policy =
+  { vet = Vet.default_policy; enforce = true; extra = [] }
+
+(* The vet counters are created lazily on first use: an unvetted
+   deployment's telemetry snapshot stays exactly as it was before the
+   admission gate existed. *)
+let record_vet_decision t ~label (report : Vet.report) =
+  let bump name = Telemetry.incr (Telemetry.counter t.telemetry name) in
+  (match report.Vet.verdict with
+  | Vet.Admit -> bump "vet.admitted"
+  | Vet.Admit_with_warnings ->
+    bump "vet.admitted";
+    bump "vet.warnings"
+  | Vet.Reject -> bump "vet.rejected");
+  let verdict = Vet.verdict_label report.Vet.verdict in
+  let findings = List.length report.Vet.findings in
+  emit t ~kind:"vet.decision"
+    (Printf.sprintf "label=%s verdict=%s errors=%d warnings=%d findings=%d"
+       label verdict
+       (List.length (Vet.errors report))
+       (List.length (Vet.warnings report))
+       findings);
+  log t (Audit.Vet_decision { label; verdict; findings })
+
+let install_program t ?vet_policy ?(label = "guest") ~core ~code_pages
+    ~data_pages program =
+  if t.destroyed then invalid_arg "install_program: machine destroyed";
+  match vet_policy with
+  | None ->
+    Machine.install_program t.machine ~core ~code_pages ~data_pages program;
+    Ok None
+  | Some vp ->
+    let report =
+      Vet.run ~policy:vp.vet ~label ~extra:vp.extra ~code_pages ~data_pages
+        program
+    in
+    record_vet_decision t ~label report;
+    if report.Vet.verdict = Vet.Reject && vp.enforce then Error report
+    else begin
+      Machine.install_program t.machine ~core ~code_pages ~data_pages program;
+      Ok (Some report)
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Ports                                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -66,6 +66,42 @@ val notify : t -> Detector.observation -> unit
     tokens, closing the loop from model behaviour to console
     escalation. *)
 
+(** {2 Admission}
+
+    The static vetting gate (lib/vet): when a [vet_policy] is supplied,
+    the guest image is analysed {e before} a single word reaches model
+    DRAM.  A rejection under [enforce] means the program is never
+    installed — the admission-time complement to the runtime detector
+    plane.  Every decision is counted ([vet.admitted]/[vet.rejected]/
+    [vet.warnings]), emitted to the event sink ([vet.decision]) and
+    committed to the audit chain. *)
+
+type vet_policy = {
+  vet : Guillotine_vet.Vet.policy;
+  enforce : bool;  (** reject ⇒ refuse to install (advisory when false) *)
+  extra : Guillotine_vet.Absint.range list;
+      (** granted IO windows beyond the identity-mapped code/data pages *)
+}
+
+val default_vet_policy : vet_policy
+(** Default [Vet.default_policy], enforcing, no extra windows. *)
+
+val install_program :
+  t ->
+  ?vet_policy:vet_policy ->
+  ?label:string ->
+  core:int ->
+  code_pages:int ->
+  data_pages:int ->
+  Guillotine_isa.Asm.program ->
+  (Guillotine_vet.Vet.report option, Guillotine_vet.Vet.report) result
+(** Install [program] on [core] with the same mapping semantics as
+    [Machine.install_program].  Without a [vet_policy] this is a plain
+    passthrough returning [Ok None].  With one, the report is returned:
+    [Ok (Some r)] when admitted (possibly with warnings, or when an
+    advisory policy let a rejection through), [Error r] when rejected
+    under enforcement — in which case nothing was installed. *)
+
 (** {2 Ports} *)
 
 type port_mode = Mailbox | Rings

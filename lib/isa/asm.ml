@@ -4,7 +4,14 @@ type program = {
   origin : int;
 }
 
-type error = { line : int; message : string }
+type error_kind =
+  | Syntax
+  | Unknown_label of string
+  | Duplicate_label of string
+
+type error = { line : int; kind : error_kind; message : string }
+
+exception Error of error
 
 (* ------------------------------------------------------------------ *)
 (* Lexing helpers                                                     *)
@@ -47,17 +54,17 @@ type operand =
 
 let parse_operand tok =
   let len = String.length tok in
-  if len = 0 then Error "empty operand"
+  if len = 0 then Stdlib.Error "empty operand"
   else if tok.[0] = '@' then Ok (Olabel (String.sub tok 1 (len - 1)))
   else if tok.[0] = 'r' && len >= 2 && len <= 3 then begin
     match int_of_string_opt (String.sub tok 1 (len - 1)) with
     | Some n when n >= 0 && n < Isa.num_regs -> Ok (Oreg n)
-    | _ -> Error (Printf.sprintf "bad register %S" tok)
+    | _ -> Stdlib.Error (Printf.sprintf "bad register %S" tok)
   end
   else begin
     match int_of_string_opt tok with
     | Some v -> Ok (Oimm v)
-    | None -> Error (Printf.sprintf "bad operand %S" tok)
+    | None -> Stdlib.Error (Printf.sprintf "bad operand %S" tok)
   end
 
 (* Statements produced by pass one. *)
@@ -66,9 +73,8 @@ type stmt =
   | Sword of operand * int
   | Szero of int * int
 
-exception Asm_error of error
-
-let err line fmt = Printf.ksprintf (fun message -> raise (Asm_error { line; message })) fmt
+let err ?(kind = Syntax) line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; kind; message })) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Pass 1: collect labels and statements with addresses               *)
@@ -89,7 +95,8 @@ let pass1 ~origin source =
         | [] -> ()
         | t :: rest when String.length t > 1 && t.[String.length t - 1] = ':' ->
           let name = String.sub t 0 (String.length t - 1) in
-          if Hashtbl.mem symbols name then err lineno "duplicate label %S" name;
+          if Hashtbl.mem symbols name then
+            err ~kind:(Duplicate_label name) lineno "duplicate label %S" name;
           Hashtbl.add symbols name !addr;
           handle rest
         | ".word" :: [ opnd ] -> (
@@ -97,7 +104,7 @@ let pass1 ~origin source =
           | Ok o ->
             stmts := Sword (o, lineno) :: !stmts;
             incr addr
-          | Error m -> err lineno "%s" m)
+          | Stdlib.Error m -> err lineno "%s" m)
         | ".zero" :: [ n ] -> (
           match int_of_string_opt n with
           | Some k when k >= 0 ->
@@ -110,7 +117,7 @@ let pass1 ~origin source =
               (fun tok ->
                 match parse_operand tok with
                 | Ok o -> o
-                | Error m -> err lineno "%s" m)
+                | Stdlib.Error m -> err lineno "%s" m)
               operands
           in
           stmts := Sinstr (String.lowercase_ascii mnemonic, ops, lineno) :: !stmts;
@@ -130,7 +137,7 @@ let pass2 symbols stmts =
     | Olabel name -> (
       match List.assoc_opt name symbols with
       | Some a -> a
-      | None -> err line "undefined label %S" name)
+      | None -> err ~kind:(Unknown_label name) line "undefined label %S" name)
     | Oreg _ -> err line "expected immediate or label, got register"
   in
   let reg line = function
@@ -186,23 +193,23 @@ let pass2 symbols stmts =
         in
         (match Isa.validate i with
         | Ok () -> ()
-        | Error m -> err line "%s" m);
+        | Stdlib.Error m -> err line "%s" m);
         emit (Encoding.encode i))
     stmts;
   Array.of_list (List.rev !words)
 
 let assemble ?(origin = 0) source =
   match pass1 ~origin source with
-  | exception Asm_error e -> Error e
+  | exception Error e -> Stdlib.Error e
   | symbols, stmts -> (
     match pass2 symbols stmts with
-    | exception Asm_error e -> Error e
+    | exception Error e -> Stdlib.Error e
     | words -> Ok { words; symbols; origin })
 
 let assemble_exn ?origin source =
   match assemble ?origin source with
   | Ok p -> p
-  | Error e -> failwith (Printf.sprintf "asm error at line %d: %s" e.line e.message)
+  | Stdlib.Error e -> raise (Error e)
 
 let instrs ?(origin = 0) is =
   { words = Encoding.encode_program is; symbols = []; origin }

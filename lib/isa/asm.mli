@@ -25,12 +25,21 @@ type program = {
   origin : int;
 }
 
-type error = { line : int; message : string }
+type error_kind =
+  | Syntax  (** malformed statement, bad operand, width violation *)
+  | Unknown_label of string  (** [@name] never defined *)
+  | Duplicate_label of string  (** [name:] defined twice *)
+
+type error = { line : int; kind : error_kind; message : string }
+(** [message] is human-readable and already names the offending label
+    for the label kinds; [kind] carries it structurally. *)
+
+exception Error of error
 
 val assemble : ?origin:int -> string -> (program, error) result
 
 val assemble_exn : ?origin:int -> string -> program
-(** Raises [Failure] with a located message. *)
+(** Raises {!Error}. *)
 
 val instrs : ?origin:int -> Isa.instr list -> program
 (** Wrap an already-constructed instruction list as a program (no

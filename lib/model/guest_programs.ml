@@ -221,6 +221,70 @@ full:
 |}
       req_base (List.length payload) stores line resp_base result_base result_base
 
+let covert_flush_reload ~rounds =
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 0         ; round
+  movi r2, %d        ; rounds
+  movi r3, %d        ; probe line (result area)
+  movi r5, 1
+  movi r10, 40       ; hit threshold in cycles
+loop:
+  clflush r3, 0      ; evict the probe line
+  rdcycle r6
+  load r7, r3, 0     ; reload: latency encodes the sender's bit
+  rdcycle r8
+  sub  r9, r8, r6    ; the timing sample
+  blt  r9, r10, @hit ; decide the bit from the latency
+  movi r11, 0
+  jmp  @record
+hit:
+  movi r11, 1
+record:
+  movi r4, %d
+  store r4, r11, 1   ; accumulate decoded bits past the status word
+  add  r1, r1, r5
+  blt  r1, r2, @loop
+  halt
+|}
+      rounds result_base result_base
+
+let spectre_probe ~rounds =
+  header ~pf:"@fault" ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 0         ; round
+  movi r2, %d        ; rounds
+  movi r5, 1
+  movi r3, %d        ; in-bounds training index base
+loop:
+  ; train: architecturally legal access inside the data page
+  load r6, r3, 0
+  ; victim pattern: read past every granted page, then use the value
+  ; as a probe-array index — the bounds-check-bypass dance
+  movi r7, 0x40000
+  load r8, r7, 0     ; architecturally out of bounds
+  movi r9, 6
+  shl  r8, r8, r9    ; secret << 6: one probe line per value
+  add  r8, r8, r3
+  clflush r8, 0      ; flush the probe line for the secret
+  rdcycle r10
+  load r11, r8, 0    ; reload to time the probe
+  rdcycle r12
+  sub  r13, r12, r10
+  movi r4, %d
+  store r4, r13, 1   ; exfiltrate the latency sample
+  add  r1, r1, r5
+  blt  r1, r2, @loop
+  halt
+fault:
+  halt
+|}
+      rounds result_base result_base
+
 let preemptive_scheduler =
   (* Bespoke header: this program installs a timer vector (slot 2). *)
   let tcb = result_base + 8 in

@@ -63,6 +63,20 @@ val ring_transact :
     [result_base]+0 is set to 1 on success, 2 if the request ring was
     full.  Payload words must fit a 32-bit immediate. *)
 
+val covert_flush_reload : rounds:int -> string
+(** Covert-channel receiver: per round, clflush a probe line, reload it
+    between two [rdcycle] samples, and {e branch} on the latency to
+    decode a bit into [result_base]+1.  The canonical flush+reload
+    receiver loop — the static vetter must reject it (timing-derived
+    branch + clflush in a loop) before it ever runs. *)
+
+val spectre_probe : rounds:int -> string
+(** Bounds-check-bypass probe: train with an in-bounds load, read
+    architecturally out of bounds (address 0x40000), index a probe array
+    by [secret << 6], and time the reload.  Combines a provable
+    address-space escape with the flush+reload timing shape; the vetter
+    rejects it statically, the MMU faults it at runtime. *)
+
 val preemptive_scheduler : string
 (** A guest-internal preemptive multitasking kernel: two tasks bump
     separate counters ([result_base] and [result_base]+1) forever; the

@@ -1,0 +1,74 @@
+(** Control-flow-graph construction over a decoded GRISC image.
+
+    The vetter works on what the hardware will actually fetch: the
+    assembled image is decoded word by word ({!Guillotine_isa.Encoding})
+    and a CFG is grown from the program's entry point plus every
+    installed exception-vector handler, exactly the set of addresses a
+    model core can start executing from.  Words of the code region that
+    lie outside the image decode as the zero word (a [Nop]) — model
+    DRAM is zero-filled — so a guest that jumps past its own image is
+    analysed as the Nop-slide it really is.
+
+    Indirect jumps ([Jr]) carry no static target.  {!build} accepts a
+    [jr_targets] hint list — produced by the abstract interpreter's
+    constant-propagation pass — and the {!Vet} façade iterates
+    build/analyse until no new targets resolve; whatever remains is
+    reported in {!t.unresolved_jr} and widened conservatively (no
+    successors, flagged by the lints). *)
+
+module Isa = Guillotine_isa.Isa
+
+val page_words : int
+(** 256 — mirrors the default MMU page size used by
+    [Machine.install_program]'s identity mapping. *)
+
+type terminator =
+  | Fallthrough       (** straight-line into the next block *)
+  | Jump of int
+  | Branch of { taken : int; fallthrough : int }
+  | Indirect of Isa.reg  (** [Jr]; successors from [jr_targets], if any *)
+  | Stop              (** [Halt] *)
+  | Return            (** [Iret]: resume point is epc, statically unknown *)
+  | Poison            (** the word does not decode; fetch would trap *)
+
+type block = {
+  leader : int;                   (** absolute address of the first instr *)
+  instrs : (int * Isa.instr) list; (** (address, instruction), in order *)
+  term : terminator;
+}
+
+type t = {
+  origin : int;
+  code_words : int;               (** code_pages * {!page_words} *)
+  image_words : int;
+  instrs : Isa.instr option array; (** absolute-indexed, length code_words *)
+  succs : int list array;
+  preds : int list array;
+  reachable : bool array;
+  roots : int list;               (** entry pc + nonzero vector handlers *)
+  scc_id : int array;             (** strongly-connected component per addr *)
+  in_loop : bool array;           (** address participates in a cycle *)
+  blocks : block list;            (** reachable basic blocks, by leader *)
+  jump_escapes : (int * int) list; (** (instr addr, target outside code) *)
+  fall_off_code : int list;       (** instrs whose fallthrough leaves code *)
+  unresolved_jr : int list;       (** [Jr] addrs with no resolved target *)
+  poisoned : int list;            (** reachable addrs that do not decode *)
+  vector_roots : (int * int) list; (** (vector slot, handler address) *)
+  vector_escapes : (int * int) list; (** (slot, handler outside code) *)
+}
+
+val build :
+  ?jr_targets:(int * int list) list ->
+  code_pages:int ->
+  Guillotine_isa.Asm.program ->
+  t
+(** Decode, walk reachability from the roots, compute SCCs and basic
+    blocks.  Raises [Invalid_argument] if [code_pages <= 0]. *)
+
+val instr_at : t -> int -> Isa.instr option
+(** [None] outside the code region or for undecodable words. *)
+
+val reachable_instr_count : t -> int
+(** Reachable addresses that decode. *)
+
+val in_same_scc : t -> int -> int -> bool

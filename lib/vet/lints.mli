@@ -1,0 +1,30 @@
+(** Rule-based findings over the CFG + abstract-interpretation facts.
+
+    Severities gate the admission verdict: any [Error] finding rejects
+    the guest, [Warn] admits with warnings, [Info] is advisory only.
+    Rules are named ["plane.rule"] — [mem.*] for address-space escapes,
+    [sidechannel.*] for timing-channel shapes, [doorbell.*] for
+    interrupt-storm bounds, [cfg.*]/[hygiene.*] for structure. *)
+
+type severity = Info | Warn | Error
+
+val severity_label : severity -> string
+val severity_rank : severity -> int
+(** [Error] ranks highest. *)
+
+type finding = {
+  rule : string;
+  severity : severity;
+  addr : int option;  (** offending instruction address, when localised *)
+  detail : string;
+}
+
+val pp_ivl : Absint.ivl -> string
+(** ["[lo, hi]"] with unicode-free ["-inf"]/["+inf"] endpoints. *)
+
+val run :
+  cfg:Cfg.t ->
+  absint:Absint.result ->
+  max_doorbell_burst:int ->
+  finding list
+(** Deterministic: sorted by address, then rule, then detail. *)

@@ -1,0 +1,56 @@
+(** Admission-time static vetting of GRISC guest programs.
+
+    The façade over {!Cfg}, {!Absint} and {!Lints}: build the graph,
+    iterate the abstract interpreter to resolve indirect jumps, run the
+    lint rules, and fold the findings into a verdict.  The hypervisor
+    consults the verdict before [install_program] ever copies a word of
+    the guest into model DRAM — rejection means the program never runs.
+
+    Reports are byte-deterministic: the same program, grant set and
+    policy always produce the same text and JSON, so verdicts can be
+    pinned in CI and diffed across toolchain changes. *)
+
+type policy = {
+  max_doorbell_burst : int;
+      (** largest statically-bounded doorbell count admitted (64) *)
+  widen_after : int;  (** interval-widening threshold (3) *)
+  max_indirect_rounds : int;
+      (** CFG/absint alternations used to resolve [Jr] targets (3) *)
+}
+
+val default_policy : policy
+
+type verdict = Admit | Admit_with_warnings | Reject
+
+val verdict_label : verdict -> string
+
+type report = {
+  label : string;
+  verdict : verdict;
+  findings : Lints.finding list;
+  instr_count : int;   (** reachable, decodable instructions analysed *)
+  image_words : int;
+  code_pages : int;
+  data_pages : int;
+  extra_windows : int;
+  indirect_rounds : int;  (** build/analyse rounds actually taken *)
+  widenings : int;
+  policy : policy;
+}
+
+val run :
+  ?policy:policy ->
+  ?label:string ->
+  ?extra:Absint.range list ->
+  code_pages:int ->
+  data_pages:int ->
+  Guillotine_isa.Asm.program ->
+  report
+(** [extra] lists additional granted windows (IO rings, shared pages)
+    beyond the identity-mapped code/data pages. *)
+
+val errors : report -> Lints.finding list
+val warnings : report -> Lints.finding list
+
+val to_text : report -> string
+val to_json : report -> string

@@ -63,10 +63,24 @@ let test_negative_immediates_roundtrip () =
       | _ -> Alcotest.fail "decode shape")
     [ 0; 1; -1; 42; -42; 0x7FFF_FFFF; -0x8000_0000 ]
 
+(* Generator over the FULL instruction space: every constructor, with
+   operands drawn from the whole validated range (registers 0..15,
+   signed 32-bit immediates hitting the boundary values, IRQ lines
+   0..255).  The vetter consumes decoded programs wholesale, so the
+   codec must be pinned across the entire space, not a sample. *)
 let gen_instr =
   let open QCheck.Gen in
   let reg = int_range 0 15 in
-  let imm = int_range (-1000000) 1000000 in
+  let imm =
+    (* Bias toward boundaries: the sign-extension corners are where an
+       encoding bug would live. *)
+    oneof
+      [
+        int_range (-0x8000_0000) 0x7FFF_FFFF;
+        oneofl [ 0; 1; -1; 0x7FFF_FFFF; -0x8000_0000; 0x7FFF_FFFE; -0x7FFF_FFFF ];
+      ]
+  in
+  let line = int_range 0 255 in
   oneof
     [
       return Isa.Nop;
@@ -77,19 +91,75 @@ let gen_instr =
       map2 (fun r v -> Isa.Movhi (r, v)) reg imm;
       map2 (fun a b -> Isa.Mov (a, b)) reg reg;
       map3 (fun a b c -> Isa.Add (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Sub (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Mul (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Div (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Rem (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.And_ (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Or_ (a, b, c)) reg reg reg;
       map3 (fun a b c -> Isa.Xor_ (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Shl (a, b, c)) reg reg reg;
+      map3 (fun a b c -> Isa.Shr (a, b, c)) reg reg reg;
       map3 (fun a b c -> Isa.Load (a, b, c)) reg reg imm;
       map3 (fun a b c -> Isa.Store (a, b, c)) reg reg imm;
-      map3 (fun a b c -> Isa.Beq (a, b, abs c)) reg reg imm;
-      map (fun t -> Isa.Jmp (abs t)) imm;
+      map (fun t -> Isa.Jmp t) imm;
+      map (fun r -> Isa.Jr r) reg;
+      map2 (fun r t -> Isa.Jal (r, t)) reg imm;
+      map3 (fun a b t -> Isa.Beq (a, b, t)) reg reg imm;
+      map3 (fun a b t -> Isa.Bne (a, b, t)) reg reg imm;
+      map3 (fun a b t -> Isa.Blt (a, b, t)) reg reg imm;
+      map3 (fun a b t -> Isa.Bge (a, b, t)) reg reg imm;
+      map (fun l -> Isa.Irq l) line;
+      map (fun r -> Isa.Mfepc r) reg;
+      map (fun r -> Isa.Mtepc r) reg;
       map (fun r -> Isa.Rdcycle r) reg;
-      map (fun l -> Isa.Irq l) (int_range 0 255);
+      map2 (fun r off -> Isa.Clflush (r, off)) reg imm;
     ]
 
 let prop_roundtrip =
-  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500
+  QCheck.Test.make ~name:"encode/decode roundtrip (full space)" ~count:2000
     (QCheck.make gen_instr ~print:Isa.to_string)
     (fun i -> Encoding.decode (Encoding.encode i) = Some i)
+
+(* The generator stays inside the validated space — otherwise the
+   round-trip property would be vacuous about real programs. *)
+let prop_generator_valid =
+  QCheck.Test.make ~name:"generator emits validated instructions" ~count:2000
+    (QCheck.make gen_instr ~print:Isa.to_string)
+    (fun i -> Result.is_ok (Isa.validate i))
+
+(* Words whose opcode byte names no instruction must decode to None —
+   the model core turns exactly these into Bad_instruction traps. *)
+let prop_decode_rejects_bad_opcodes =
+  let valid_opcode op =
+    (op >= 0x00 && op <= 0x04)
+    || (op >= 0x10 && op <= 0x19)
+    || (op >= 0x20 && op <= 0x21)
+    || (op >= 0x30 && op <= 0x36)
+    || (op >= 0x40 && op <= 0x46)
+  in
+  let gen =
+    let open QCheck.Gen in
+    let bad_opcode =
+      (* valid opcodes all sit below 0x80, so shifting a valid draw up
+         by 0x80 always lands on an unassigned one *)
+      map
+        (fun op -> if valid_opcode op then (op + 0x80) land 0xFF else op)
+        (int_range 0 255)
+    in
+    map2
+      (fun op low ->
+        Int64.logor
+          (Int64.shift_left (Int64.of_int op) 56)
+          (Int64.logand (Int64.of_int low) 0xFF_FFFF_FFFF_FFFFL))
+      bad_opcode (int_bound max_int)
+  in
+  QCheck.Test.make ~name:"decode rejects unknown opcodes" ~count:2000
+    (QCheck.make gen ~print:(Printf.sprintf "0x%016Lx"))
+    (fun w ->
+      let op = Int64.to_int (Int64.shift_right_logical w 56) land 0xFF in
+      if valid_opcode op then QCheck.assume_fail ()
+      else Encoding.decode w = None)
 
 (* The printer's output is valid assembler syntax: pretty-printing any
    instruction and reassembling it yields the original encoding. *)
@@ -173,6 +243,32 @@ let test_assemble_errors () =
   expect_error "dup:\nnop\ndup:\n" 3;
   expect_error "  movi 5, 5" 1
 
+(* Label failures carry the offending name structurally, not just
+   embedded in prose. *)
+let test_assemble_typed_label_errors () =
+  (match Asm.assemble "nop\n  jmp @nowhere" with
+  | Error { kind = Asm.Unknown_label name; line; _ } ->
+    Alcotest.(check string) "unknown label name" "nowhere" name;
+    Alcotest.(check int) "unknown label line" 2 line
+  | Error _ -> Alcotest.fail "expected Unknown_label kind"
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Asm.assemble "dup:\nnop\ndup:\n" with
+  | Error { kind = Asm.Duplicate_label name; line; _ } ->
+    Alcotest.(check string) "duplicate label name" "dup" name;
+    Alcotest.(check int) "duplicate label line" 3 line
+  | Error _ -> Alcotest.fail "expected Duplicate_label kind"
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Asm.assemble "  movi r99, 1" with
+  | Error { kind = Asm.Syntax; _ } -> ()
+  | Error _ -> Alcotest.fail "expected Syntax kind"
+  | Ok _ -> Alcotest.fail "expected error");
+  (* assemble_exn raises the typed exception, not a bare Failure. *)
+  match Asm.assemble_exn "  jal r1, @missing" with
+  | exception Asm.Error { kind = Asm.Unknown_label name; _ } ->
+    Alcotest.(check string) "exn carries label" "missing" name
+  | exception _ -> Alcotest.fail "expected Asm.Error"
+  | _ -> Alcotest.fail "expected raise"
+
 let test_comments_and_blank_lines () =
   let p = Asm.assemble_exn "\n; full comment\n  nop # trailing\n\n  halt ; done\n" in
   Alcotest.(check int) "two instrs" 2 (Array.length p.Asm.words)
@@ -199,6 +295,8 @@ let () =
           Alcotest.test_case "negative immediates" `Quick
             test_negative_immediates_roundtrip;
           qc prop_roundtrip;
+          qc prop_generator_valid;
+          qc prop_decode_rejects_bad_opcodes;
           qc prop_pp_assemble_roundtrip;
         ] );
       ( "validate",
@@ -212,6 +310,8 @@ let () =
           Alcotest.test_case ".zero" `Quick test_assemble_zero_directive;
           Alcotest.test_case ".word @label" `Quick test_assemble_word_label;
           Alcotest.test_case "errors located" `Quick test_assemble_errors;
+          Alcotest.test_case "typed label errors" `Quick
+            test_assemble_typed_label_errors;
           Alcotest.test_case "comments/blank lines" `Quick test_comments_and_blank_lines;
           Alcotest.test_case "disassembler" `Quick test_disassemble_lists_instrs;
         ] );

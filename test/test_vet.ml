@@ -1,0 +1,399 @@
+(* Tests for the admission-time static verifier (lib/vet) and its
+   integration into the hypervisor load path:
+
+   - corpus verdicts: every benign golden guest admits (zero false
+     positives), every adversarial guest rejects — statically
+   - report determinism: text and JSON byte-identical across runs,
+     pinned against a golden report
+   - abstract-interpreter soundness: guests whose memory accesses were
+     all proven in-bounds run without a page fault
+   - CFG/absint behaviour: indirect-jump resolution by constant
+     propagation, conservative widening of unresolved ones
+   - the hypervisor admission gate: enforcement, advisory mode,
+     telemetry counters, event-sink and audit-chain records *)
+
+module Asm = Guillotine_isa.Asm
+module Isa = Guillotine_isa.Isa
+module Cfg = Guillotine_vet.Cfg
+module Absint = Guillotine_vet.Absint
+module Lints = Guillotine_vet.Lints
+module Vet = Guillotine_vet.Vet
+module Corpus = Guillotine_core.Vet_corpus
+module Machine = Guillotine_machine.Machine
+module Core = Guillotine_microarch.Core
+module Mmu = Guillotine_memory.Mmu
+module Hypervisor = Guillotine_hv.Hypervisor
+module Audit = Guillotine_hv.Audit
+module Telemetry = Guillotine_telemetry.Telemetry
+module Guest = Guillotine_model.Guest_programs
+
+let verdict = Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Vet.verdict_label v))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Corpus verdicts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_verdicts () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let r = Corpus.vet e in
+      Alcotest.check verdict e.Corpus.name e.Corpus.expected r.Vet.verdict)
+    Corpus.all
+
+(* Zero false positives: no benign guest produces a single Error-level
+   finding. *)
+let test_benign_zero_errors () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      if not e.Corpus.malicious then
+        let r = Corpus.vet e in
+        Alcotest.(check int)
+          (e.Corpus.name ^ " errors")
+          0
+          (List.length (Vet.errors r)))
+    Corpus.all
+
+let test_malicious_all_reject () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      if e.Corpus.malicious then
+        let r = Corpus.vet e in
+        Alcotest.check verdict (e.Corpus.name ^ " rejects") Vet.Reject
+          r.Vet.verdict)
+    Corpus.all
+
+(* ------------------------------------------------------------------ *)
+(* Determinism & golden report                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_reports_deterministic () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let a = Corpus.vet e and b = Corpus.vet e in
+      Alcotest.(check string) (e.Corpus.name ^ " text") (Vet.to_text a)
+        (Vet.to_text b);
+      Alcotest.(check string) (e.Corpus.name ^ " json") (Vet.to_json a)
+        (Vet.to_json b))
+    Corpus.all
+
+let golden_text =
+  "VET self-improve: REJECT\n\
+   image            26 words (11 reachable instructions)\n\
+   grant            4 code + 4 data pages, 0 extra windows\n\
+   analysis         1 indirect rounds, 0 widenings\n\
+   findings         1 error, 0 warn, 0 info\n\
+  \  [error] mem.store_escape               @18    store address [16, 16] \
+   is provably outside every granted window\n"
+
+let golden_json =
+  {|{"label":"self-improve","verdict":"reject","image_words":26,"instr_count":11,"code_pages":4,"data_pages":4,"extra_windows":0,"indirect_rounds":1,"widenings":0,"counts":{"error":1,"warn":0,"info":0},"findings":[{"rule":"mem.store_escape","severity":"error","addr":18,"detail":"store address [16, 16] is provably outside every granted window"}]}|}
+
+let test_golden_report () =
+  match Corpus.find "self-improve" with
+  | None -> Alcotest.fail "self-improve missing from corpus"
+  | Some e ->
+    let r = Corpus.vet e in
+    Alcotest.(check string) "golden text" golden_text (Vet.to_text r);
+    Alcotest.(check string) "golden json" golden_json (Vet.to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Soundness: proven-in-bounds guests never page-fault                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every corpus guest admitted with all memory accesses proven
+   in-bounds (no mem.* finding at all) must run without tripping a
+   page fault: the abstract interpreter's claim, checked concretely. *)
+let test_admitted_guests_sound () =
+  let proven (r : Vet.report) =
+    r.Vet.verdict <> Vet.Reject
+    && List.for_all
+         (fun (f : Lints.finding) ->
+           not (String.length f.Lints.rule >= 4
+                && String.sub f.Lints.rule 0 4 = "mem."))
+         r.Vet.findings
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let r = Corpus.vet e in
+      if proven r then begin
+        incr checked;
+        let m = Machine.create () in
+        let p = Asm.assemble_exn e.Corpus.source in
+        Machine.install_program m ~core:0 ~code_pages:e.Corpus.code_pages
+          ~data_pages:e.Corpus.data_pages p;
+        (* Map the granted IO windows the vetter was told about. *)
+        List.iter
+          (fun (w : Absint.range) ->
+            Machine.map_io_page m ~core:0 ~vpage:(w.Absint.base / 256)
+              ~io_page:0 Mmu.perm_rw)
+          e.Corpus.extra;
+        let core = Machine.model_core m 0 in
+        ignore (Core.run core ~fuel:50_000);
+        match Core.halt_reason core with
+        | Some (Core.Unhandled_exception (Isa.Page_fault at)) ->
+          Alcotest.failf "%s: admitted as in-bounds but page-faulted at %d"
+            e.Corpus.name at
+        | Some Core.Double_fault ->
+          Alcotest.failf "%s: admitted as in-bounds but double-faulted"
+            e.Corpus.name
+        | _ -> ()
+      end)
+    Corpus.all;
+  (* The check must actually cover the fully-proven benign guests. *)
+  Alcotest.(check bool) "covered at least two guests" true (!checked >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* CFG / abstract interpretation behaviour                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A jr whose operand is a constant resolves by constant propagation:
+   the program is fully analysed and admits cleanly. *)
+let test_jr_constant_resolves () =
+  let src = {|
+  jmp @start
+  .zero 15
+start:
+  movi r1, @finish
+  jr   r1
+  nop
+finish:
+  halt
+|}
+  in
+  let r = Vet.run ~label:"jr-const" ~code_pages:1 ~data_pages:1
+      (Asm.assemble_exn src)
+  in
+  Alcotest.check verdict "admits" Vet.Admit r.Vet.verdict;
+  Alcotest.(check bool) "took >1 indirect round" true (r.Vet.indirect_rounds > 1)
+
+(* A jr on a loaded (unknowable) value is widened conservatively and
+   surfaces as a warning, not silence. *)
+let test_jr_unresolved_warns () =
+  let src = {|
+  jmp @start
+  .zero 15
+start:
+  movi r1, 256
+  load r2, r1, 0
+  jr   r2
+|}
+  in
+  let r = Vet.run ~label:"jr-unknown" ~code_pages:2 ~data_pages:1
+      (Asm.assemble_exn src)
+  in
+  Alcotest.(check bool) "unresolved indirect flagged" true
+    (List.exists
+       (fun (f : Lints.finding) -> f.Lints.rule = "cfg.unresolved_indirect")
+       r.Vet.findings);
+  Alcotest.check verdict "admit with warnings" Vet.Admit_with_warnings
+    r.Vet.verdict
+
+(* Interval refinement across a loop branch proves a striding store
+   in-bounds; nudging the bound one page over turns it into a provable
+   escape. *)
+let test_interval_refinement_bounds_loop () =
+  let body bound = Printf.sprintf {|
+  jmp @start
+  .zero 15
+start:
+  movi r1, 256
+  movi r2, %d
+  movi r5, 1
+loop:
+  store r1, r5, 0
+  add  r1, r1, r5
+  blt  r1, r2, @loop
+  halt
+|} bound
+  in
+  let in_bounds =
+    Vet.run ~label:"stride-ok" ~code_pages:1 ~data_pages:1
+      (Asm.assemble_exn (body 512))
+  in
+  Alcotest.check verdict "striding store admits" Vet.Admit
+    in_bounds.Vet.verdict;
+  let escaping =
+    Vet.run ~label:"stride-escape" ~code_pages:1 ~data_pages:1
+      (Asm.assemble_exn (body 1024))
+  in
+  Alcotest.(check bool) "over-page store flagged" true
+    (List.exists
+       (fun (f : Lints.finding) ->
+         f.Lints.rule = "mem.store_may_escape"
+         || f.Lints.rule = "mem.store_escape")
+       escaping.Vet.findings)
+
+let test_doorbell_budget_boundary () =
+  let flood count =
+    Vet.run ~label:"flood" ~code_pages:4 ~data_pages:4
+      (Asm.assemble_exn (Guest.irq_flood ~count ~line:0))
+  in
+  (* Within the budget: bounded loop, admitted (Info finding only). *)
+  let small = flood 64 in
+  Alcotest.check verdict "64 rings admit" Vet.Admit small.Vet.verdict;
+  Alcotest.(check bool) "bounded finding present" true
+    (List.exists
+       (fun (f : Lints.finding) -> f.Lints.rule = "doorbell.bounded")
+       small.Vet.findings);
+  (* One over: rejected. *)
+  let big = flood 65 in
+  Alcotest.check verdict "65 rings reject" Vet.Reject big.Vet.verdict
+
+(* ------------------------------------------------------------------ *)
+(* Hypervisor admission gate                                           *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value hv name =
+  Telemetry.counter_value (Telemetry.counter (Hypervisor.telemetry hv) name)
+
+let make_hv () =
+  let m = Machine.create () in
+  (m, Hypervisor.create ~machine:m ())
+
+let test_gate_rejects_and_blocks_install () =
+  let m, hv = make_hv () in
+  let events = ref [] in
+  Hypervisor.set_event_sink hv (fun ~kind detail ->
+      events := (kind, detail) :: !events);
+  let p = Asm.assemble_exn Guest.self_improve_attempt in
+  (match
+     Hypervisor.install_program hv
+       ~vet_policy:Hypervisor.default_vet_policy ~label:"rogue" ~core:0
+       ~code_pages:4 ~data_pages:4 p
+   with
+  | Error r -> Alcotest.check verdict "rejected" Vet.Reject r.Vet.verdict
+  | Ok _ -> Alcotest.fail "malicious guest admitted");
+  (* Nothing was installed: model DRAM still zero at the image start. *)
+  Alcotest.(check int64) "no image in DRAM" 0L
+    (Guillotine_memory.Dram.read (Machine.model_dram m) 0);
+  Alcotest.(check int) "vet.rejected" 1 (counter_value hv "vet.rejected");
+  Alcotest.(check int) "vet.admitted" 0 (counter_value hv "vet.admitted");
+  Alcotest.(check bool) "vet.decision event emitted" true
+    (List.exists (fun (k, _) -> k = "vet.decision") !events);
+  let decisions =
+    Audit.find (Hypervisor.audit hv) (function
+      | Audit.Vet_decision { verdict = "reject"; label = "rogue"; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check int) "audit records the rejection" 1 (List.length decisions)
+
+let test_gate_admits_benign () =
+  let m, hv = make_hv () in
+  let p = Asm.assemble_exn (Guest.compute_loop ~iterations:8) in
+  (match
+     Hypervisor.install_program hv
+       ~vet_policy:Hypervisor.default_vet_policy ~label:"benign" ~core:0
+       ~code_pages:4 ~data_pages:4 p
+   with
+  | Ok (Some r) -> Alcotest.check verdict "admitted" Vet.Admit r.Vet.verdict
+  | Ok None -> Alcotest.fail "expected a report"
+  | Error _ -> Alcotest.fail "benign guest rejected");
+  Alcotest.(check int) "vet.admitted" 1 (counter_value hv "vet.admitted");
+  Alcotest.(check int) "vet.rejected" 0 (counter_value hv "vet.rejected");
+  (* And it actually runs to completion. *)
+  let core = Machine.model_core m 0 in
+  ignore (Core.run core ~fuel:10_000);
+  Alcotest.(check bool) "halted normally" true
+    (Core.halt_reason core = Some Core.Halt_instruction)
+
+let test_gate_advisory_mode () =
+  let _, hv = make_hv () in
+  let advisory = { Hypervisor.default_vet_policy with enforce = false } in
+  let p = Asm.assemble_exn (Guest.timing_probe ~iterations:16) in
+  (match
+     Hypervisor.install_program hv ~vet_policy:advisory ~label:"probe"
+       ~core:0 ~code_pages:4 ~data_pages:4 p
+   with
+  | Ok (Some r) ->
+    Alcotest.check verdict "still reported as reject" Vet.Reject r.Vet.verdict
+  | Ok None -> Alcotest.fail "expected a report"
+  | Error _ -> Alcotest.fail "advisory mode must not block");
+  Alcotest.(check int) "vet.rejected counted" 1
+    (counter_value hv "vet.rejected")
+
+let test_gate_unvetted_passthrough () =
+  let _, hv = make_hv () in
+  let p = Asm.assemble_exn (Guest.compute_loop ~iterations:8) in
+  (match
+     Hypervisor.install_program hv ~core:0 ~code_pages:4 ~data_pages:4 p
+   with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "unvetted install should return Ok None");
+  (* No counters spring into existence for the unvetted path. *)
+  let snapshot = Hypervisor.metrics hv in
+  Alcotest.(check bool) "no vet counters in snapshot" true
+    (List.for_all
+       (fun (name, _) ->
+         not (String.length name >= 4 && String.sub name 0 4 = "vet."))
+       snapshot.Telemetry.values)
+
+let test_gate_warnings_counted () =
+  let _, hv = make_hv () in
+  let e =
+    match Corpus.find "ring-transact" with
+    | Some e -> e
+    | None -> Alcotest.fail "ring-transact missing"
+  in
+  let policy =
+    { Hypervisor.default_vet_policy with extra = e.Corpus.extra }
+  in
+  let p = Asm.assemble_exn e.Corpus.source in
+  (match
+     Hypervisor.install_program hv ~vet_policy:policy ~label:"rings" ~core:0
+       ~code_pages:e.Corpus.code_pages ~data_pages:e.Corpus.data_pages p
+   with
+  | Ok (Some r) ->
+    Alcotest.check verdict "admitted with warnings" Vet.Admit_with_warnings
+      r.Vet.verdict
+  | _ -> Alcotest.fail "expected admission with warnings");
+  Alcotest.(check int) "vet.admitted" 1 (counter_value hv "vet.admitted");
+  Alcotest.(check int) "vet.warnings" 1 (counter_value hv "vet.warnings")
+
+let () =
+  Alcotest.run "vet"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "expected verdicts" `Quick test_corpus_verdicts;
+          Alcotest.test_case "benign: zero errors" `Quick
+            test_benign_zero_errors;
+          Alcotest.test_case "malicious: all reject" `Quick
+            test_malicious_all_reject;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "deterministic" `Quick test_reports_deterministic;
+          Alcotest.test_case "golden report" `Quick test_golden_report;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "in-bounds guests don't fault" `Quick
+            test_admitted_guests_sound;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "jr constant resolves" `Quick
+            test_jr_constant_resolves;
+          Alcotest.test_case "jr unknown widens + warns" `Quick
+            test_jr_unresolved_warns;
+          Alcotest.test_case "interval refinement" `Quick
+            test_interval_refinement_bounds_loop;
+          Alcotest.test_case "doorbell budget boundary" `Quick
+            test_doorbell_budget_boundary;
+        ] );
+      ( "admission gate",
+        [
+          Alcotest.test_case "reject blocks install" `Quick
+            test_gate_rejects_and_blocks_install;
+          Alcotest.test_case "benign admitted + runs" `Quick
+            test_gate_admits_benign;
+          Alcotest.test_case "advisory mode" `Quick test_gate_advisory_mode;
+          Alcotest.test_case "unvetted passthrough" `Quick
+            test_gate_unvetted_passthrough;
+          Alcotest.test_case "warnings counted" `Quick
+            test_gate_warnings_counted;
+        ] );
+    ]
