@@ -4,6 +4,9 @@
      dune exec bench/main.exe            # all experiments + micro
      dune exec bench/main.exe t1 f4      # a subset
      dune exec bench/main.exe micro      # microbenchmarks only
+     dune exec bench/main.exe perf       # host-perf suite (P1); the
+                                         # CLI flags live on
+                                         # `guillotine bench perf`
 
    Each experiment id corresponds to a row of DESIGN.md's experiment
    index; the output tables are recorded in EXPERIMENTS.md. *)
@@ -25,8 +28,12 @@ let run_one id =
     print_newline ();
     Micro.run ();
     true
+  | None when id = "perf" ->
+    print_newline ();
+    ignore (Guillotine_bench_perf.Perf.run ());
+    true
   | None ->
-    Printf.eprintf "unknown experiment %S; known: %s micro\n" id
+    Printf.eprintf "unknown experiment %S; known: %s micro perf\n" id
       (String.concat " " (List.map fst Experiments.all));
     false
 

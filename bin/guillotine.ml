@@ -12,6 +12,7 @@
      monitor     replay a fault scenario with the observability plane attached
      report      print the incident report for a monitored fault scenario
      vet         statically vet a guest program (or the whole corpus)
+     bench perf  host-perf suite (P1): interpreter throughput + allocation
      demo        containment walkthrough (same story as the example)
 
    Try:  dune exec bin/guillotine.exe -- attacks *)
@@ -754,6 +755,78 @@ let vet_cmd =
     Term.(const run $ file $ guest $ suite $ list_guests $ json $ code_pages
           $ data_pages)
 
+(* ------------------------------ bench ----------------------------- *)
+
+let bench_cmd =
+  let module Perf = Guillotine_bench_perf.Perf in
+  let perf_cmd =
+    let run list_workloads workloads repeat quick json out check tolerance =
+      if list_workloads then
+        List.iter print_endline Perf.workload_names
+      else begin
+        let workloads =
+          match workloads with [] -> Perf.workload_names | ws -> ws
+        in
+        List.iter
+          (fun w ->
+            if not (List.mem w Perf.workload_names) then begin
+              Printf.eprintf "unknown workload %S (try --list)\n" w;
+              exit 2
+            end)
+          workloads;
+        exit (Perf.run ~workloads ~repeat ~quick ~json ?out ?check ~tolerance ())
+      end
+    in
+    let list_workloads =
+      Arg.(value & flag & info [ "list" ] ~doc:"List the pinned workloads.")
+    in
+    let workloads =
+      Arg.(value & opt_all string []
+           & info [ "workload" ] ~docv:"NAME"
+               ~doc:"Run only this workload (repeatable; default: all).")
+    in
+    let repeat =
+      Arg.(value & opt int 3
+           & info [ "repeat" ] ~docv:"N" ~doc:"Best-of-N timing runs.")
+    in
+    let quick =
+      Arg.(value & flag
+           & info [ "quick" ] ~doc:"Reduced iteration counts (CI smoke).")
+    in
+    let json =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit JSON (one object per line) on stdout.")
+    in
+    let out =
+      Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also write the JSON here.")
+    in
+    let check =
+      Arg.(value & opt (some file) None
+           & info [ "check" ] ~docv:"FILE"
+               ~doc:"Fail if throughput regressed beyond --tolerance against \
+                     this committed JSON (e.g. BENCH_PERF.json).")
+    in
+    let tolerance =
+      Arg.(value & opt float 0.30
+           & info [ "tolerance" ] ~docv:"F"
+               ~doc:"Allowed fractional regression for --check (default 0.30).")
+    in
+    Cmd.v
+      (Cmd.info "perf"
+         ~doc:
+           "Run the P1 host-perf suite: interpreter throughput \
+            (fast path vs the GUILLOTINE_NO_PREDECODE=1 quantum-1 baseline), \
+            per-instruction minor-heap allocation, covert-channel and \
+            fault-storm end-to-end rates.  Simulated results are identical \
+            in every mode; only host time varies.")
+      Term.(const run $ list_workloads $ workloads $ repeat $ quick $ json
+            $ out $ check $ tolerance)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Host-performance bench suites.")
+    [ perf_cmd ]
+
 (* ------------------------------- demo ----------------------------- *)
 
 let demo_cmd =
@@ -787,5 +860,6 @@ let () =
             monitor_cmd;
             report_cmd;
             vet_cmd;
+            bench_cmd;
             demo_cmd;
           ]))

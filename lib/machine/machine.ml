@@ -142,6 +142,18 @@ let run_models t ~quantum =
   Telemetry.incr ~by:retired t.c_retired;
   retired
 
+let run_cores t ~cycles =
+  let retired =
+    Array.fold_left
+      (fun acc core ->
+        match Core.status core with
+        | Core.Running -> acc + Core.run_cycles core ~cycles
+        | Core.Halted _ | Core.Powered_off -> acc)
+      0 t.models
+  in
+  Telemetry.incr ~by:retired t.c_retired;
+  retired
+
 let all_models_quiescent t =
   Array.for_all
     (fun core ->
@@ -188,44 +200,61 @@ let install_program t ~core ~code_pages ~data_pages program =
   Core.set_pc c program.origin;
   Core.resume c
 
-let dma_translate_burst iommu ~dma_addr ~len ~access =
-  (* Validate the whole burst before touching DRAM: partial DMA writes
-     are how a malicious device would smuggle half a payload. *)
-  let rec go i acc =
-    if i = len then Ok (List.rev acc)
-    else begin
-      match
-        Guillotine_memory.Iommu.translate iommu ~addr:(dma_addr + i) ~access
-      with
-      | Ok paddr -> go (i + 1) (paddr :: acc)
-      | Error f ->
-        Error
-          (Format.asprintf "DMA blocked at device address %d: %a" (dma_addr + i)
-             Guillotine_memory.Mmu.pp_fault f)
-    end
+(* Validate the whole burst before touching DRAM: partial DMA writes
+   are how a malicious device would smuggle half a payload.  The scan
+   uses the allocation-free [Iommu.translate_raw] (no per-word [Ok] or
+   list cons); only a faulting burst takes the allocating path, re-running
+   the one bad address through [Iommu.translate] to count the blocked
+   DMA and recover the fault detail. *)
+let dma_validate_burst iommu ~dma_addr ~len ~access =
+  let rec first_fault i =
+    if i = len then -1
+    else if Guillotine_memory.Iommu.translate_raw iommu ~addr:(dma_addr + i) ~access < 0
+    then i
+    else first_fault (i + 1)
   in
-  go 0 []
+  match first_fault 0 with
+  | -1 -> Ok ()
+  | i -> (
+    match Guillotine_memory.Iommu.translate iommu ~addr:(dma_addr + i) ~access with
+    | Ok _ -> assert false (* the raw scan just faulted here *)
+    | Error f ->
+      Error
+        (Format.asprintf "DMA blocked at device address %d: %a" (dma_addr + i)
+           Guillotine_memory.Mmu.pp_fault f))
 
 let dma_write t ~iommu ~dma_addr words =
   match
-    dma_translate_burst iommu ~dma_addr ~len:(Array.length words) ~access:`W
+    dma_validate_burst iommu ~dma_addr ~len:(Array.length words) ~access:`W
   with
   | Error _ as e ->
     Telemetry.incr t.c_dma_blocked;
     e
-  | Ok paddrs ->
-    List.iteri (fun i paddr -> Dram.write t.model_dram paddr words.(i)) paddrs;
+  | Ok () ->
+    Array.iteri
+      (fun i w ->
+        let paddr =
+          Guillotine_memory.Iommu.translate_raw iommu ~addr:(dma_addr + i) ~access:`W
+        in
+        Dram.write t.model_dram paddr w)
+      words;
     Telemetry.incr t.c_dma_ok;
     Ok ()
 
 let dma_read t ~iommu ~dma_addr ~len =
-  match dma_translate_burst iommu ~dma_addr ~len ~access:`R with
+  match dma_validate_burst iommu ~dma_addr ~len ~access:`R with
   | Error _ as e ->
     Telemetry.incr t.c_dma_blocked;
     e
-  | Ok paddrs ->
+  | Ok () ->
     Telemetry.incr t.c_dma_ok;
-    Ok (Array.of_list (List.map (fun paddr -> Dram.read t.model_dram paddr) paddrs))
+    Ok
+      (Array.init len (fun i ->
+           let paddr =
+             Guillotine_memory.Iommu.translate_raw iommu ~addr:(dma_addr + i)
+               ~access:`R
+           in
+           Dram.read t.model_dram paddr))
 
 exception Inspection_denied of string
 

@@ -78,6 +78,14 @@ val run_models : t -> quantum:int -> int
     [quantum] instructions.  Returns total instructions retired this
     round. *)
 
+val run_cores : t -> cycles:int -> int
+(** Cycle-quantum variant of {!run_models}: each running model core
+    advances by at least [cycles] simulated cycles
+    ({!Core.run_cycles}).  Returns total instructions retired.  Paired
+    with {!Guillotine_sim.Engine.every_batch} this lets a driver consult
+    the event heap once per time quantum instead of once per
+    instruction. *)
+
 val all_models_quiescent : t -> bool
 (** No model core is in [Running] state. *)
 

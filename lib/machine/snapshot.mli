@@ -25,7 +25,14 @@ val restore : Machine.t -> t -> unit
     are left paused ([Forced_pause]); the caller resumes them when
     ready.  Raises [Invalid_argument] if the machine's shape (core
     count, DRAM size) differs from the snapshot's, and
-    {!Machine.Inspection_denied} if the machine is not quiescent. *)
+    {!Machine.Inspection_denied} if the machine is not quiescent.
+
+    Restoring rewrites every model-DRAM word through {!Dram.write}, so
+    it necessarily bumps {!Dram.generation}: any instruction a core
+    predecoded on the abandoned timeline is revalidated before it can
+    execute again (the restored-then-patched regression in
+    [test_perf_equiv] pins this), and microarchitectural state is
+    cleared per core as before. *)
 
 val digest_hex : t -> string
 (** SHA-256 over the captured state — a checkpoint identity suitable

@@ -18,12 +18,17 @@ type t = {
   cfg : config;
   next : t option;
   ways : way array array; (* [set].[way] *)
+  line_shift : int; (* log2 line_words: per-access math without div *)
+  set_mask : int;   (* sets - 1 *)
+  sets_shift : int; (* log2 sets *)
   mutable clock : int;    (* LRU timestamp source *)
   mutable hits : int;
   mutable misses : int;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
 
 let create ~name cfg ~next =
   if not (is_power_of_two cfg.line_words && is_power_of_two cfg.sets) then
@@ -36,6 +41,9 @@ let create ~name cfg ~next =
     ways =
       Array.init cfg.sets (fun _ ->
           Array.init cfg.ways (fun _ -> { tag = -1; stamp = 0 }));
+    line_shift = log2 cfg.line_words;
+    set_mask = cfg.sets - 1;
+    sets_shift = log2 cfg.sets;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -44,33 +52,45 @@ let create ~name cfg ~next =
 let name t = t.name
 let config t = t.cfg
 
-let line_of_addr t addr = addr / t.cfg.line_words
-let set_of_addr t addr = line_of_addr t addr land (t.cfg.sets - 1)
-let tag_of_addr t addr = line_of_addr t addr / t.cfg.sets
+let line_of_addr t addr = addr lsr t.line_shift
+let set_of_addr t addr = line_of_addr t addr land t.set_mask
+let tag_of_addr t addr = line_of_addr t addr lsr t.sets_shift
+
+(* First way holding [tag], or -1.  Top-level recursion (not a local
+   closure, which the non-flambda compiler would heap-allocate per call)
+   so the per-access walk allocates nothing — this runs on every
+   simulated fetch and load. *)
+let rec find_way_from ways n tag i =
+  if i >= n then -1
+  else if (Array.unsafe_get ways i).tag = tag then i
+  else find_way_from ways n tag (i + 1)
 
 let find_way t set tag =
   let ways = t.ways.(set) in
-  let found = ref None in
-  Array.iteri (fun i w -> if w.tag = tag && !found = None then found := Some i) ways;
-  !found
+  find_way_from ways (Array.length ways) tag 0
 
 let rec access t ~addr =
   let set = set_of_addr t addr in
   let tag = tag_of_addr t addr in
   t.clock <- t.clock + 1;
-  match find_way t set tag with
-  | Some i ->
+  let ways = Array.unsafe_get t.ways set (* set is masked in-bounds *) in
+  let i = find_way_from ways (Array.length ways) tag 0 in
+  if i >= 0 then begin
     t.hits <- t.hits + 1;
-    t.ways.(set).(i).stamp <- t.clock;
+    (Array.unsafe_get ways i).stamp <- t.clock;
     t.cfg.hit_cost
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
     (* Fill: evict the LRU way. *)
-    let ways = t.ways.(set) in
     let victim = ref 0 in
-    Array.iteri (fun i w -> if w.stamp < ways.(!victim).stamp then victim := i) ways;
+    for i = 0 to Array.length ways - 1 do
+      if ways.(i).stamp < ways.(!victim).stamp then victim := i
+    done;
     (* Prefer an invalid way over evicting a valid line. *)
-    Array.iteri (fun i w -> if w.tag = -1 && ways.(!victim).tag <> -1 then victim := i) ways;
+    for i = 0 to Array.length ways - 1 do
+      if ways.(i).tag = -1 && ways.(!victim).tag <> -1 then victim := i
+    done;
     ways.(!victim).tag <- tag;
     ways.(!victim).stamp <- t.clock;
     let below =
@@ -79,18 +99,19 @@ let rec access t ~addr =
       | None -> 0
     in
     t.cfg.hit_cost + t.cfg.miss_cost + below
+  end
 
 let present t ~addr =
   let set = set_of_addr t addr in
-  find_way t set (tag_of_addr t addr) <> None
+  find_way t set (tag_of_addr t addr) >= 0
 
 let rec flush_line t ~addr =
   let set = set_of_addr t addr in
-  (match find_way t set (tag_of_addr t addr) with
-  | Some i ->
+  let i = find_way t set (tag_of_addr t addr) in
+  if i >= 0 then begin
     t.ways.(set).(i).tag <- -1;
     t.ways.(set).(i).stamp <- 0
-  | None -> ());
+  end;
   match t.next with
   | Some lower -> flush_line lower ~addr
   | None -> ()

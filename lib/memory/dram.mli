@@ -22,6 +22,20 @@ val size : t -> int
 val read : t -> int -> int64
 val write : t -> int -> int64 -> unit
 
+val generation : t -> int
+(** Monotonic write generation: bumped by every mutation of the array —
+    {!write} (and {!write_int}), {!flip_bit}, {!load_words} /
+    {!load_program}, and {!fill}.  [Snapshot.restore] rewrites every
+    word through {!write}, so a restore always lands on a fresh
+    generation.  Reads never bump it.
+
+    Consumers that memoise anything derived from DRAM contents (the
+    core's predecode cache, notably) compare the generation they cached
+    under against the current one and revalidate on mismatch; this makes
+    self-modifying guests, fault-injected bit flips, and model-guard
+    rollbacks correct by construction rather than by invalidation
+    callbacks. *)
+
 val read_int : t -> int -> int
 (** Truncating convenience for data values. *)
 

@@ -18,6 +18,9 @@ let translate t ~addr ~access =
     t.blocked <- t.blocked + 1;
     e
 
+let translate_raw t ~addr ~access =
+  Mmu.translate_raw t.mmu ~addr ~access:(access :> [ `R | `W | `X ])
+
 let blocked_dmas t = t.blocked
 
 let windows t =

@@ -27,6 +27,13 @@ val translate : t -> addr:int -> access:[ `R | `W ] -> (int, Mmu.fault) result
 (** Translate a device-visible DMA address; a miss or a write through a
     read-only window counts as a blocked DMA. *)
 
+val translate_raw : t -> addr:int -> access:[ `R | `W ] -> int
+(** Allocation-free {!translate} for burst validation: the physical
+    word address, or a negative value on any fault.  A pure query — it
+    does {e not} count toward {!blocked_dmas}; callers that want the
+    blocked-DMA evidence trail re-run the faulting address through
+    {!translate}, which also recovers the fault detail. *)
+
 val blocked_dmas : t -> int
 (** Faults since creation — the tamper signal. *)
 

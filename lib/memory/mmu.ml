@@ -17,28 +17,53 @@ let pp_fault ppf = function
 
 type pte = { frame : int; perm : perm }
 
+(* Direct-mapped PTE memo in front of the hash table for the
+   per-instruction translation path.  Entries are validated against
+   [gen], which every table mutation bumps, so a stale mapping can never
+   be served.  Parallel int arrays: no records, no boxing. *)
+let memo_slots = 64
+
+let memo_mask = memo_slots - 1
+
 type t = {
   page_size : int;
+  page_shift : int; (* log2 page_size: page math without div *)
+  page_mask : int;  (* page_size - 1 *)
   table : (int, pte) Hashtbl.t;
   mutable lock : bool;
   locked_vpages : (int, unit) Hashtbl.t; (* executable pages at lock time *)
   locked_frames : (int, unit) Hashtbl.t; (* their backing frames *)
+  mutable gen : int; (* bumped on any table mutation *)
+  memo_vpage : int array; (* -1 = empty *)
+  memo_frame : int array;
+  memo_perm : int array; (* bit 0 = r, 1 = w, 2 = x *)
+  memo_gen : int array;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
 
 let create ?(page_size = 256) () =
   if not (is_power_of_two page_size) then
     invalid_arg "Mmu.create: page_size must be a power of two";
   {
     page_size;
+    page_shift = log2 page_size;
+    page_mask = page_size - 1;
     table = Hashtbl.create 64;
     lock = false;
     locked_vpages = Hashtbl.create 8;
     locked_frames = Hashtbl.create 8;
+    gen = 0;
+    memo_vpage = Array.make memo_slots (-1);
+    memo_frame = Array.make memo_slots 0;
+    memo_perm = Array.make memo_slots 0;
+    memo_gen = Array.make memo_slots 0;
   }
 
 let page_size t = t.page_size
+let page_shift t = t.page_shift
 let locked t = t.lock
 
 let lock_check_install t ~vpage ~frame (perm : perm) =
@@ -54,12 +79,15 @@ let lock_check_install t ~vpage ~frame (perm : perm) =
          (Printf.sprintf "cannot map writable alias of locked executable frame %d" frame))
   else Ok ()
 
+let invalidate_memo t = t.gen <- t.gen + 1
+
 let map t ~vpage ~frame perm =
   if vpage < 0 || frame < 0 then invalid_arg "Mmu.map: negative page or frame";
   match lock_check_install t ~vpage ~frame perm with
   | Error _ as e -> e
   | Ok () ->
     Hashtbl.replace t.table vpage { frame; perm };
+    invalidate_memo t;
     Ok ()
 
 let unmap t ~vpage =
@@ -67,6 +95,7 @@ let unmap t ~vpage =
     Error (Lock_violation (Printf.sprintf "cannot unmap locked executable page %d" vpage))
   else begin
     Hashtbl.remove t.table vpage;
+    invalidate_memo t;
     Ok ()
   end
 
@@ -78,6 +107,7 @@ let protect t ~vpage perm =
     | Error _ as e -> e
     | Ok () ->
       Hashtbl.replace t.table vpage { pte with perm };
+      invalidate_memo t;
       Ok ())
 
 let translate t ~addr ~access =
@@ -98,6 +128,41 @@ let translate t ~addr ~access =
       else Error (Perm_denied addr)
   end
 
+let perm_bits (p : perm) =
+  (if p.r then 1 else 0) lor (if p.w then 2 else 0) lor if p.x then 4 else 0
+
+let access_bit = function `R -> 1 | `W -> 2 | `X -> 4
+
+(* Hot-path translation: same decision procedure as [translate], but the
+   result is a bare int (negative = fault) so the per-instruction
+   fetch/load/store path allocates no [Ok]/[Error]/[Some] boxes, and the
+   common case is served from the direct-mapped memo (two array reads
+   and a generation compare) instead of a hash lookup.  Unmapped pages
+   are never memoized: fault paths re-walk the table, which keeps the
+   memo entries homogeneous (present mappings only). *)
+let translate_raw t ~addr ~access =
+  if addr < 0 then -1
+  else begin
+    let vpage = addr lsr t.page_shift in
+    let slot = vpage land memo_mask in
+    if t.memo_vpage.(slot) = vpage && t.memo_gen.(slot) = t.gen then
+      if t.memo_perm.(slot) land access_bit access <> 0 then
+        (t.memo_frame.(slot) lsl t.page_shift) lor (addr land t.page_mask)
+      else -1
+    else begin
+      match Hashtbl.find t.table vpage with
+      | exception Not_found -> -1
+      | pte ->
+        t.memo_vpage.(slot) <- vpage;
+        t.memo_gen.(slot) <- t.gen;
+        t.memo_frame.(slot) <- pte.frame;
+        t.memo_perm.(slot) <- perm_bits pte.perm;
+        if perm_bits pte.perm land access_bit access <> 0 then
+          (pte.frame lsl t.page_shift) lor (addr land t.page_mask)
+        else -1
+    end
+  end
+
 let lookup t ~vpage =
   match Hashtbl.find_opt t.table vpage with
   | None -> None
@@ -106,6 +171,7 @@ let lookup t ~vpage =
 let lock_executable t =
   if not t.lock then begin
     t.lock <- true;
+    invalidate_memo t;
     Hashtbl.iter
       (fun vpage pte ->
         if pte.perm.x then begin

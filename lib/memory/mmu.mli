@@ -41,6 +41,10 @@ val create : ?page_size:int -> unit -> t
 
 val page_size : t -> int
 
+val page_shift : t -> int
+(** [log2 (page_size t)] — lets per-instruction callers compute page
+    numbers with a shift instead of a division. *)
+
 val map : t -> vpage:int -> frame:int -> perm -> (unit, fault) result
 (** Install or replace a PTE.  Subject to lock rules. *)
 
@@ -51,6 +55,16 @@ val protect : t -> vpage:int -> perm -> (unit, fault) result
 
 val translate : t -> addr:int -> access:[ `R | `W | `X ] -> (int, fault) result
 (** Virtual word address to physical word address. *)
+
+val translate_raw : t -> addr:int -> access:[ `R | `W | `X ] -> int
+(** Allocation-free {!translate} for the interpreter's per-instruction
+    path: the physical word address, or a negative value on any fault
+    (the fault detail is recoverable by calling {!translate} — the
+    interpreter only needs "page fault at this vaddr").  Served from a
+    small direct-mapped PTE memo validated against an internal
+    generation counter that every {!map}/{!unmap}/{!protect}/
+    {!lock_executable} bumps, so the decision is always identical to
+    {!translate}'s. *)
 
 val lookup : t -> vpage:int -> (int * perm) option
 

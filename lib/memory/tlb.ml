@@ -20,34 +20,41 @@ let create ?(entries = 64) ?(hit_cost = 1) ?(walk_cost = 20) () =
     misses = 0;
   }
 
-let find t vpage =
-  let found = ref None in
-  Array.iteri
-    (fun i e -> if e.vpage = vpage && !found = None then found := Some i)
-    t.entries;
-  !found
+(* First matching index, or -1.  Top-level recursion (not a local [go]
+   closure, which the non-flambda compiler would heap-allocate per call)
+   so the per-fetch lookup allocates nothing. *)
+let rec find_from entries n vpage i =
+  if i >= n then -1
+  else if (Array.unsafe_get entries i).vpage = vpage then i
+  else find_from entries n vpage (i + 1)
+
+let find t vpage = find_from t.entries (Array.length t.entries) vpage 0
 
 let lookup t ~vpage =
   t.clock <- t.clock + 1;
-  match find t vpage with
-  | Some i ->
+  let i = find t vpage in
+  if i >= 0 then begin
     t.hits <- t.hits + 1;
-    t.entries.(i).stamp <- t.clock;
+    (Array.unsafe_get t.entries i).stamp <- t.clock;
     t.hit_cost
-  | None ->
+  end
+  else begin
     t.misses <- t.misses + 1;
+    (* Victim: LRU (first minimum stamp), but prefer an invalid entry
+       over evicting a valid one — same policy, loop form. *)
     let victim = ref 0 in
-    Array.iteri
-      (fun i e -> if e.stamp < t.entries.(!victim).stamp then victim := i)
-      t.entries;
-    Array.iteri
-      (fun i e -> if e.vpage = -1 && t.entries.(!victim).vpage <> -1 then victim := i)
-      t.entries;
+    for i = 0 to Array.length t.entries - 1 do
+      if t.entries.(i).stamp < t.entries.(!victim).stamp then victim := i
+    done;
+    for i = 0 to Array.length t.entries - 1 do
+      if t.entries.(i).vpage = -1 && t.entries.(!victim).vpage <> -1 then victim := i
+    done;
     t.entries.(!victim).vpage <- vpage;
     t.entries.(!victim).stamp <- t.clock;
     t.hit_cost + t.walk_cost
+  end
 
-let present t ~vpage = find t vpage <> None
+let present t ~vpage = find t vpage >= 0
 
 let invalidate t ~vpage =
   Array.iter

@@ -15,6 +15,38 @@ type halt_reason =
 
 type status = Running | Halted of halt_reason | Powered_off
 
+(* ------------------------------------------------------------------ *)
+(* Predecode fast path                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The interpreter memoises [Encoding.decode] in a per-core
+   direct-mapped paddr-indexed table so a static instruction is decoded
+   once, not once per cycle.  Correctness is generation-driven: every
+   entry records the DRAM write generation it was filled under
+   (see {!Guillotine_memory.Dram.generation}); a fetch that observes a
+   newer generation revalidates the entry against the word it just
+   fetched anyway (the fetch still goes through the cache hierarchy
+   every cycle for the timing model), so self-modifying guests,
+   fault-injected bit flips, and snapshot rollbacks can never execute a
+   stale decode.  The fast path is simulated-cycle-invisible: only host
+   time changes.
+
+   GUILLOTINE_NO_PREDECODE=1 (or any value other than empty/"0") forces
+   the always-decode slow path — the escape hatch the equivalence tests
+   and the perf baseline measurements use. *)
+
+let predecode_default =
+  match Sys.getenv_opt "GUILLOTINE_NO_PREDECODE" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
+let predecode_enabled_flag = ref predecode_default
+let set_predecode enabled = predecode_enabled_flag := enabled
+let predecode_enabled () = !predecode_enabled_flag
+
+let pd_slots = 4096 (* direct-mapped; must be a power of two *)
+let pd_mask = pd_slots - 1
+
 type t = {
   id : int;
   kind : kind;
@@ -34,7 +66,7 @@ type t = {
   mutable in_handler : bool;
   pending_irqs : int Queue.t; (* vector indices *)
   mutable irq_sink : (line:int -> unit) option;
-  mutable retire_hooks : (pc:int -> Isa.instr -> unit) list; (* reversed *)
+  mutable retire_hooks : (pc:int -> Isa.instr -> unit) list; (* in call order *)
   mutable trapped : bool; (* set when the current instruction delivers an exception *)
   mutable timer_interval : int; (* 0 = disabled *)
   mutable timer_deadline : int; (* cycle count of the next tick *)
@@ -42,6 +74,15 @@ type t = {
   mutable traps : int; (* exceptions delivered (handled or halting) *)
   mutable irqs_delivered : int;
   mutable microarch_clears : int;
+  (* Predecode table (parallel arrays to keep entries unboxed-ish and
+     the lookup free of record allocation). [pd_paddr.(slot) = -1] marks
+     an empty slot. *)
+  pd_paddr : int array;
+  pd_gen : int array;
+  pd_word : int64 array;
+  pd_instr : Isa.instr array;
+  mutable pd_hits : int;
+  mutable pd_fills : int;
 }
 
 (* Trap ABI register assignments. *)
@@ -76,6 +117,12 @@ let create ~id ~kind ~hierarchy ?tlb ?bpred ?mmu () =
     traps = 0;
     irqs_delivered = 0;
     microarch_clears = 0;
+    pd_paddr = Array.make pd_slots (-1);
+    pd_gen = Array.make pd_slots 0;
+    pd_word = Array.make pd_slots 0L;
+    pd_instr = Array.make pd_slots Isa.Nop;
+    pd_hits = 0;
+    pd_fills = 0;
   }
 
 let id t = t.id
@@ -88,9 +135,14 @@ let instructions_retired t = t.instret
 let traps_taken t = t.traps
 let interrupts_delivered t = t.irqs_delivered
 let microarch_clears t = t.microarch_clears
+let predecode_stats t = (t.pd_hits, t.pd_fills)
 
 let set_irq_sink t f = t.irq_sink <- Some f
-let add_retire_hook t f = t.retire_hooks <- f :: t.retire_hooks
+
+(* Hooks are stored in call (registration) order so the retire path can
+   iterate directly instead of List.rev-ing per retired instruction.
+   Registration is rare; retirement is every instruction. *)
+let add_retire_hook t f = t.retire_hooks <- t.retire_hooks @ [ f ]
 let set_retire_hook t f = add_retire_hook t (fun ~pc:_ instr -> f instr)
 
 let cause_code = function
@@ -109,12 +161,13 @@ let bad_addr_of = function
    the slot is unmapped or zero. *)
 let vector_entry t slot =
   let vaddr = Isa.vector_base + slot in
-  match Mmu.translate t.mmu ~addr:vaddr ~access:`R with
-  | Error _ -> None
-  | Ok paddr ->
-    let v, cost = Hierarchy.read t.hierarchy ~addr:paddr in
-    t.cycles <- t.cycles + cost;
+  let paddr = Mmu.translate_raw t.mmu ~addr:vaddr ~access:`R in
+  if paddr < 0 then None
+  else begin
+    let v = Hierarchy.read_value t.hierarchy ~addr:paddr in
+    t.cycles <- t.cycles + Hierarchy.read_cost t.hierarchy;
     if v = 0L then None else Some (Int64.to_int v)
+  end
 
 (* Deliver an exception to the core-local vector, or halt.  A fault
    raised while already in a handler is a double fault: halt. *)
@@ -150,18 +203,27 @@ let set_timer t ~interval =
   t.timer_interval <- interval;
   t.timer_deadline <- t.cycles + interval
 
-(* Translate + charge TLB and cache costs for a data access.  Returns
-   the physical address or delivers a page fault and returns None. *)
-let translate_data t ~vaddr ~access =
-  let vpage = vaddr / Mmu.page_size t.mmu in
-  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
-  match Mmu.translate t.mmu ~addr:vaddr ~access with
-  | Ok paddr -> Some paddr
-  | Error _ ->
-    deliver_exception t (Isa.Page_fault vaddr);
-    None
+(* Page number for TLB indexing.  The shift is only equivalent to the
+   legacy division for non-negative addresses; a guest-computed negative
+   address must keep round-toward-zero semantics so TLB occupancy stays
+   byte-identical to the legacy interpreter. *)
+let vpage_of t addr =
+  if addr >= 0 then addr lsr Mmu.page_shift t.mmu else addr / Mmu.page_size t.mmu
 
-let reg_value t r = t.regs.(r)
+(* Translate + charge TLB and cache costs for a data access.  Returns
+   the physical address, or delivers a page fault and returns a negative
+   value.  Int-coded (not an option) so the per-instruction load/store
+   path allocates nothing. *)
+let translate_data t ~vaddr ~access =
+  let vpage = vpage_of t vaddr in
+  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+  let paddr = Mmu.translate_raw t.mmu ~addr:vaddr ~access in
+  if paddr < 0 then deliver_exception t (Isa.Page_fault vaddr);
+  paddr
+
+(* Register indices come from decoded 4-bit fields and [num_regs] is 16,
+   so they are in bounds by construction. *)
+let reg_value t r = Array.unsafe_get t.regs r
 
 let set_speculation_depth t depth =
   if depth < 0 then invalid_arg "Core.set_speculation_depth: negative";
@@ -181,11 +243,12 @@ let transient_walk t ~start_pc =
   let steps = ref 0 in
   while !continue && !steps < t.spec_depth do
     incr steps;
-    match Mmu.translate t.mmu ~addr:!pc ~access:`X with
-    | Error _ -> continue := false
-    | Ok paddr -> (
-      (* The transient fetch warms the cache like a real one. *)
-      let word, _ = Hierarchy.read t.hierarchy ~addr:paddr in
+    let paddr = Mmu.translate_raw t.mmu ~addr:!pc ~access:`X in
+    if paddr < 0 then continue := false
+    else begin
+      (* The transient fetch warms the cache like a real one (cost
+         discarded: transient work is not architecturally charged). *)
+      let word = Hierarchy.read_value t.hierarchy ~addr:paddr in
       match Encoding.decode word with
       | None -> continue := false
       | Some instr -> (
@@ -224,19 +287,19 @@ let transient_walk t ~start_pc =
               | _ -> Int64.rem shadow.(a) shadow.(b));
             incr pc
           end
-        | Load (rd, rs, off) -> (
+        | Load (rd, rs, off) ->
           let vaddr = Int64.to_int shadow.(rs) + off in
-          match Mmu.translate t.mmu ~addr:vaddr ~access:`R with
-          | Error _ ->
+          let lpaddr = Mmu.translate_raw t.mmu ~addr:vaddr ~access:`R in
+          if lpaddr < 0 then
             (* Transient faults are suppressed — and crucially, a fault
                means NO cache touch: an unmapped secret cannot leak. *)
             continue := false
-          | Ok paddr ->
+          else begin
             (* THE leak: the transient load moves a line whose address
                depends on transient data. *)
-            let v, _ = Hierarchy.read t.hierarchy ~addr:paddr in
-            shadow.(rd) <- v;
-            incr pc)
+            shadow.(rd) <- Hierarchy.read_value t.hierarchy ~addr:lpaddr;
+            incr pc
+          end
         | Store _ ->
           (* Stores never commit transiently (no store buffer model). *)
           incr pc
@@ -248,10 +311,13 @@ let transient_walk t ~start_pc =
           incr pc
         | Halt | Jmp _ | Jr _ | Jal _ | Beq _ | Bne _ | Blt _ | Bge _ | Irq _
         | Iret | Mtepc _ | Clflush _ ->
-          continue := false))
+          continue := false)
+    end
   done
 
 let watch_data_hit t vaddr =
+  Hashtbl.length t.data_watch > 0
+  &&
   if Hashtbl.mem t.data_watch vaddr then
     if t.skip_watch_at = Some vaddr then begin
       t.skip_watch_at <- None;
@@ -260,93 +326,96 @@ let watch_data_hit t vaddr =
     else true
   else false
 
+(* Per-instruction helpers live at top level: defining them inside
+   [execute] would allocate their closures on every call, and [execute]
+   is the allocation-free hot path. *)
+let next t = t.pc <- t.pc + 1
+
+let alu3 t rd a b f =
+  Array.unsafe_set t.regs rd (f (reg_value t a) (reg_value t b));
+  t.cycles <- t.cycles + 1;
+  next t
+
+let branch t rs1 rs2 target cmp =
+  let taken = cmp (reg_value t rs1) (reg_value t rs2) in
+  let predicted = Bpred.predict t.bpred ~pc:t.pc in
+  t.cycles <- t.cycles + Bpred.predict_and_update t.bpred ~pc:t.pc ~taken;
+  (* On a mispredict the frontend has already run down the predicted
+     path; replay that window transiently before the squash. *)
+  if predicted <> taken && t.spec_depth > 0 then begin
+    let wrong_path = if predicted then target else t.pc + 1 in
+    transient_walk t ~start_pc:wrong_path
+  end;
+  if taken then t.pc <- target else next t
+
 (* Execute one decoded instruction.  [t.pc] still points at it; we
    advance pc here.  Returns unit; faults divert control flow. *)
 let execute t instr =
   let open Isa in
-  let next () = t.pc <- t.pc + 1 in
-  let alu3 rd a b f =
-    t.regs.(rd) <- f (reg_value t a) (reg_value t b);
-    t.cycles <- t.cycles + 1;
-    next ()
-  in
-  let branch rs1 rs2 target cmp =
-    let taken = cmp (reg_value t rs1) (reg_value t rs2) in
-    let predicted = Bpred.predict t.bpred ~pc:t.pc in
-    t.cycles <- t.cycles + Bpred.predict_and_update t.bpred ~pc:t.pc ~taken;
-    (* On a mispredict the frontend has already run down the predicted
-       path; replay that window transiently before the squash. *)
-    if predicted <> taken && t.spec_depth > 0 then begin
-      let wrong_path = if predicted then target else t.pc + 1 in
-      transient_walk t ~start_pc:wrong_path
-    end;
-    if taken then t.pc <- target else next ()
-  in
   match instr with
   | Nop ->
     t.cycles <- t.cycles + 1;
-    next ()
+    next t
   | Halt -> t.status <- Halted Halt_instruction
   | Movi (rd, v) ->
     t.regs.(rd) <- Int64.of_int v;
     t.cycles <- t.cycles + 1;
-    next ()
+    next t
   | Movhi (rd, v) ->
     t.regs.(rd) <-
       Int64.logor t.regs.(rd) (Int64.shift_left (Int64.of_int v) 32);
     t.cycles <- t.cycles + 1;
-    next ()
+    next t
   | Mov (rd, rs) ->
     t.regs.(rd) <- reg_value t rs;
     t.cycles <- t.cycles + 1;
-    next ()
-  | Add (rd, a, b) -> alu3 rd a b Int64.add
-  | Sub (rd, a, b) -> alu3 rd a b Int64.sub
+    next t
+  | Add (rd, a, b) -> alu3 t rd a b Int64.add
+  | Sub (rd, a, b) -> alu3 t rd a b Int64.sub
   | Mul (rd, a, b) ->
     t.cycles <- t.cycles + 2; (* multipliers are slower *)
-    alu3 rd a b Int64.mul
+    alu3 t rd a b Int64.mul
   | Div (rd, a, b) ->
     if reg_value t b = 0L then deliver_exception t Div_by_zero
     else begin
       t.cycles <- t.cycles + 10;
-      alu3 rd a b Int64.div
+      alu3 t rd a b Int64.div
     end
   | Rem (rd, a, b) ->
     if reg_value t b = 0L then deliver_exception t Div_by_zero
     else begin
       t.cycles <- t.cycles + 10;
-      alu3 rd a b Int64.rem
+      alu3 t rd a b Int64.rem
     end
-  | And_ (rd, a, b) -> alu3 rd a b Int64.logand
-  | Or_ (rd, a, b) -> alu3 rd a b Int64.logor
-  | Xor_ (rd, a, b) -> alu3 rd a b Int64.logxor
+  | And_ (rd, a, b) -> alu3 t rd a b Int64.logand
+  | Or_ (rd, a, b) -> alu3 t rd a b Int64.logor
+  | Xor_ (rd, a, b) -> alu3 t rd a b Int64.logxor
   | Shl (rd, a, b) ->
-    alu3 rd a b (fun x y -> Int64.shift_left x (Int64.to_int y land 63))
+    alu3 t rd a b (fun x y -> Int64.shift_left x (Int64.to_int y land 63))
   | Shr (rd, a, b) ->
-    alu3 rd a b (fun x y -> Int64.shift_right_logical x (Int64.to_int y land 63))
-  | Load (rd, rs, off) -> (
+    alu3 t rd a b (fun x y -> Int64.shift_right_logical x (Int64.to_int y land 63))
+  | Load (rd, rs, off) ->
     let vaddr = Int64.to_int (reg_value t rs) + off in
     if watch_data_hit t vaddr then t.status <- Halted (Watchpoint vaddr)
     else begin
-      match translate_data t ~vaddr ~access:`R with
-      | None -> ()
-      | Some paddr ->
-        let v, cost = Hierarchy.read t.hierarchy ~addr:paddr in
-        t.regs.(rd) <- v;
-        t.cycles <- t.cycles + cost;
-        next ()
-    end)
-  | Store (rd, rs, off) -> (
+      let paddr = translate_data t ~vaddr ~access:`R in
+      if paddr >= 0 then begin
+        t.regs.(rd) <- Hierarchy.read_value t.hierarchy ~addr:paddr;
+        t.cycles <- t.cycles + Hierarchy.read_cost t.hierarchy;
+        next t
+      end
+    end
+  | Store (rd, rs, off) ->
     let vaddr = Int64.to_int (reg_value t rd) + off in
     if watch_data_hit t vaddr then t.status <- Halted (Watchpoint vaddr)
     else begin
-      match translate_data t ~vaddr ~access:`W with
-      | None -> ()
-      | Some paddr ->
+      let paddr = translate_data t ~vaddr ~access:`W in
+      if paddr >= 0 then begin
         let cost = Hierarchy.write t.hierarchy ~addr:paddr (reg_value t rs) in
         t.cycles <- t.cycles + cost;
-        next ()
-    end)
+        next t
+      end
+    end
   | Jmp a ->
     t.cycles <- t.cycles + 1;
     t.pc <- a
@@ -357,17 +426,17 @@ let execute t instr =
     t.regs.(rd) <- Int64.of_int (t.pc + 1);
     t.cycles <- t.cycles + 1;
     t.pc <- a
-  | Beq (a, b, tgt) -> branch a b tgt (fun x y -> Int64.equal x y)
-  | Bne (a, b, tgt) -> branch a b tgt (fun x y -> not (Int64.equal x y))
-  | Blt (a, b, tgt) -> branch a b tgt (fun x y -> Int64.compare x y < 0)
-  | Bge (a, b, tgt) -> branch a b tgt (fun x y -> Int64.compare x y >= 0)
+  | Beq (a, b, tgt) -> branch t a b tgt (fun x y -> Int64.equal x y)
+  | Bne (a, b, tgt) -> branch t a b tgt (fun x y -> not (Int64.equal x y))
+  | Blt (a, b, tgt) -> branch t a b tgt (fun x y -> Int64.compare x y < 0)
+  | Bge (a, b, tgt) -> branch t a b tgt (fun x y -> Int64.compare x y >= 0)
   | Irq line -> (
     match t.irq_sink with
     | None -> deliver_exception t Bad_instruction
     | Some sink ->
       t.cycles <- t.cycles + 5;
       sink ~line;
-      next ())
+      next t)
   | Iret ->
     if not t.in_handler then deliver_exception t Bad_instruction
     else begin
@@ -378,32 +447,36 @@ let execute t instr =
   | Rdcycle rd ->
     t.regs.(rd) <- Int64.of_int t.cycles;
     t.cycles <- t.cycles + 1;
-    next ()
+    next t
   | Mfepc rd ->
     (* Only meaningful inside a handler, but harmless elsewhere. *)
     t.regs.(rd) <- Int64.of_int t.epc;
     t.cycles <- t.cycles + 1;
-    next ()
+    next t
   | Mtepc rs ->
     if not t.in_handler then deliver_exception t Bad_instruction
     else begin
       t.epc <- Int64.to_int (reg_value t rs);
       t.cycles <- t.cycles + 1;
-      next ()
+      next t
     end
-  | Clflush (rs, off) -> (
+  | Clflush (rs, off) ->
     let vaddr = Int64.to_int (reg_value t rs) + off in
-    match translate_data t ~vaddr ~access:`R with
-    | None -> ()
-    | Some paddr ->
+    let paddr = translate_data t ~vaddr ~access:`R in
+    if paddr >= 0 then begin
       Hierarchy.flush_line t.hierarchy ~addr:paddr;
       t.cycles <- t.cycles + 20;
-      next ())
+      next t
+    end
   | Fence ->
     t.cycles <- t.cycles + 15;
-    next ()
+    next t
 
 let code_watch_hit t =
+  (* [Hashtbl.length] is a field read: with no watchpoints armed (the
+     overwhelmingly common case) the per-fetch check costs no hashing. *)
+  Hashtbl.length t.code_watch > 0
+  &&
   if Hashtbl.mem t.code_watch t.pc then
     if t.skip_watch_at = Some t.pc then begin
       t.skip_watch_at <- None;
@@ -412,30 +485,93 @@ let code_watch_hit t =
     else true
   else false
 
-let fetch_and_execute t =
-  (* Code watchpoint: trap before fetch. *)
-  if code_watch_hit t then t.status <- Halted (Watchpoint t.pc)
+(* Execute a decoded instruction and account its retirement.  Shared by
+   the predecode hit and miss paths. *)
+let execute_and_retire t instr =
+  let retired_pc = t.pc in
+  t.trapped <- false;
+  execute t instr;
+  (* A trapping instruction does not retire: it neither counts nor
+     reaches the trace port (its handler's instructions will). *)
+  if not t.trapped then begin
+    t.instret <- t.instret + 1;
+    match t.retire_hooks with
+    | [] -> ()
+    | hooks -> List.iter (fun hook -> hook ~pc:retired_pc instr) hooks
+  end
+
+(* Predecode lookup for the word just fetched from [paddr].  A slot hits
+   when it was filled for this paddr AND either (a) no DRAM write has
+   happened since it was last validated (generation match) or (b) the
+   freshly fetched word is unchanged — in which case the entry is
+   re-stamped with the current generation so subsequent fetches take the
+   pure generation fast path again. *)
+let predecode_hit t slot paddr word gen =
+  t.pd_paddr.(slot) = paddr
+  && (t.pd_gen.(slot) = gen
+     ||
+     if Int64.equal t.pd_word.(slot) word then begin
+       t.pd_gen.(slot) <- gen;
+       true
+     end
+     else false)
+
+(* The fast fetch path: non-allocating translate, non-allocating
+   hierarchy read, predecoded instruction on hit. *)
+let fetch_and_execute_fast t =
+  let vpage = vpage_of t t.pc in
+  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+  let paddr = Mmu.translate_raw t.mmu ~addr:t.pc ~access:`X in
+  if paddr < 0 then deliver_exception t (Isa.Page_fault t.pc)
   else begin
-    let vpage = t.pc / Mmu.page_size t.mmu in
-    t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
-    match Mmu.translate t.mmu ~addr:t.pc ~access:`X with
-    | Error _ -> deliver_exception t (Isa.Page_fault t.pc)
-    | Ok paddr -> (
-      let word, cost = Hierarchy.read t.hierarchy ~addr:paddr in
-      t.cycles <- t.cycles + cost;
+    (* The fetch itself always goes through the hierarchy: cache-state
+       movement and the fetch's cycle cost are part of the timing
+       model the predecode cache must not perturb. *)
+    let word = Hierarchy.read_value t.hierarchy ~addr:paddr in
+    t.cycles <- t.cycles + Hierarchy.read_cost t.hierarchy;
+    let slot = paddr land pd_mask in
+    let gen = Hierarchy.write_generation t.hierarchy in
+    if predecode_hit t slot paddr word gen then begin
+      (* Hot path: zero allocation — no decode, no option, no tuple. *)
+      t.pd_hits <- t.pd_hits + 1;
+      execute_and_retire t t.pd_instr.(slot)
+    end
+    else begin
       match Encoding.decode word with
       | None -> deliver_exception t Isa.Bad_instruction
       | Some instr ->
-        let retired_pc = t.pc in
-        t.trapped <- false;
-        execute t instr;
-        (* A trapping instruction does not retire: it neither counts nor
-           reaches the trace port (its handler's instructions will). *)
-        if not t.trapped then begin
-          t.instret <- t.instret + 1;
-          List.iter (fun hook -> hook ~pc:retired_pc instr) (List.rev t.retire_hooks)
-        end)
+        t.pd_paddr.(slot) <- paddr;
+        t.pd_gen.(slot) <- gen;
+        t.pd_word.(slot) <- word;
+        t.pd_instr.(slot) <- instr;
+        t.pd_fills <- t.pd_fills + 1;
+        execute_and_retire t instr
+    end
   end
+
+(* The pre-fast-path interpreter, preserved byte-for-byte in shape:
+   option/result-returning translate, tuple-returning [Hierarchy.read],
+   [Encoding.decode] every fetch.  GUILLOTINE_NO_PREDECODE selects it;
+   it is the reference implementation the equivalence suite compares the
+   fast path against and the baseline the P1 host-perf numbers are
+   measured from.  It also keeps the allocating wrapper APIs exercised. *)
+let fetch_and_execute_legacy t =
+  let vpage = t.pc / Mmu.page_size t.mmu in
+  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+  match Mmu.translate t.mmu ~addr:t.pc ~access:`X with
+  | Error _ -> deliver_exception t (Isa.Page_fault t.pc)
+  | Ok paddr -> (
+    let word, cost = Hierarchy.read t.hierarchy ~addr:paddr in
+    t.cycles <- t.cycles + cost;
+    match Encoding.decode word with
+    | None -> deliver_exception t Isa.Bad_instruction
+    | Some instr -> execute_and_retire t instr)
+
+let fetch_and_execute t =
+  (* Code watchpoint: trap before fetch. *)
+  if code_watch_hit t then t.status <- Halted (Watchpoint t.pc)
+  else if !predecode_enabled_flag then fetch_and_execute_fast t
+  else fetch_and_execute_legacy t
 
 let step t =
   match t.status with
@@ -465,6 +601,20 @@ let step t =
 let run t ~fuel =
   let executed = ref 0 in
   while !executed < fuel && step t do
+    incr executed
+  done;
+  !executed
+
+(* Batched inner loop: advance this core by at least [cycles] simulated
+   cycles (instruction granularity — the final instruction may overshoot
+   the target, exactly as a fuel-bounded run would).  The driver loop
+   stays inside the core instead of bouncing through the scheduler per
+   instruction. *)
+let run_cycles t ~cycles =
+  if cycles < 0 then invalid_arg "Core.run_cycles: negative cycle budget";
+  let target = t.cycles + cycles in
+  let executed = ref 0 in
+  while t.cycles < target && step t do
     incr executed
   done;
   !executed

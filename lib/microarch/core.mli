@@ -77,6 +77,36 @@ val run : t -> fuel:int -> int
 (** Step up to [fuel] instructions; returns instructions executed.
     Stops early on any halt. *)
 
+val run_cycles : t -> cycles:int -> int
+(** Step instructions until the core's cycle counter has advanced by at
+    least [cycles] (the final instruction may overshoot, at instruction
+    granularity), or it halts.  Returns instructions executed.  This is
+    the batched inner loop: a driver advancing simulated time in quanta
+    calls this once per quantum instead of once per instruction. *)
+
+(** {2 Predecode fast path}
+
+    The interpreter memoises instruction decode in a per-core
+    direct-mapped paddr-indexed cache, validated against the DRAM write
+    generation ({!Guillotine_memory.Dram.generation}) on every fetch and
+    revalidated word-for-word when the generation has moved.  The fast
+    path changes host time only — simulated cycles, cache-state
+    movement, and every architectural effect are identical with it on
+    or off (the equivalence suite pins this).  The
+    [GUILLOTINE_NO_PREDECODE] environment variable (any value other
+    than empty or ["0"]) disables it at start-up. *)
+
+val set_predecode : bool -> unit
+(** Process-wide override of the predecode fast path (applies to all
+    cores, including existing ones — entries are revalidated, never
+    trusted, so toggling is always safe). *)
+
+val predecode_enabled : unit -> bool
+
+val predecode_stats : t -> int * int
+(** [(hits, fills)]: fetches served from the predecode cache vs decode
+    calls that filled a slot.  Host-perf observability only. *)
+
 val set_speculation_depth : t -> int -> unit
 (** Size of the transient window executed down the wrong path after a
     branch mispredict (default 8; 0 disables speculation).  Transient

@@ -30,6 +30,22 @@ val every : t -> period:float -> (unit -> bool) -> handle
     the exception surfaces as {!Simulation_error} (stamped with the
     simulated time); [Simulation_error] itself propagates unchanged. *)
 
+val every_batch : t -> period:float -> batch:int -> (unit -> bool) -> handle
+(** Batched scheduling mode: like {!every}, but each heap event fires
+    the callback up to [batch] times back-to-back (stopping early when
+    it returns [false]), then re-enqueues once.  The event heap is
+    consulted once per quantum of [batch] firings instead of once per
+    firing, which removes per-tick scheduler overhead from tight
+    core-stepping drivers.
+
+    The trade: all [batch] firings happen at the {e same} timestamp (the
+    event's), so per-firing sim-timestamps and interleaving with other
+    events inside the quantum are coarsened.  Use it only where nothing
+    else needs to interleave at sub-quantum granularity — perf drivers,
+    fuel pumps.  With [batch = 1] it is exactly {!every} (and golden
+    scenarios use that).  Error and cancellation semantics match
+    {!every}. *)
+
 val cancel : handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
 

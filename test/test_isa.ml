@@ -171,6 +171,53 @@ let prop_pp_assemble_roundtrip =
       | Ok p -> Array.length p.Asm.words = 1 && p.Asm.words.(0) = Encoding.encode i
       | Error _ -> false)
 
+(* The interpreter's predecode cache must be behaviourally invisible:
+   for any instruction in the validated space, executing it with the
+   cache enabled (first fetch fills a slot, a re-fetch of the same
+   address takes the cached-instruction path) leaves the core in
+   exactly the state the decode-every-fetch path produces — cycles,
+   retirement count, registers, pc, and status, traps included. *)
+let prop_predecode_agrees =
+  let module Machine = Guillotine_machine.Machine in
+  let module Core = Guillotine_microarch.Core in
+  let observe fast i =
+    let was = Core.predecode_enabled () in
+    Fun.protect
+      ~finally:(fun () -> Core.set_predecode was)
+      (fun () ->
+        Core.set_predecode fast;
+        let m = Machine.create () in
+        let p = Asm.instrs [ i ] in
+        Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+        let c = Machine.model_core m 0 in
+        ignore (Core.step c);
+        (* Second pass over the same address: with the cache on this is
+           the predecode-hit (or write-revalidation, for stores that
+           landed near the code) path. *)
+        Core.pause c;
+        Core.set_pc c p.Asm.origin;
+        Core.resume c;
+        ignore (Core.step c);
+        Core.pause c;
+        let fills = snd (Core.predecode_stats c) in
+        ( Core.cycles c,
+          Core.instructions_retired c,
+          Core.get_pc c,
+          List.init 16 (Core.read_reg c),
+          Format.asprintf "%a" Core.pp_status (Core.status c),
+          fills ))
+  in
+  QCheck.Test.make ~name:"decode and predecode-cache path agree (full space)"
+    ~count:500
+    (QCheck.make gen_instr ~print:Isa.to_string)
+    (fun i ->
+      let fc, fr, fpc, fregs, fstatus, fills = observe true i in
+      let lc, lr, lpc, lregs, lstatus, lfills = observe false i in
+      (* Non-vacuity: the fast run really engaged the cache, and the
+         decode-every-fetch run really never touched it. *)
+      fills >= 1 && lfills = 0
+      && (fc, fr, fpc, fregs, fstatus) = (lc, lr, lpc, lregs, lstatus))
+
 let test_validate_rejects_bad_regs () =
   Alcotest.(check bool) "reg 16" true (Result.is_error (Isa.validate (Isa.Mov (16, 0))));
   Alcotest.(check bool) "neg reg" true
@@ -298,6 +345,7 @@ let () =
           qc prop_generator_valid;
           qc prop_decode_rejects_bad_opcodes;
           qc prop_pp_assemble_roundtrip;
+          qc prop_predecode_agrees;
         ] );
       ( "validate",
         [ Alcotest.test_case "register bounds" `Quick test_validate_rejects_bad_regs ] );

@@ -1,0 +1,210 @@
+(* Fast-path equivalence suite.
+
+   The interpreter fast path (predecode cache + batched stepping) must
+   be host-time faster but simulated-cycle invisible.  Three layers of
+   pinning:
+
+   - golden fault scenarios: all eight named scenarios (and their
+     monitored replays) produce byte-identical telemetry, verdicts, and
+     incident reports with the fast path on vs. forced off — the same
+     escape hatch GUILLOTINE_NO_PREDECODE=1 selects at process start;
+   - driver equivalence: the batched driver (Engine.every_batch +
+     Machine.run_cores) leaves a guest in exactly the end state the
+     one-instruction-per-event driver (Engine.every + run_models at
+     quantum 1) does;
+   - invalidation: a predecoded instruction is never stale — DRAM bit
+     flips, hypervisor patches, and snapshot restore-then-patch all
+     force a re-decode before the word executes again.
+
+   The CI seed matrix re-runs the scenario layer at other seeds via
+   FAULTS_SEED (alcotest owns argv, so an env var is the channel). *)
+
+module Scenarios = Guillotine_faults.Scenarios
+module Machine = Guillotine_machine.Machine
+module Snapshot = Guillotine_machine.Snapshot
+module Core = Guillotine_microarch.Core
+module Dram = Guillotine_memory.Dram
+module Asm = Guillotine_isa.Asm
+module Isa = Guillotine_isa.Isa
+module Guest = Guillotine_model.Guest_programs
+module Engine = Guillotine_sim.Engine
+module Telemetry = Guillotine_telemetry.Telemetry
+module Table = Guillotine_util.Table
+
+let matrix_seed =
+  match Sys.getenv_opt "FAULTS_SEED" with
+  | Some s -> (try int_of_string s with Failure _ -> 1)
+  | None -> 1
+
+let with_predecode fast f =
+  let was = Core.predecode_enabled () in
+  Core.set_predecode fast;
+  Fun.protect ~finally:(fun () -> Core.set_predecode was) f
+
+let render_snapshots o = Table.render (Telemetry.table o.Scenarios.snapshots)
+
+(* ------------------------- golden scenarios ------------------------ *)
+
+let test_scenarios_identical () =
+  List.iter
+    (fun name ->
+      let fast = with_predecode true (fun () -> Scenarios.run name ~seed:matrix_seed) in
+      let slow = with_predecode false (fun () -> Scenarios.run name ~seed:matrix_seed) in
+      let check what = Alcotest.(check string) (name ^ ": " ^ what) in
+      check "verdict" slow.Scenarios.verdict fast.Scenarios.verdict;
+      check "recovery" slow.Scenarios.recovery fast.Scenarios.recovery;
+      Alcotest.(check int)
+        (name ^ ": faults injected")
+        slow.Scenarios.faults_injected fast.Scenarios.faults_injected;
+      Alcotest.(check int)
+        (name ^ ": recoveries")
+        slow.Scenarios.recoveries fast.Scenarios.recoveries;
+      check "trace" slow.Scenarios.trace fast.Scenarios.trace;
+      check "snapshots" (render_snapshots slow) (render_snapshots fast))
+    Scenarios.names
+
+let test_monitored_identical () =
+  List.iter
+    (fun name ->
+      let fast =
+        with_predecode true (fun () -> Scenarios.run_monitored name ~seed:matrix_seed)
+      in
+      let slow =
+        with_predecode false (fun () -> Scenarios.run_monitored name ~seed:matrix_seed)
+      in
+      Alcotest.(check (list (triple string string (float 0.0))))
+        (name ^ ": alerts") slow.Scenarios.alerts fast.Scenarios.alerts;
+      Alcotest.(check (option string))
+        (name ^ ": incident json")
+        slow.Scenarios.incident_json fast.Scenarios.incident_json;
+      Alcotest.(check (option string))
+        (name ^ ": incident text")
+        slow.Scenarios.incident_text fast.Scenarios.incident_text;
+      Alcotest.(check (option (float 0.0)))
+        (name ^ ": detection latency")
+        slow.Scenarios.detection_latency_s fast.Scenarios.detection_latency_s;
+      Alcotest.(check string)
+        (name ^ ": trace")
+        slow.Scenarios.base.Scenarios.trace fast.Scenarios.base.Scenarios.trace)
+    Scenarios.names
+
+(* ------------------------- driver equivalence ---------------------- *)
+
+let result_base = 4 * 256
+
+let run_benign ~fast =
+  with_predecode fast (fun () ->
+      let m = Machine.create () in
+      let p = Asm.assemble_exn (Guest.compute_loop ~iterations:2_000) in
+      Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+      let e = Engine.create () in
+      (if fast then
+         ignore
+           (Engine.every_batch e ~period:1.0 ~batch:64 (fun () ->
+                Machine.run_cores m ~cycles:4096 > 0))
+       else
+         ignore (Engine.every e ~period:1.0 (fun () -> Machine.run_models m ~quantum:1 > 0)));
+      Engine.run e;
+      let c = Machine.model_core m 0 in
+      Core.pause c;
+      let hits, _fills = Core.predecode_stats c in
+      ( Core.cycles c,
+        Core.instructions_retired c,
+        List.init 16 (Core.read_reg c),
+        List.init 8 (fun i -> Dram.read (Machine.model_dram m) (result_base + i)),
+        hits ))
+
+let test_batched_driver_equivalent () =
+  let fc, fr, fregs, fmem, fhits = run_benign ~fast:true in
+  let lc, lr, lregs, lmem, lhits = run_benign ~fast:false in
+  Alcotest.(check int) "cycles" lc fc;
+  Alcotest.(check int) "instructions retired" lr fr;
+  Alcotest.(check (list int64)) "registers" lregs fregs;
+  Alcotest.(check (list int64)) "result memory" lmem fmem;
+  (* Non-vacuity: the fast run ran on the cache, the off run never
+     touched it. *)
+  Alcotest.(check bool) "fast path hit the cache" true (fhits > 0);
+  Alcotest.(check int) "legacy path never fills" 0 lhits
+
+(* --------------------------- invalidation -------------------------- *)
+
+(* A two-instruction guest whose first word we patch between runs; if a
+   stale predecoded instruction ever executed, r1 would keep its old
+   value. *)
+let patchable = [ Isa.Movi (1, 11); Isa.Halt ]
+
+let test_flip_bit_invalidates () =
+  with_predecode true (fun () ->
+      let m = Machine.create () in
+      let p = Asm.instrs patchable in
+      Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+      let c = Machine.model_core m 0 in
+      ignore (Core.run c ~fuel:10);
+      Alcotest.(check int64) "before flip" 11L (Core.read_reg c 1);
+      (* Flip bit 4 of the immediate field: 11 lxor 16 = 27 — the same
+         entry point Fault_plan's DRAM flips use. *)
+      Dram.flip_bit (Machine.model_dram m) ~addr:p.Asm.origin ~bit:4;
+      Core.set_pc c p.Asm.origin;
+      Core.resume c;
+      ignore (Core.run c ~fuel:10);
+      Alcotest.(check int64) "after flip" 27L (Core.read_reg c 1))
+
+let test_patch_invalidates () =
+  with_predecode true (fun () ->
+      let m = Machine.create () in
+      let p = Asm.instrs patchable in
+      Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+      let c = Machine.model_core m 0 in
+      ignore (Core.run c ~fuel:10);
+      Alcotest.(check int64) "first run" 11L (Core.read_reg c 1);
+      (* Hypervisor-style patch over the private bus. *)
+      Machine.inspect_write m p.Asm.origin
+        (Guillotine_isa.Encoding.encode (Isa.Movi (1, 22)));
+      Core.set_pc c p.Asm.origin;
+      Core.resume c;
+      ignore (Core.run c ~fuel:10);
+      Alcotest.(check int64) "patched run" 22L (Core.read_reg c 1))
+
+let test_restore_then_patch () =
+  with_predecode true (fun () ->
+      let m = Machine.create () in
+      let p = Asm.instrs patchable in
+      Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+      let c = Machine.model_core m 0 in
+      Core.pause c;
+      let snap = Snapshot.capture m in
+      Core.resume c;
+      ignore (Core.run c ~fuel:10);
+      Alcotest.(check int64) "first run" 11L (Core.read_reg c 1);
+      (* Roll back to the pre-run checkpoint, then patch the restored
+         image before resuming: the core predecoded [movi r1, 11] on the
+         abandoned timeline, and must not execute it on this one. *)
+      Snapshot.restore m snap;
+      Dram.write (Machine.model_dram m) p.Asm.origin
+        (Guillotine_isa.Encoding.encode (Isa.Movi (1, 22)));
+      Core.resume c;
+      ignore (Core.run c ~fuel:10);
+      Alcotest.(check int64) "restored-then-patched run" 22L (Core.read_reg c 1))
+
+let () =
+  Alcotest.run "perf_equiv"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "golden scenarios identical" `Quick
+            test_scenarios_identical;
+          Alcotest.test_case "monitored replays identical" `Quick
+            test_monitored_identical;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "batched = quantum-1" `Quick
+            test_batched_driver_equivalent;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "flip_bit" `Quick test_flip_bit_invalidates;
+          Alcotest.test_case "hypervisor patch" `Quick test_patch_invalidates;
+          Alcotest.test_case "restore then patch" `Quick test_restore_then_patch;
+        ] );
+    ]
