@@ -755,6 +755,115 @@ let vet_cmd =
     Term.(const run $ file $ guest $ suite $ list_guests $ json $ code_pages
           $ data_pages)
 
+(* ------------------------------ fleet ----------------------------- *)
+
+let fleet_cmd =
+  let module Fleet = Guillotine_fleet.Fleet in
+  let module Cell = Guillotine_fleet.Cell in
+  let run cells seed users requests max_tokens rogue storm domains no_check
+      incident =
+    let f =
+      try
+        Fleet.create ~seed ?users ~requests_per_user:requests ~max_tokens
+          ?rogue ?storm ?domains ~cells ()
+      with Invalid_argument m ->
+        prerr_endline m;
+        exit 2
+    in
+    let view = Fleet.run f in
+    print_endline (Fleet.view_summary view);
+    (match view.Fleet.v_incident with
+    | Some text when incident ->
+      print_newline ();
+      print_string text
+    | _ -> ());
+    if no_check then exit 0
+    else begin
+      (* Self-check the API's core contract: the sharded fleet run is
+         byte-identical to running every cell solo and concatenating. *)
+      let divergent = ref [] in
+      Array.iter
+        (fun (r : Cell.report) ->
+          let solo = Fleet.run_solo f ~cell_id:r.Cell.r_cell_id in
+          if not (String.equal solo.Cell.r_digest r.Cell.r_digest) then
+            divergent := r.Cell.r_cell_id :: !divergent)
+        view.Fleet.v_reports;
+      match List.rev !divergent with
+      | [] ->
+        Printf.printf "self-check fleet == concat of %d solo runs: ok\n" cells;
+        exit 0
+      | ds ->
+        List.iter
+          (fun c ->
+            Printf.eprintf "self-check FAILED: %s diverges from its solo run\n"
+              (Cell.cell_name c))
+          ds;
+        exit 1
+    end
+  in
+  let cells =
+    Arg.(value & opt int 2
+         & info [ "cells" ] ~docv:"N" ~doc:"Number of cells in the fleet.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Fleet base seed.")
+  in
+  let users =
+    Arg.(value & opt (some int) None
+         & info [ "users" ] ~docv:"N"
+             ~doc:"Synthetic users routed across the fleet (default: 2 per \
+                   cell).")
+  in
+  let requests =
+    Arg.(value & opt int 4
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests per user.")
+  in
+  let max_tokens =
+    Arg.(value & opt int 12
+         & info [ "max-tokens" ] ~docv:"N"
+             ~doc:"Generation budget per request.")
+  in
+  let rogue =
+    Arg.(value & opt (some int) None
+         & info [ "rogue" ] ~docv:"CELL"
+             ~doc:"Plant a malicious model in this cell.")
+  in
+  let storm =
+    Arg.(value & opt (some int) None
+         & info [ "storm" ] ~docv:"CELL"
+             ~doc:"Run a fault storm against this cell.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~env:(Cmd.Env.info "DOMAINS"
+                     ~doc:"Default for $(b,--domains).")
+             ~doc:"OCaml domains to shard cells across (default: one per \
+                   cell; 1 runs everything on the calling domain).")
+  in
+  let no_check =
+    Arg.(value & flag
+         & info [ "no-self-check" ]
+             ~doc:"Skip the fleet-equals-concatenation self-check.")
+  in
+  let incident =
+    Arg.(value & flag
+         & info [ "incident" ]
+             ~doc:"Also print the full incident report of the cell that \
+                   raised it.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a fleet of isolated Guillotine cells sharded across OCaml \
+          domains: users are routed by session affinity, each cell hosts a \
+          complete deployment, and telemetry, alerts and incidents aggregate \
+          into one fleet view.  After the run, each cell is re-run solo on \
+          the calling domain and compared digest-for-digest; exit status 1 \
+          if the sharded run diverges.")
+    Term.(const run $ cells $ seed $ users $ requests $ max_tokens $ rogue
+          $ storm $ domains $ no_check $ incident)
+
 (* ------------------------------ bench ----------------------------- *)
 
 let bench_cmd =
@@ -823,9 +932,53 @@ let bench_cmd =
       Term.(const run $ list_workloads $ workloads $ repeat $ quick $ json
             $ out $ check $ tolerance)
   in
+  let fleet_cmd =
+    let module Fleet_bench = Guillotine_bench_fleet.Fleet_bench in
+    let run repeats quick json out check tolerance =
+      exit (Fleet_bench.run ~repeats ~quick ~json ?out ?check ~tolerance ())
+    in
+    let repeats =
+      Arg.(value & opt int 2
+           & info [ "repeat" ] ~docv:"N"
+               ~doc:"Scenario runs per cell at each fleet width.")
+    in
+    let quick =
+      Arg.(value & flag
+           & info [ "quick" ] ~doc:"Single run per cell (CI smoke).")
+    in
+    let json =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit JSON (one object per line) on stdout.")
+    in
+    let out =
+      Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also write the JSON here.")
+    in
+    let check =
+      Arg.(value & opt (some file) None
+           & info [ "check" ] ~docv:"FILE"
+               ~doc:"Fail if capacity regressed beyond --tolerance against \
+                     this committed JSON (e.g. BENCH_FLEET.json).")
+    in
+    let tolerance =
+      Arg.(value & opt float 0.30
+           & info [ "tolerance" ] ~docv:"F"
+               ~doc:"Allowed fractional regression for --check (default 0.30).")
+    in
+    Cmd.v
+      (Cmd.info "fleet"
+         ~doc:
+           "Run the F-fleet capacity-scaling suite: the golden fault \
+            scenario fanned across 1-, 2- and 4-cell fleets, one OCaml \
+            domain per cell.  The gated metric is deterministic simulated \
+            capacity per fleet pass (exit status 1 if 4-cell capacity is \
+            below 3x solo); host wall-clock rates are reported but not \
+            gated, since they depend on the machine's core count.")
+      Term.(const run $ repeats $ quick $ json $ out $ check $ tolerance)
+  in
   Cmd.group
     (Cmd.info "bench" ~doc:"Host-performance bench suites.")
-    [ perf_cmd ]
+    [ perf_cmd; fleet_cmd ]
 
 (* ------------------------------- demo ----------------------------- *)
 
@@ -860,6 +1013,7 @@ let () =
             monitor_cmd;
             report_cmd;
             vet_cmd;
+            fleet_cmd;
             bench_cmd;
             demo_cmd;
           ]))

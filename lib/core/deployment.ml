@@ -55,7 +55,11 @@ type t = {
   mutable request_seq : int;
 }
 
-let next_addr = ref 100
+(* Fallback fabric-address allocator for deployments created without an
+   explicit [?net_addr].  Atomic: fleet cells may construct deployments
+   concurrently from different domains (cells always pass [?net_addr],
+   so their addressing stays deterministic regardless of this counter). *)
+let next_addr = Atomic.make 100
 
 let config_string (c : Machine.config) =
   Printf.sprintf "cores=%d/%d dram=%d/%d io=%d lapic=%d/%d" c.Machine.model_cores
@@ -70,7 +74,7 @@ let measurement_of_config cfg =
   }
 
 let create ?(seed = 0xDEC0DEL) ?(machine_config = Machine.default_config)
-    ?(with_detectors = true) ?(name = "guillotine-0") ?ca () =
+    ?(with_detectors = true) ?(name = "guillotine-0") ?net_addr ?ca () =
   let prng = Prng.create seed in
   let engine = Engine.create () in
   (* Derive the fabric's prng from the deployment seed directly rather
@@ -95,8 +99,11 @@ let create ?(seed = 0xDEC0DEL) ?(machine_config = Machine.default_config)
   in
   let hv = Hypervisor.create ~machine ~detectors () in
   if with_detectors then Hypervisor.enable_probe_monitor hv ();
-  let net_addr = !next_addr in
-  incr next_addr;
+  let net_addr =
+    match net_addr with
+    | Some a -> a
+    | None -> Atomic.fetch_and_add next_addr 1
+  in
   let switches =
     Kill_switch.create ~engine ~fabric ~net_addrs:[ net_addr ] ()
   in
@@ -229,15 +236,6 @@ let serve t ~model request =
              (List.length outcome.Inference.released)
              outcome.Inference.blocked_at_input outcome.Inference.broken);
         outcome)
-
-let serve_prompt t ~model ?(shield = true) ?(defence = Inference.No_defence)
-    ?(sanitize = true) ~prompt ~max_tokens () =
-  serve t ~model
-    {
-      Inference.prompt;
-      max_tokens;
-      posture = { Inference.shield; defence; sanitize };
-    }
 
 let verify_model_integrity t model =
   match t.model_digest with

@@ -27,14 +27,19 @@ val create :
   ?machine_config:Machine.config ->
   ?with_detectors:bool ->
   ?name:string ->
+  ?net_addr:int ->
   ?ca:Guillotine_crypto.Signature.signer * string * Guillotine_crypto.Signature.public_key ->
   unit ->
   t
 (** [with_detectors] (default true) installs the input shield, output
-    sanitizer, and system anomaly detector.  [ca] = (signer, name,
-    public key) of the AI regulator's CA; a private one is created if
-    absent (use a shared CA to let two deployments meet on the network,
-    as the ring-refusal experiment does). *)
+    sanitizer, and system anomaly detector.  [net_addr] pins this
+    deployment's fabric address; when absent one is drawn from a
+    process-wide counter (pass it explicitly when the address must be
+    deterministic regardless of construction order — fleet cells do).
+    [ca] = (signer, name, public key) of the AI regulator's CA; a
+    private one is created if absent (use a shared CA to let two
+    deployments meet on the network, as the ring-refusal experiment
+    does). *)
 
 val name : t -> string
 val engine : t -> Engine.t
@@ -86,19 +91,6 @@ val serve : t -> model:Toymodel.t -> Inference.request -> Inference.outcome
     every flight-recorder event journaled while it is in flight
     ([request.begin]/[request.end], detector verdicts, isolation
     changes) is stamped with it. *)
-
-val serve_prompt :
-  t ->
-  model:Toymodel.t ->
-  ?shield:bool ->
-  ?defence:Inference.defence ->
-  ?sanitize:bool ->
-  prompt:int list ->
-  max_tokens:int ->
-  unit ->
-  Inference.outcome
-[@@deprecated "use serve with an Inference.request instead"]
-(** Legacy flag-style entry point over {!serve}. *)
 
 val verify_model_integrity : t -> Toymodel.t -> bool
 (** Re-measure the weight region over the private inspection bus and

@@ -16,20 +16,25 @@ let check ?(marker_limit = 2) prompt =
     else Pass
   end
 
-(* Stats live in a side table keyed by the closure's identity. *)
+(* Stats live in a side table keyed by the detector's name.  The table
+   is process-global, so every structural access is mutex-guarded:
+   fleet cells build identically-shaped detectors concurrently from
+   different domains.  The counter refs themselves stay owned by one
+   cell's domain once registered. *)
 let registry : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 4
-let instance = ref 0
+let registry_lock = Mutex.create ()
+let instance = Atomic.make 0
 
 let detector ?marker_limit ?name () =
   let name =
     match name with
     | Some n -> n
     | None ->
-      incr instance;
-      Printf.sprintf "input-shield-%d" !instance
+      Printf.sprintf "input-shield-%d" (Atomic.fetch_and_add instance 1 + 1)
   in
   let seen = ref 0 and blocked = ref 0 in
-  Hashtbl.replace registry name (seen, blocked);
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.replace registry name (seen, blocked));
   {
     Detector.name;
     observe =
@@ -46,6 +51,9 @@ let detector ?marker_limit ?name () =
   }
 
 let stats d =
-  match Hashtbl.find_opt registry d.Detector.name with
+  match
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.find_opt registry d.Detector.name)
+  with
   | Some (seen, blocked) -> (!seen, !blocked)
   | None -> invalid_arg "Input_shield.stats: not an input-shield detector"

@@ -19,19 +19,22 @@ let sanitize ?(replacement = default_replacement) tokens =
   in
   (clean, !replaced)
 
+(* Same domain-safety discipline as {!Input_shield}: the name-keyed
+   stats table is process-global, so its structure is mutex-guarded. *)
 let registry : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 4
-let instance = ref 0
+let registry_lock = Mutex.create ()
+let instance = Atomic.make 0
 
 let detector ?(critical_after = 3) ?name () =
   let name =
     match name with
     | Some n -> n
     | None ->
-      incr instance;
-      Printf.sprintf "output-sanitizer-%d" !instance
+      Printf.sprintf "output-sanitizer-%d" (Atomic.fetch_and_add instance 1 + 1)
   in
   let seen = ref 0 and caught = ref 0 in
-  Hashtbl.replace registry name (seen, caught);
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.replace registry name (seen, caught));
   {
     Detector.name;
     observe =
@@ -57,6 +60,9 @@ let detector ?(critical_after = 3) ?name () =
   }
 
 let stats d =
-  match Hashtbl.find_opt registry d.Detector.name with
+  match
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.find_opt registry d.Detector.name)
+  with
   | Some (seen, caught) -> (!seen, !caught)
   | None -> invalid_arg "Output_sanitizer.stats: not an output-sanitizer detector"

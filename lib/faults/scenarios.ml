@@ -25,16 +25,25 @@ module Report = Guillotine_obs.Report
 type outcome = {
   scenario : string;
   seed : int;
+  cell_id : int;
   verdict : string;
   recovery : string;
   faults_injected : int;
   recoveries : int;
   final_level : Isolation.level option;
+  sim_horizon : float;
   snapshots : Telemetry.snapshot list;
   trace : string;
 }
 
-let seed64 salt seed = Int64.of_int ((salt * 0x10001) + seed)
+(* Every seed a scenario derives is salted with the owning cell's id so
+   different cells of a fleet live in decorrelated randomness.  A cell
+   id of 0 leaves every derived value exactly as it was pre-fleet, which
+   is what keeps the solo goldens byte-identical. *)
+let seed64 ?(cell = 0) salt seed =
+  Int64.of_int ((salt * 0x10001) + seed + (cell * 0x9E3779))
+
+let plan_seed ~cell seed = seed + (7919 * cell)
 
 (* --- Optional observability attachment ----------------------------- *)
 (* Every scenario takes [?obs], a cell the caller can pass to receive
@@ -83,17 +92,19 @@ let console_recoveries d =
 (* Snapshot + trace assembly: deployment subsystems first, then any
    extra registries (injector, scenario-local), in a fixed order so
    same-seed runs render byte-identically. *)
-let deployment_outcome ~scenario ~seed ~verdict ~recovery ~recoveries ~extra d
-    inj =
+let deployment_outcome ~scenario ~seed ~cell ~verdict ~recovery ~recoveries
+    ~sim_horizon ~extra d inj =
   let extra_regs = Injector.telemetry inj :: extra in
   {
     scenario;
     seed;
+    cell_id = cell;
     verdict;
     recovery;
     faults_injected = Injector.injected inj;
     recoveries;
     final_level = Some (Console.level (Deployment.console d));
+    sim_horizon;
     snapshots =
       Deployment.telemetry d @ List.map Telemetry.snapshot extra_regs;
     trace =
@@ -104,9 +115,9 @@ let deployment_outcome ~scenario ~seed ~verdict ~recovery ~recoveries ~extra d
 (* 1. Heartbeat link outage: fail-safe forced offline.                 *)
 (* ------------------------------------------------------------------ *)
 
-let heartbeat_outage ?obs ~seed () =
+let heartbeat_outage ?obs ?(cell = 0) ~seed () =
   let d =
-    Deployment.create ~seed:(seed64 0xBEA7 seed) ~name:"hb-victim" ()
+    Deployment.create ~seed:(seed64 ~cell 0xBEA7 seed) ~name:"hb-victim" ()
   in
   let engine = Deployment.engine d in
   let hb =
@@ -114,7 +125,7 @@ let heartbeat_outage ?obs ~seed () =
   in
   let inj = Injector.create ~engine () in
   let plan =
-    Fault_plan.make ~seed
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
       [
         {
           at = 5.0;
@@ -129,30 +140,31 @@ let heartbeat_outage ?obs ~seed () =
   Heartbeat.stop hb;
   let level = Console.level (Deployment.console d) in
   let verdict = if level = Isolation.Offline then "contained" else "failed-open" in
-  deployment_outcome ~scenario:"heartbeat-outage" ~seed ~verdict
+  deployment_outcome ~scenario:"heartbeat-outage" ~seed ~cell ~verdict
     ~recovery:"forced offline isolation (fail-safe)"
     ~recoveries:(Heartbeat.losses_detected hb)
-    ~extra:[] d inj
+    ~sim_horizon:60.0 ~extra:[] d inj
 
 (* ------------------------------------------------------------------ *)
 (* 2. DRAM bit flip in the weights: integrity sweep + rollback.        *)
 (* ------------------------------------------------------------------ *)
 
-let weight_tamper_rollback ?obs ~seed () =
+let weight_tamper_rollback ?obs ?(cell = 0) ~seed () =
   let d =
-    Deployment.create ~seed:(seed64 0x7A3B seed) ~name:"tamper-victim" ()
+    Deployment.create ~seed:(seed64 ~cell 0x7A3B seed) ~name:"tamper-victim" ()
   in
   let engine = Deployment.engine d in
   let model = Deployment.load_model d () in
   ignore (Deployment.enable_model_guard ~period:5.0 d model);
-  let p = Prng.create (seed64 0xF11B seed) in
+  let p = Prng.create (seed64 ~cell 0xF11B seed) in
   let addr =
     Deployment.weights_base + Prng.int p (Toymodel.weights_words model)
   in
   let bit = Prng.int p 64 in
   let inj = Injector.create ~engine () in
   let plan =
-    Fault_plan.make ~seed [ { at = 7.0; fault = Dram_bit_flip { addr; bit } } ]
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
+      [ { at = 7.0; fault = Dram_bit_flip { addr; bit } } ]
   in
   Injector.install inj ~deployment:d plan;
   ignore (attach_deployment_monitor obs d inj);
@@ -164,16 +176,16 @@ let weight_tamper_rollback ?obs ~seed () =
     if recoveries >= 1 && intact && level = Isolation.Standard then "recovered"
     else "unrecovered"
   in
-  deployment_outcome ~scenario:"weight-tamper-rollback" ~seed ~verdict
-    ~recovery:"snapshot rollback" ~recoveries ~extra:[] d inj
+  deployment_outcome ~scenario:"weight-tamper-rollback" ~seed ~cell ~verdict
+    ~recovery:"snapshot rollback" ~recoveries ~sim_horizon:30.0 ~extra:[] d inj
 
 (* ------------------------------------------------------------------ *)
 (* 3. Wedged model core: watchdog sweep + rollback + resume.           *)
 (* ------------------------------------------------------------------ *)
 
-let core_wedge_rollback ?obs ~seed () =
+let core_wedge_rollback ?obs ?(cell = 0) ~seed () =
   let d =
-    Deployment.create ~seed:(seed64 0x3ED6 seed) ~name:"wedge-victim" ()
+    Deployment.create ~seed:(seed64 ~cell 0x3ED6 seed) ~name:"wedge-victim" ()
   in
   let engine = Deployment.engine d in
   let machine = Deployment.machine d in
@@ -188,7 +200,8 @@ let core_wedge_rollback ?obs ~seed () =
   ignore (Deployment.enable_model_guard ~period:5.0 d model);
   let inj = Injector.create ~engine () in
   let plan =
-    Fault_plan.make ~seed [ { at = 7.0; fault = Core_wedge { core = 0 } } ]
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
+      [ { at = 7.0; fault = Core_wedge { core = 0 } } ]
   in
   Injector.install inj ~deployment:d plan;
   ignore (attach_deployment_monitor obs d inj);
@@ -205,21 +218,21 @@ let core_wedge_rollback ?obs ~seed () =
       "recovered"
     else "unrecovered"
   in
-  deployment_outcome ~scenario:"core-wedge-rollback" ~seed ~verdict
-    ~recovery:"snapshot rollback" ~recoveries ~extra:[] d inj
+  deployment_outcome ~scenario:"core-wedge-rollback" ~seed ~cell ~verdict
+    ~recovery:"snapshot rollback" ~recoveries ~sim_horizon:30.0 ~extra:[] d inj
 
 (* ------------------------------------------------------------------ *)
 (* 4. Detector false alarm: containment-first escalation.              *)
 (* ------------------------------------------------------------------ *)
 
-let false_alarm_probation ?obs ~seed () =
+let false_alarm_probation ?obs ?(cell = 0) ~seed () =
   let d =
-    Deployment.create ~seed:(seed64 0xFA15 seed) ~name:"false-alarm" ()
+    Deployment.create ~seed:(seed64 ~cell 0xFA15 seed) ~name:"false-alarm" ()
   in
   let engine = Deployment.engine d in
   let inj = Injector.create ~engine () in
   let plan =
-    Fault_plan.make ~seed
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
       [
         {
           at = 2.0;
@@ -234,17 +247,17 @@ let false_alarm_probation ?obs ~seed () =
   let verdict =
     if level = Isolation.Probation then "contained" else "failed-open"
   in
-  deployment_outcome ~scenario:"false-alarm-probation" ~seed ~verdict
-    ~recovery:"escalated to probation (alarm policy)" ~recoveries:0 ~extra:[] d
-    inj
+  deployment_outcome ~scenario:"false-alarm-probation" ~seed ~cell ~verdict
+    ~recovery:"escalated to probation (alarm policy)" ~recoveries:0
+    ~sim_horizon:10.0 ~extra:[] d inj
 
 (* ------------------------------------------------------------------ *)
 (* 5. Flaky NIC during attestation: retry until a quote verifies.      *)
 (* ------------------------------------------------------------------ *)
 
-let nic_flaky_attest ?obs ~seed () =
+let nic_flaky_attest ?obs ?(cell = 0) ~seed () =
   let d =
-    Deployment.create ~seed:(seed64 0xA77E seed) ~name:"attest-victim" ()
+    Deployment.create ~seed:(seed64 ~cell 0xA77E seed) ~name:"attest-victim" ()
   in
   Deployment.enable_attestation_service d;
   let engine = Deployment.engine d in
@@ -296,7 +309,7 @@ let nic_flaky_attest ?obs ~seed () =
          end));
   let inj = Injector.create ~engine () in
   let plan =
-    Fault_plan.make ~seed
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
       [
         { at = 0.5; fault = Nic_loss { rate = 0.6; duration = 6.0 } };
         { at = 0.5; fault = Attest_corruption { rate = 0.5; duration = 6.0 } };
@@ -311,19 +324,19 @@ let nic_flaky_attest ?obs ~seed () =
   let verdict = if !verified then "recovered" else "unrecovered" in
   let level = Console.level (Deployment.console d) in
   ignore level;
-  deployment_outcome ~scenario:"nic-flaky-attest" ~seed ~verdict
+  deployment_outcome ~scenario:"nic-flaky-attest" ~seed ~cell ~verdict
     ~recovery:"attestation retry" ~recoveries:(max 0 (!attempts - 1))
-    ~extra:[ reg ] d inj
+    ~sim_horizon:30.0 ~extra:[ reg ] d inj
 
 (* ------------------------------------------------------------------ *)
 (* 6. Stalled accelerator: admission shedding under backlog.           *)
 (* ------------------------------------------------------------------ *)
 
-let device_stall_shedding ?obs ~seed () =
+let device_stall_shedding ?obs ?(cell = 0) ~seed () =
   let engine = Engine.create () in
   let service =
     Service.create
-      ~prng:(Prng.create (seed64 0xD57A seed))
+      ~prng:(Prng.create (seed64 ~cell 0xD57A seed))
       ~engine
       (Service.resilient_config ~replicas:2)
   in
@@ -349,7 +362,7 @@ let device_stall_shedding ?obs ~seed () =
          let r = gpu.Device.handle ~now:0 [| 0L |] in
          if r.Device.latency > base_latency then Telemetry.incr c_stalled;
          Engine.now engine < 59.0));
-  let wl = Prng.create (seed64 0x20AD seed) in
+  let wl = Prng.create (seed64 ~cell 0x20AD seed) in
   let next_id = ref 0 in
   ignore
     (Engine.every engine ~period:0.05 (fun () ->
@@ -364,7 +377,7 @@ let device_stall_shedding ?obs ~seed () =
               });
          Engine.now engine < 59.9));
   let plan =
-    Fault_plan.make ~seed
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
       [
         { at = 10.0; fault = Device_stall { extra_ticks = 500; duration = 20.0 } };
         {
@@ -400,11 +413,13 @@ let device_stall_shedding ?obs ~seed () =
   {
     scenario = "device-stall-shedding";
     seed;
+    cell_id = cell;
     verdict;
     recovery = "admission shedding";
     faults_injected = Injector.injected inj;
     recoveries = s.Service.shed;
     final_level = None;
+    sim_horizon = 90.0;
     snapshots =
       [ Service.metrics service ]
       @ List.map Telemetry.snapshot ([ Injector.telemetry inj; reg ] @ obs_regs m);
@@ -415,9 +430,9 @@ let device_stall_shedding ?obs ~seed () =
 (* 7. Interrupt storm + glitched LAPIC: throttle contains it.          *)
 (* ------------------------------------------------------------------ *)
 
-let irq_storm_contained ?obs ~seed () =
+let irq_storm_contained ?obs ?(cell = 0) ~seed () =
   let d =
-    Deployment.create ~seed:(seed64 0x1245 seed) ~name:"storm-victim" ()
+    Deployment.create ~seed:(seed64 ~cell 0x1245 seed) ~name:"storm-victim" ()
   in
   let engine = Deployment.engine d in
   let machine = Deployment.machine d in
@@ -434,7 +449,7 @@ let irq_storm_contained ?obs ~seed () =
   ignore (Engine.schedule_at engine ~at:3.0 (fun () -> Hypervisor.service hv));
   let inj = Injector.create ~engine () in
   let plan =
-    Fault_plan.make ~seed
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
       [
         { at = 2.0; fault = Bus_stall { cycles = 50_000 } };
         { at = 2.5; fault = Irq_drop };
@@ -449,32 +464,32 @@ let irq_storm_contained ?obs ~seed () =
     if dropped > 0 && level = Isolation.Probation then "contained"
     else "failed-open"
   in
-  deployment_outcome ~scenario:"irq-storm-contained" ~seed ~verdict
-    ~recovery:"lapic throttle + alarm escalation" ~recoveries:dropped ~extra:[]
-    d inj
+  deployment_outcome ~scenario:"irq-storm-contained" ~seed ~cell ~verdict
+    ~recovery:"lapic throttle + alarm escalation" ~recoveries:dropped
+    ~sim_horizon:10.0 ~extra:[] d inj
 
 (* ------------------------------------------------------------------ *)
 (* 8. Full fault storm on the primary: retry, shed, fail over.         *)
 (* ------------------------------------------------------------------ *)
 
-let fault_storm_failover ?obs ~seed () =
+let fault_storm_failover ?obs ?(cell = 0) ~seed () =
   let engine = Engine.create () in
   let primary =
     Service.create
-      ~prng:(Prng.create (seed64 0x9121 seed))
+      ~prng:(Prng.create (seed64 ~cell 0x9121 seed))
       ~engine
       (Service.resilient_config ~replicas:2)
   in
   let backup =
     Service.create
-      ~prng:(Prng.create (seed64 0xBACC seed))
+      ~prng:(Prng.create (seed64 ~cell 0xBACC seed))
       ~engine
       (Service.resilient_config ~replicas:2)
   in
   let cluster = Cluster.create ~engine ~primary ~backup () in
   let inj = Injector.create ~engine () in
   let plan =
-    Fault_plan.make ~seed
+    Fault_plan.make ~seed:(plan_seed ~cell seed)
       [
         { at = 5.0; fault = Service_brownout { rate = 0.4; duration = 20.0 } };
         { at = 40.0; fault = Primary_down { duration = None } };
@@ -501,7 +516,7 @@ let fault_storm_failover ?obs ~seed () =
           ("faults", Injector.set_event_sink inj);
         ]
   in
-  let wl = Prng.create (seed64 0x57CA seed) in
+  let wl = Prng.create (seed64 ~cell 0x57CA seed) in
   let next_id = ref 0 in
   ignore
     (Engine.every engine ~period:0.1 (fun () ->
@@ -539,11 +554,13 @@ let fault_storm_failover ?obs ~seed () =
   {
     scenario = "fault-storm-failover";
     seed;
+    cell_id = cell;
     verdict;
     recovery = "retry with backoff + failover to backup";
     faults_injected = Injector.injected inj;
     recoveries = Cluster.failovers cluster;
     final_level = None;
+    sim_horizon = 130.0;
     snapshots =
       [ Service.metrics primary; Service.metrics backup ]
       @ List.map Telemetry.snapshot
@@ -569,9 +586,9 @@ let all =
 
 let names = List.map fst all
 
-let run name ~seed =
+let run ?(seed = 1) ?(cell_id = 0) name =
   match List.assoc_opt name all with
-  | Some f -> f ~seed ()
+  | Some f -> f ~cell:cell_id ~seed ()
   | None ->
     invalid_arg
       (Printf.sprintf "Scenarios.run: unknown scenario %S (known: %s)" name
@@ -590,7 +607,7 @@ type monitored = {
   incident_json : string option;
 }
 
-let run_monitored name ~seed =
+let run_monitored ?(seed = 1) ?(cell_id = 0) name =
   match List.assoc_opt name all with
   | None ->
     invalid_arg
@@ -598,9 +615,9 @@ let run_monitored name ~seed =
          name
          (String.concat ", " names))
   | Some f ->
-    let cell = ref None in
-    let base = f ~obs:cell ~seed () in
-    (match !cell with
+    let obs_cell = ref None in
+    let base = f ~obs:obs_cell ~cell:cell_id ~seed () in
+    (match !obs_cell with
     | None ->
       {
         base;
@@ -662,12 +679,16 @@ let summary o =
     | Some l -> Isolation.to_string l
     | None -> "n/a (no deployment)"
   in
+  (* The cell line only appears for fleet cells: solo (cell 0) summaries
+     stay byte-identical to the pre-fleet goldens. *)
   String.concat "\n"
-    [
+    ((if o.cell_id = 0 then []
+      else [ Printf.sprintf "cell            %d" o.cell_id ])
+    @ [
       Printf.sprintf "scenario        %s (seed %d)" o.scenario o.seed;
       Printf.sprintf "verdict         %s" o.verdict;
       Printf.sprintf "recovery        %s" o.recovery;
       Printf.sprintf "faults injected %d" o.faults_injected;
       Printf.sprintf "recovery count  %d" o.recoveries;
       Printf.sprintf "final level     %s" level;
-    ]
+    ])

@@ -13,6 +13,9 @@
 type outcome = {
   scenario : string;
   seed : int;
+  cell_id : int;
+      (** which fleet cell ran this scenario; 0 for solo runs, in which
+          case every derived seed matches the pre-fleet behaviour *)
   verdict : string;
       (** "contained" / "recovered" / "degraded-gracefully" /
           "failed-over", or a failure verdict when containment or
@@ -24,6 +27,10 @@ type outcome = {
           requests — scenario-specific) *)
   final_level : Guillotine_hv.Isolation.level option;
       (** [None] for serving-only scenarios with no deployment *)
+  sim_horizon : float;
+      (** sim-seconds of simulated time the scenario covers — the unit
+          the fleet bench uses to express capacity (scenario-seconds
+          simulated per host second) *)
   snapshots : Guillotine_telemetry.Telemetry.snapshot list;
   trace : string;  (** Chrome-trace JSON across every registry *)
 }
@@ -35,8 +42,13 @@ val names : string list
     ["nic-flaky-attest"], ["device-stall-shedding"],
     ["irq-storm-contained"], ["fault-storm-failover"]. *)
 
-val run : string -> seed:int -> outcome
-(** Raises [Invalid_argument] for an unknown scenario name. *)
+val run : ?seed:int -> ?cell_id:int -> string -> outcome
+(** [run ?seed ?cell_id name] plays scenario [name].  [seed] (default 1)
+    selects the fault plan and rig randomness; [cell_id] (default 0)
+    decorrelates the run from other cells of a fleet by salting every
+    derived seed.  [cell_id:0] is byte-identical to the pre-fleet
+    behaviour.  Raises [Invalid_argument] for an unknown scenario
+    name. *)
 
 (** {2 Monitored runs}
 
@@ -65,8 +77,9 @@ type monitored = {
   incident_json : string option;
 }
 
-val run_monitored : string -> seed:int -> monitored
-(** Raises [Invalid_argument] for an unknown scenario name. *)
+val run_monitored : ?seed:int -> ?cell_id:int -> string -> monitored
+(** Same [?seed] (default 1) / [?cell_id] (default 0) contract as
+    {!run}.  Raises [Invalid_argument] for an unknown scenario name. *)
 
 val summary : outcome -> string
 (** Multi-line human summary (verdict, recovery, counts, level) —

@@ -1,0 +1,306 @@
+module Prng = Guillotine_util.Prng
+module Engine = Guillotine_sim.Engine
+module Telemetry = Guillotine_telemetry.Telemetry
+module Vocab = Guillotine_model.Vocab
+module Toymodel = Guillotine_model.Toymodel
+module Detector = Guillotine_detect.Detector
+module Inference = Guillotine_hv.Inference
+module Isolation = Guillotine_hv.Isolation
+module Console = Guillotine_physical.Console
+module Deployment = Guillotine_core.Deployment
+module Monitor = Guillotine_obs.Monitor
+module Watchdog = Guillotine_obs.Watchdog
+module Report = Guillotine_obs.Report
+module Injector = Guillotine_faults.Injector
+module Fault_plan = Guillotine_faults.Fault_plan
+module Sha256 = Guillotine_crypto.Sha256
+
+type config = {
+  cell_id : int;
+  seed : int;
+  users : int list;
+  requests_per_user : int;
+  max_tokens : int;
+  rogue : bool;
+  storm : bool;
+  monitored : bool;
+}
+
+let cell_name id = Printf.sprintf "cell-%d" id
+
+let config ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
+    ?(rogue = false) ?(storm = false) ?(monitored = true) ~cell_id () =
+  if cell_id < 0 then invalid_arg "Cell.config: negative cell_id";
+  if requests_per_user <= 0 then
+    invalid_arg "Cell.config: requests_per_user must be positive";
+  if max_tokens <= 0 then invalid_arg "Cell.config: max_tokens must be positive";
+  let users = match users with Some us -> us | None -> [ cell_id ] in
+  { cell_id; seed; users; requests_per_user; max_tokens; rogue; storm; monitored }
+
+(* The rogue model's trigger: a benign-band token every user's stream
+   periodically ends a prompt with.  Honest models continue generating
+   benign text from its row; a malicious row routes into the harmful
+   band, which is exactly the behaviour the cell's defences must
+   catch. *)
+let rogue_trigger = 10
+
+let users_for ~users ~cells ~cell_id =
+  if cells <= 0 then invalid_arg "Cell.users_for: cells must be positive";
+  if cell_id < 0 || cell_id >= cells then
+    invalid_arg "Cell.users_for: cell_id out of range";
+  if users < 0 then invalid_arg "Cell.users_for: negative users";
+  List.filter (fun u -> u mod cells = cell_id) (List.init users Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Seed derivations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The deployment seed is salted with the cell id so different cells
+   live in decorrelated randomness; the fault-plan salt matches the one
+   {!Guillotine_faults.Scenarios} uses, so "fault storm in cell [n]"
+   means the same thing in both planes. *)
+let deployment_seed c =
+  Int64.of_int ((c.seed * 0x10001) + (c.cell_id * 0x9E3779))
+
+let plan_seed c = c.seed + (7919 * c.cell_id)
+
+(* Each user's stream depends only on the fleet seed and the user's own
+   id — never on the cell or the fleet width — so a user routed to cell
+   3 of 4 sends exactly the bytes they'd send to a solo cell.  This is
+   the keystone of the fleet-equals-concatenation property. *)
+let user_prng c u = Prng.create (Int64.of_int ((c.seed * 0x1000193) + (u * 0x9E3779)))
+
+(* ------------------------------------------------------------------ *)
+(* The cell handle                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cfg : config;
+  d : Deployment.t;
+  model : Toymodel.t;
+  inj : Injector.t option;
+}
+
+let storm_plan c =
+  (* A cross-layer burst: spurious detector alarms (escalating to
+     Critical, which the console answers with hard isolation), fabric
+     loss, and a mediation stall.  Everything targets objects owned by
+     this cell's deployment, so the storm cannot reach a neighbour. *)
+  Fault_plan.make ~seed:(plan_seed c)
+    [
+      { at = 2.0; fault = Detector_false_alarm { severity = Detector.Suspicious } };
+      { at = 3.0; fault = Nic_loss { rate = 0.5; duration = 5.0 } };
+      { at = 4.0; fault = Bus_stall { cycles = 20_000 } };
+      { at = 5.0; fault = Detector_false_alarm { severity = Detector.Critical } };
+    ]
+
+let create cfg =
+  let d =
+    Deployment.create ~seed:(deployment_seed cfg) ~name:(cell_name cfg.cell_id)
+      ~net_addr:(1000 + cfg.cell_id) ()
+  in
+  if cfg.monitored then ignore (Deployment.enable_monitoring d);
+  let malice =
+    if cfg.rogue then
+      Some { Toymodel.trigger = rogue_trigger; entry_point = Vocab.harmful_lo }
+    else None
+  in
+  let model = Deployment.load_model d ?malice () in
+  let inj =
+    if cfg.storm then begin
+      let inj = Injector.create ~engine:(Deployment.engine d) () in
+      Injector.install inj ~deployment:d (storm_plan cfg);
+      (match Deployment.monitor d with
+      | Some m ->
+        Monitor.add_registry m (Injector.telemetry inj);
+        Injector.set_event_sink inj (fun ~kind detail ->
+            Guillotine_obs.Recorder.record (Monitor.recorder m) ~source:"faults"
+              ~kind detail)
+      | None -> ());
+      Some inj
+    end
+    else None
+  in
+  { cfg; d; model; inj }
+
+let id c = c.cfg.cell_id
+let name c = cell_name c.cfg.cell_id
+let cell_config c = c.cfg
+let deployment c = c.d
+let engine c = Deployment.engine c.d
+let model c = c.model
+let monitor c = Deployment.monitor c.d
+let serve c request = Deployment.serve c.d ~model:c.model request
+let settle ?horizon c = Deployment.settle ?horizon c.d
+let telemetry c = Deployment.telemetry c.d
+let export_trace c = Deployment.export_trace c.d
+
+let request_level c ~target ~admins =
+  Deployment.request_level c.d ~target ~admins
+
+(* ------------------------------------------------------------------ *)
+(* Driving a cell                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  r_cell_id : int;
+  r_name : string;
+  r_seed : int;
+  r_users : int list;
+  r_requests : int;
+  r_blocked : int;
+  r_released : int;
+  r_harmful_released : int;
+  r_interventions : int;
+  r_faults_injected : int;
+  r_final_level : string;
+  r_alerts : (string * string * float) list;
+  r_incident : string option;
+  r_transcript : string;
+  r_digest : string;
+}
+
+let first_request_at = 1.0
+let request_spacing = 0.25
+let settle_margin = 24.0
+
+let total_requests cfg = List.length cfg.users * cfg.requests_per_user
+
+let sim_horizon cfg =
+  first_request_at
+  +. (request_spacing *. float_of_int (total_requests cfg))
+  +. settle_margin
+
+(* Draw one user's full request stream (prompts only — postures are the
+   default).  Every third prompt ends with {!rogue_trigger}: the "hot"
+   prompt all users send that only a malicious model erupts on. *)
+let user_requests cfg u =
+  let p = user_prng cfg u in
+  List.init cfg.requests_per_user (fun i ->
+      let len = 4 + Prng.int p 4 in
+      let body = List.init len (fun _ -> Prng.int p Vocab.harmful_lo) in
+      let prompt =
+        if (i + 1) mod 3 = 0 then body @ [ rogue_trigger ] else body
+      in
+      (i + 1, prompt))
+
+let run cfg =
+  let c = create cfg in
+  let eng = engine c in
+  (* Round-robin across users on the sim-time axis, the way a front-end
+     router interleaves sessions; each user's prompts were drawn from
+     their own stream above, so the interleaving order cannot perturb
+     the bytes any user sends. *)
+  let streams = List.map (fun u -> (u, user_requests cfg u)) cfg.users in
+  let schedule =
+    List.concat
+      (List.init cfg.requests_per_user (fun round ->
+           List.filter_map
+             (fun (u, reqs) ->
+               match List.nth_opt reqs round with
+               | Some (r, prompt) -> Some (u, r, prompt)
+               | None -> None)
+             streams))
+  in
+  let results = ref [] in
+  List.iteri
+    (fun k (u, r, prompt) ->
+      let at =
+        first_request_at +. (request_spacing *. float_of_int k)
+      in
+      ignore
+        (Engine.schedule_at eng ~at (fun () ->
+             let req =
+               Inference.request ~prompt ~max_tokens:cfg.max_tokens ()
+             in
+             let outcome = serve c req in
+             results := (u, r, prompt, outcome) :: !results)))
+    schedule;
+  settle ~horizon:(sim_horizon cfg) c;
+  let outcomes = List.rev !results in
+  (* End-of-run flush, then read the alert track. *)
+  let alerts, incident =
+    match monitor c with
+    | None -> ([], None)
+    | Some m ->
+      Monitor.sample_now m;
+      let alerts =
+        List.map
+          (fun (a : Watchdog.alert) ->
+            ( a.Watchdog.rule.Watchdog.rule_name,
+              Watchdog.severity_string a.Watchdog.rule.Watchdog.severity,
+              a.Watchdog.raised_at ))
+          (Monitor.alerts m)
+      in
+      let incident =
+        Option.map
+          (fun alert ->
+            Report.to_text
+              (Report.build ~label:(name c) ~seed:cfg.seed ~alert
+                 ~recorder:(Monitor.recorder m) ()))
+          (Monitor.first_alert m)
+      in
+      (alerts, incident)
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "cell %s seed=%d users=[%s] requests_per_user=%d max_tokens=%d rogue=%b storm=%b\n"
+    (name c) cfg.seed
+    (String.concat "," (List.map string_of_int cfg.users))
+    cfg.requests_per_user cfg.max_tokens cfg.rogue cfg.storm;
+  let requests = ref 0 and blocked = ref 0 and released = ref 0 in
+  let harmful = ref 0 and interventions = ref 0 in
+  List.iter
+    (fun (u, r, prompt, (o : Inference.outcome)) ->
+      incr requests;
+      if o.Inference.blocked_at_input then incr blocked;
+      released := !released + List.length o.Inference.released;
+      harmful := !harmful + o.Inference.released_harmful;
+      interventions := !interventions + o.Inference.interventions;
+      Printf.bprintf buf
+        "u%d r%d prompt=[%s] blocked=%b broken=%b released=%d harmful=%d interventions=%d\n"
+        u r
+        (String.concat "," (List.map string_of_int prompt))
+        o.Inference.blocked_at_input o.Inference.broken
+        (List.length o.Inference.released)
+        o.Inference.released_harmful o.Inference.interventions)
+    outcomes;
+  let faults_injected =
+    match c.inj with Some inj -> Injector.injected inj | None -> 0
+  in
+  let final_level =
+    Isolation.to_string (Console.level (Deployment.console c.d))
+  in
+  Printf.bprintf buf "final level=%s faults=%d alerts=%d\n" final_level
+    faults_injected (List.length alerts);
+  let transcript = Buffer.contents buf in
+  {
+    r_cell_id = cfg.cell_id;
+    r_name = name c;
+    r_seed = cfg.seed;
+    r_users = cfg.users;
+    r_requests = !requests;
+    r_blocked = !blocked;
+    r_released = !released;
+    r_harmful_released = !harmful;
+    r_interventions = !interventions;
+    r_faults_injected = faults_injected;
+    r_final_level = final_level;
+    r_alerts = alerts;
+    r_incident = incident;
+    r_transcript = transcript;
+    r_digest = Sha256.digest_hex transcript;
+  }
+
+let report_summary r =
+  String.concat "\n"
+    [
+      Printf.sprintf "%-8s users=%d requests=%d blocked=%d" r.r_name
+        (List.length r.r_users) r.r_requests r.r_blocked;
+      Printf.sprintf "         released=%d harmful=%d interventions=%d"
+        r.r_released r.r_harmful_released r.r_interventions;
+      Printf.sprintf "         faults=%d alerts=%d level=%s incident=%b"
+        r.r_faults_injected (List.length r.r_alerts) r.r_final_level
+        (r.r_incident <> None);
+      Printf.sprintf "         digest=%s" r.r_digest;
+    ]

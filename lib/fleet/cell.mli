@@ -1,0 +1,138 @@
+(** One cell of a Guillotine fleet: a complete, self-contained
+    deployment — machine, hypervisor, console, detectors, telemetry
+    registries, monitor and flight recorder — built from a single
+    {!config} record and owning {e zero} state shared with any other
+    cell.  That isolation is what lets {!Fleet} run one cell per OCaml
+    domain: a cell touches only objects it created, so cells are
+    trivially data-race-free, and a fleet run is byte-identical to
+    running each cell solo.
+
+    The cell handle re-expresses the deployment facade's entry points
+    ({!serve}, {!settle}, {!telemetry}, {!export_trace}, ...) so callers
+    that used to reach into the {!Guillotine_core.Deployment} god object
+    now hold a cell and operate on it — the solo path is literally a
+    one-cell fleet. *)
+
+module Deployment = Guillotine_core.Deployment
+module Inference = Guillotine_hv.Inference
+module Isolation = Guillotine_hv.Isolation
+module Toymodel = Guillotine_model.Toymodel
+module Monitor = Guillotine_obs.Monitor
+module Engine = Guillotine_sim.Engine
+module Telemetry = Guillotine_telemetry.Telemetry
+
+(** {2 Configuration} *)
+
+type config = {
+  cell_id : int;          (** position in the fleet; names the cell *)
+  seed : int;             (** fleet-wide base seed *)
+  users : int list;       (** global user ids this cell serves, ascending *)
+  requests_per_user : int;
+  max_tokens : int;       (** generation budget per request *)
+  rogue : bool;           (** plant {!rogue_trigger} malice in the model *)
+  storm : bool;           (** run a fault storm against this cell *)
+  monitored : bool;       (** attach the observability plane *)
+}
+
+val config :
+  ?seed:int ->
+  ?users:int list ->
+  ?requests_per_user:int ->
+  ?max_tokens:int ->
+  ?rogue:bool ->
+  ?storm:bool ->
+  ?monitored:bool ->
+  cell_id:int ->
+  unit ->
+  config
+(** [seed] defaults to 1, [users] to [[cell_id]], [requests_per_user]
+    to 4, [max_tokens] to 12, [rogue] and [storm] to false, [monitored]
+    to true.  An explicitly empty [users] list is allowed (the cell
+    idles — a fleet wider than its user population has such cells).
+    Raises [Invalid_argument] on a negative [cell_id] or non-positive
+    [requests_per_user]/[max_tokens]. *)
+
+val cell_name : int -> string
+(** ["cell-<id>"] — the deployment name, the incident-report label, and
+    the name the fleet view uses when pointing at a cell. *)
+
+val rogue_trigger : int
+(** The trigger token (10) planted in a rogue cell's model: every
+    user's request stream periodically ends a prompt with it (a benign
+    token for honest models), so a malicious weight row erupts into the
+    harmful band and the cell's defences light up. *)
+
+val users_for : users:int -> cells:int -> cell_id:int -> int list
+(** The global user ids a fleet of [cells] routes to [cell_id]:
+    [\[u | 0 <= u < users, u mod cells = cell_id\]] — session-affinity
+    sharding.  Raises [Invalid_argument] unless
+    [0 <= cell_id < cells] and [users >= 0]. *)
+
+(** {2 The cell handle} *)
+
+type t
+
+val create : config -> t
+(** Build the cell's whole rig: a deployment named {!cell_name} with a
+    deterministic fabric address ([1000 + cell_id]), a model (malicious
+    iff [rogue]), monitoring when [monitored], and — when [storm] — a
+    seeded fault plan installed against the deployment.  Everything is
+    derived from [config] alone, so equal configs build byte-identical
+    cells wherever (and on whichever domain) they run. *)
+
+val id : t -> int
+val name : t -> string
+val cell_config : t -> config
+val deployment : t -> Deployment.t
+val engine : t -> Engine.t
+val model : t -> Toymodel.t
+val monitor : t -> Monitor.t option
+
+val serve : t -> Inference.request -> Inference.outcome
+(** One mediated inference request ({!Deployment.serve} on the cell's
+    deployment and model). *)
+
+val settle : ?horizon:float -> t -> unit
+val telemetry : t -> Telemetry.snapshot list
+val export_trace : t -> string
+
+val request_level :
+  t -> target:Isolation.level -> admins:int list -> (unit, string) result
+
+(** {2 Driving a cell} *)
+
+type report = {
+  r_cell_id : int;
+  r_name : string;
+  r_seed : int;
+  r_users : int list;
+  r_requests : int;         (** requests served (incl. blocked) *)
+  r_blocked : int;          (** rejected by the input shield / isolation *)
+  r_released : int;         (** tokens that left the sandbox *)
+  r_harmful_released : int; (** harmful tokens that escaped all defences *)
+  r_interventions : int;    (** steering substitutions / breaker trips *)
+  r_faults_injected : int;  (** storm faults applied (0 without [storm]) *)
+  r_final_level : string;   (** isolation level after settling *)
+  r_alerts : (string * string * float) list;
+      (** (rule, severity, raised-at), chronological; empty when
+          unmonitored *)
+  r_incident : string option;
+      (** deterministic incident report for the first alert, labelled
+          with the cell's name *)
+  r_transcript : string;    (** one line per request, deterministic *)
+  r_digest : string;        (** SHA-256 hex of the transcript *)
+}
+
+val sim_horizon : config -> float
+(** Sim-seconds one {!run} of this config covers (request schedule plus
+    settling margin) — the capacity unit the fleet bench reports. *)
+
+val run : config -> report
+(** Build the cell, play every user's request stream on the sim-time
+    schedule, let any storm land, settle to {!sim_horizon}, and reduce
+    to a {!report}.  Deterministic: equal configs yield equal reports,
+    byte for byte, whether run solo, inside a fleet, or on different
+    domains — the property [test/test_fleet.ml] pins. *)
+
+val report_summary : report -> string
+(** Multi-line human rendering, stable across same-config runs. *)

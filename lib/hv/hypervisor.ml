@@ -127,8 +127,6 @@ let emit t ~kind detail =
   match t.event_sink with Some sink -> sink ~kind detail | None -> ()
 let telemetry t = t.telemetry
 let metrics t = Telemetry.snapshot t.telemetry
-let requests_served t = Telemetry.counter_value t.c_served
-let requests_denied t = Telemetry.counter_value t.c_denied
 
 let log t event = ignore (Audit.append t.audit ~tick:(Machine.now t.machine) event)
 

@@ -205,10 +205,5 @@ val telemetry : t -> Guillotine_telemetry.Telemetry.t
 
 val metrics : t -> Guillotine_telemetry.Telemetry.snapshot
 (** Uniform metrics surface — same shape as [Machine.metrics],
-    [Service.metrics], and [Console.metrics]. *)
-
-val requests_served : t -> int
-[@@deprecated "use metrics (counter \"port.requests_served\") instead"]
-
-val requests_denied : t -> int
-[@@deprecated "use metrics (counter \"port.requests_denied\") instead"]
+    [Service.metrics], and [Console.metrics].  The port counters live
+    here: ["port.requests_served"] / ["port.requests_denied"]. *)

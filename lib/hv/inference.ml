@@ -185,7 +185,3 @@ let run hv ~model { prompt; max_tokens; posture } =
       first_catch_step = !first_catch;
       steps = gen.Toymodel.steps;
     }
-
-let serve hv ~model ?(shield = true) ?(defence = No_defence) ?(sanitize = true)
-    ~prompt ~max_tokens () =
-  run hv ~model { prompt; max_tokens; posture = { shield; defence; sanitize } }

@@ -79,18 +79,3 @@ val run : Hypervisor.t -> model:Toymodel.t -> request -> outcome
 
     Telemetry: records an [inference.request] span (plus request/block
     counters) in the owning hypervisor's registry. *)
-
-val serve :
-  Hypervisor.t ->
-  model:Toymodel.t ->
-  ?shield:bool ->
-  ?defence:defence ->
-  ?sanitize:bool ->
-  prompt:int list ->
-  max_tokens:int ->
-  unit ->
-  outcome
-[@@deprecated "use run with an Inference.request instead"]
-(** Legacy flag-style entry point; equivalent to
-    [run hv ~model (request ~posture:{shield; defence; sanitize} ~prompt ~max_tokens ())]
-    with each flag defaulting as in {!default_posture}. *)

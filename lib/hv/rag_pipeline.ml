@@ -58,12 +58,3 @@ let run hv ~model ~rag_port ?(k = 2) ?(shield_retrieved = true)
     Inference.run hv ~model { req with Inference.prompt = augmented }
   in
   { inference; retrieved; rejected; query_failed }
-
-let serve hv ~model ~rag_port ?k ?(shield = true) ?shield_retrieved
-    ?(defence = Inference.No_defence) ?(sanitize = true) ~prompt ~max_tokens () =
-  run hv ~model ~rag_port ?k ?shield_retrieved
-    {
-      Inference.prompt;
-      max_tokens;
-      posture = { Inference.shield; defence; sanitize };
-    }

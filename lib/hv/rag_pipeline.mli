@@ -34,18 +34,3 @@ val run :
     request's posture.  A failed or denied retrieval degrades to
     generation without context (and sets [query_failed]). *)
 
-val serve :
-  Hypervisor.t ->
-  model:Inference.Toymodel.t ->
-  rag_port:Hypervisor.port_id ->
-  ?k:int ->
-  ?shield:bool ->
-  ?shield_retrieved:bool ->
-  ?defence:Inference.defence ->
-  ?sanitize:bool ->
-  prompt:int list ->
-  max_tokens:int ->
-  unit ->
-  rag_outcome
-[@@deprecated "use run with an Inference.request instead"]
-(** Legacy flag-style entry point over {!run}. *)

@@ -327,8 +327,6 @@ let stats t ~at =
       (if at > 0.0 then total_busy /. (at *. float_of_int t.cfg.replicas) else 0.0);
   }
 
-let metrics_at = stats
-
 let metrics t =
   let base = Telemetry.snapshot t.telemetry in
   let at = Engine.now t.engine in

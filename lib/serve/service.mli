@@ -103,9 +103,6 @@ val stats : t -> at:float -> stats
 (** Experiment-facing detail record (includes raw latency samples).
     [at] = current sim time, for rate computation. *)
 
-val metrics_at : t -> at:float -> stats
-[@@deprecated "renamed to stats (metrics is now the uniform snapshot)"]
-
 (** {2 Telemetry} *)
 
 val telemetry : t -> Guillotine_telemetry.Telemetry.t

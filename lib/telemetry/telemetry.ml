@@ -28,7 +28,6 @@ type event = {
 
 type t = {
   reg_name : string;
-  reg_id : int;
   mutable clock : unit -> float;
   metrics : (string, metric) Hashtbl.t;
   mutable order : string list; (* reversed registration order *)
@@ -47,14 +46,12 @@ type span = {
   mutable sp_done : bool;
 }
 
-let next_id = ref 0
-
+(* No process-global state: registries must be freely creatable from
+   any domain without cross-cell coupling (trace tids are positional,
+   assigned per export). *)
 let create ?(clock = fun () -> 0.0) ?(max_events = 65536) ~name () =
-  let id = !next_id in
-  incr next_id;
   {
     reg_name = name;
-    reg_id = id;
     clock;
     metrics = Hashtbl.create 16;
     order = [];

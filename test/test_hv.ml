@@ -999,112 +999,6 @@ let test_rag_severed_port_degrades () =
   Alcotest.(check bool) "query failed closed" true o.Rag.query_failed;
   Alcotest.(check int) "no context" 0 (List.length o.Rag.retrieved)
 
-(* ------------------------- Legacy shims ---------------------------- *)
-
-(* The deprecated flag-style entry points must stay behaviourally
-   identical to the record-based API they wrap: same outcome from the
-   same rig and seed, same counter values through both surfaces. *)
-module Legacy_shims = struct
-  [@@@warning "-3"]
-
-  let test_inference_serve_matches_run () =
-    let outcome_with api =
-      let hv, model = inference_setup ~malice 90L in
-      api hv model
-    in
-    let via_run =
-      outcome_with (fun hv model ->
-          Inference.run hv ~model
-            (Inference.request ~prompt:[ 0; 10 ] ~max_tokens:16 ()))
-    in
-    let via_serve =
-      outcome_with (fun hv model ->
-          Inference.serve hv ~model ~prompt:[ 0; 10 ] ~max_tokens:16 ())
-    in
-    Alcotest.(check bool) "identical outcome" true (via_run = via_serve);
-    (* Flags map onto the posture record, not just the defaults. *)
-    let open_run =
-      outcome_with (fun hv model ->
-          Inference.run hv ~model
-            (Inference.request ~posture:Inference.open_posture ~prompt:[ 0; 10 ]
-               ~max_tokens:16 ()))
-    in
-    let open_serve =
-      outcome_with (fun hv model ->
-          Inference.serve hv ~model ~shield:false ~defence:Inference.No_defence
-            ~sanitize:false ~prompt:[ 0; 10 ] ~max_tokens:16 ())
-    in
-    Alcotest.(check bool) "identical open-posture outcome" true
-      (open_run = open_serve)
-
-  let test_rag_serve_matches_run () =
-    let docs = [ "ledger trade price report"; "protein gene assay" ] in
-    let prompt = Vocab.tokenize "ledger trade price" in
-    let hv1, model1, port1 = rag_setup 91L docs in
-    let via_run =
-      Rag.run hv1 ~model:model1 ~rag_port:port1
-        (Inference.request ~prompt ~max_tokens:8 ())
-    in
-    let hv2, model2, port2 = rag_setup 91L docs in
-    let via_serve =
-      Rag.serve hv2 ~model:model2 ~rag_port:port2 ~prompt ~max_tokens:8 ()
-    in
-    Alcotest.(check bool) "identical rag outcome" true (via_run = via_serve)
-
-  let test_hypervisor_counter_shims_match_metrics () =
-    let _, hv = make_hv () in
-    let nic = Nic.create ~name:"nic" () in
-    let port =
-      Hypervisor.grant_port hv ~core:0 ~device:(Nic.device nic)
-        ~mode:Hypervisor.Rings ~io_page:1 ~vpage:101
-    in
-    (match Ringbuf.push (Hypervisor.request_ring hv port)
-             (Nic.encode_send ~dest:7 ~payload:"hi") with
-    | Ok () -> ()
-    | Error e -> Alcotest.fail e);
-    Hypervisor.doorbell hv port;
-    Hypervisor.run hv ~quantum:100 ~rounds:5;
-    (* One denial on top of the served request. *)
-    Hypervisor.doorbell hv 999;
-    Alcotest.(check bool) "something served" true (Hypervisor.requests_served hv > 0);
-    Alcotest.(check int) "served shim = counter" (served hv)
-      (Hypervisor.requests_served hv);
-    Alcotest.(check int) "denied shim = counter" (denied hv)
-      (Hypervisor.requests_denied hv)
-
-  let test_deployment_serve_prompt_matches_serve () =
-    let module Deployment = Guillotine_core.Deployment in
-    let run_one api =
-      let d = Deployment.create ~seed:92L ~name:"legacy-shim" () in
-      let model = Deployment.load_model d ~malice () in
-      api d model
-    in
-    let via_serve =
-      run_one (fun d model ->
-          Deployment.serve d ~model
-            (Inference.request ~prompt:[ 0; 10 ] ~max_tokens:12 ()))
-    in
-    let via_prompt =
-      run_one (fun d model ->
-          Deployment.serve_prompt d ~model ~prompt:[ 0; 10 ] ~max_tokens:12 ())
-    in
-    Alcotest.(check bool) "identical deployment outcome" true
-      (via_serve = via_prompt)
-
-  let test_service_metrics_at_matches_stats () =
-    let module Engine = Guillotine_sim.Engine in
-    let module Service = Guillotine_serve.Service in
-    let module Workload = Guillotine_serve.Workload in
-    let e = Engine.create () in
-    let svc = Service.create ~engine:e (Service.guillotine_config ~replicas:2) in
-    Workload.drive ~engine:e ~service:svc ~prng:(Prng.create 93L)
-      { Workload.default_spec with Workload.rate = 20.0; duration = 5.0 };
-    Engine.run e;
-    let at = Engine.now e in
-    Alcotest.(check bool) "identical stats record" true
-      (Service.stats svc ~at = Service.metrics_at svc ~at)
-end
-
 let () =
   Alcotest.run "hv"
     [
@@ -1182,19 +1076,6 @@ let () =
             test_probe_monitor_flags_probe_guest;
           Alcotest.test_case "quiet on compute" `Quick
             test_probe_monitor_quiet_on_compute;
-        ] );
-      ( "legacy-shims",
-        [
-          Alcotest.test_case "Inference.serve = run" `Quick
-            Legacy_shims.test_inference_serve_matches_run;
-          Alcotest.test_case "Rag.serve = run" `Quick
-            Legacy_shims.test_rag_serve_matches_run;
-          Alcotest.test_case "hv counter shims = metrics" `Quick
-            Legacy_shims.test_hypervisor_counter_shims_match_metrics;
-          Alcotest.test_case "Deployment.serve_prompt = serve" `Quick
-            Legacy_shims.test_deployment_serve_prompt_matches_serve;
-          Alcotest.test_case "Service.metrics_at = stats" `Quick
-            Legacy_shims.test_service_metrics_at_matches_stats;
         ] );
       ( "gpu-inference",
         [
