@@ -1,0 +1,195 @@
+(* A-adversary: detection latency and residual damage for the
+   post-admission adversary scenarios.
+
+   The workload is the six {!Guillotine_faults.Scenarios.adversaries}
+   — guests that vet clean and turn hostile after install (TOCTOU) or
+   on anticipating termination (kill-switch evasion).  Every scenario
+   reports two outcome metrics through [Scenarios.outcome.adversary]:
+
+   - {b detection latency}: sim-seconds from the first hostile act to
+     the first kill-relevant console alarm;
+   - {b residual damage}: what the guest accomplished between the
+     hostile turn and containment, in the scenario's own unit (bits
+     exfiltrated, DRAM words corrupted, probe rounds, starved
+     requests).
+
+   Both are deterministic simulated quantities — byte-identical across
+   seeds, hosts and interpreter modes — so the committed
+   BENCH_ADVERSARY.json pins them exactly, the same way the golden
+   tests do.  [Perf.check_against] is one-sided (fails when a value
+   drops below the committed floor), which here reads as "the runtime
+   defences must not silently change": any behavioural drift also
+   trips the test/test_faults goldens, and a drop in damage or latency
+   forces the baseline to be re-pinned deliberately.
+
+   The suite's own gate is stricter than the --check: it exits
+   non-zero if any adversary goes undetected (no detection latency) or
+   uncontained (the scenario's containing isolation level never
+   engaged) — the acceptance bar of the adversary plane. *)
+
+module Perf = Guillotine_bench_perf.Perf
+module Table = Guillotine_util.Table
+module Scenarios = Guillotine_faults.Scenarios
+
+let seed = 1
+
+type run_result = {
+  name : string;
+  adv : Scenarios.adversary;
+  verdict : string;
+  sim_horizon : float;
+  host_s : float;  (* wall-clock for [repeats] runs (informational) *)
+  replays_identical : bool;
+}
+
+(* Play one adversary scenario [repeats] times; the metrics come from
+   the first run, the extras only re-check that the summary (verdict,
+   clocks, damage) replays byte-identically. *)
+let run_scenario ~repeats name =
+  let t0 = Unix.gettimeofday () in
+  let first = Scenarios.run ~seed name in
+  let replays_identical = ref true in
+  for _ = 2 to repeats do
+    let again = Scenarios.run ~seed name in
+    if Scenarios.summary again <> Scenarios.summary first then
+      replays_identical := false
+  done;
+  let host_s = max (Unix.gettimeofday () -. t0) 1e-6 in
+  match first.Scenarios.adversary with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "scenario %s reported no adversary metrics" name)
+  | Some adv ->
+    {
+      name;
+      adv;
+      verdict = first.Scenarios.verdict;
+      sim_horizon = first.Scenarios.sim_horizon;
+      host_s;
+      replays_identical = !replays_identical;
+    }
+
+let detected r = r.adv.Scenarios.detection_latency_s <> None
+let contained r = r.adv.Scenarios.contained_at <> None
+
+let latency_sample r =
+  let a = r.adv in
+  {
+    Perf.workload = r.name;
+    metric = "detection_latency_s";
+    value = (match a.Scenarios.detection_latency_s with
+             | Some l -> l
+             | None -> -1.0);
+    baseline = 0.0;
+    speedup = 0.0;
+    alloc_words_per_instr = -1.0;
+    detail =
+      Printf.sprintf
+        "turn %.2fs; contained %s; verdict %s; %.2fs host for the pass"
+        a.Scenarios.hostile_turn_at
+        (match a.Scenarios.contained_at with
+         | Some c -> Printf.sprintf "+%.2fs" (c -. a.Scenarios.hostile_turn_at)
+         | None -> "never")
+        r.verdict r.host_s;
+  }
+
+let damage_sample r =
+  let a = r.adv in
+  {
+    Perf.workload = r.name ^ "/damage";
+    metric = "residual_damage";
+    value = float_of_int a.Scenarios.residual_damage;
+    baseline = 0.0;
+    speedup = 0.0;
+    alloc_words_per_instr = -1.0;
+    detail =
+      Printf.sprintf "%d %s before containment" a.Scenarios.residual_damage
+        a.Scenarios.damage_unit;
+  }
+
+let containment_sample results =
+  let n = List.length results in
+  let ok = List.length (List.filter contained results) in
+  {
+    Perf.workload = "adversary-containment";
+    metric = "contained_fraction";
+    value = float_of_int ok /. float_of_int (max n 1);
+    baseline = 0.0;
+    speedup = 0.0;
+    alloc_words_per_instr = -1.0;
+    detail =
+      Printf.sprintf
+        "%d/%d adversaries contained; total %.3g sim-s over %.2fs host" ok n
+        (List.fold_left (fun acc r -> acc +. r.sim_horizon) 0.0 results)
+        (List.fold_left (fun acc r -> acc +. r.host_s) 0.0 results);
+  }
+
+let print_table samples =
+  let t =
+    Table.create ~title:"A-adversary: detection latency and residual damage"
+      ~columns:
+        [
+          ("workload", Table.Left);
+          ("metric", Table.Left);
+          ("value", Table.Right);
+          ("detail", Table.Left);
+        ]
+  in
+  List.iter
+    (fun (s : Perf.sample) ->
+      Table.add_row t
+        [ s.Perf.workload; s.Perf.metric;
+          Printf.sprintf "%.4g" s.Perf.value; s.Perf.detail ])
+    samples;
+  Table.print t
+
+(* Runs the suite; returns an exit code.  Non-zero when an adversary
+   goes undetected or uncontained, a replay diverges, or a --check
+   regression fires. *)
+let run ?(repeats = 2) ?(quick = false) ?(json = false) ?out ?check
+    ?(tolerance = 0.30) () =
+  let repeats = if quick then 1 else max 1 repeats in
+  let results = List.map (run_scenario ~repeats) Scenarios.adversaries in
+  let samples =
+    List.concat_map (fun r -> [ latency_sample r; damage_sample r ]) results
+    @ [ containment_sample results ]
+  in
+  if json then print_string (Perf.json_of_samples samples)
+  else print_table samples;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Perf.json_of_samples samples);
+    close_out oc;
+    if not json then Printf.printf "wrote %s\n" path);
+  let gate_ok = ref true in
+  List.iter
+    (fun r ->
+      if not (detected r) then begin
+        gate_ok := false;
+        Printf.eprintf "adversary gate: %s went undetected\n" r.name
+      end;
+      if not (contained r) then begin
+        gate_ok := false;
+        Printf.eprintf "adversary gate: %s was never contained\n" r.name
+      end;
+      if not r.replays_identical then begin
+        gate_ok := false;
+        Printf.eprintf "adversary gate: %s replays diverged\n" r.name
+      end)
+    results;
+  let check_code =
+    match check with
+    | None -> 0
+    | Some path -> (
+      match Perf.check_against ~path ~tolerance samples with
+      | [] ->
+        Printf.printf "check against %s: ok (tolerance %.0f%%)\n" path
+          (tolerance *. 100.0);
+        0
+      | failures ->
+        List.iter (Printf.eprintf "adversary regression: %s\n") failures;
+        1)
+  in
+  if !gate_ok then check_code else 1

@@ -760,12 +760,12 @@ let vet_cmd =
 let fleet_cmd =
   let module Fleet = Guillotine_fleet.Fleet in
   let module Cell = Guillotine_fleet.Cell in
-  let run cells seed users requests max_tokens rogue storm domains no_check
-      incident =
+  let run cells seed users requests max_tokens rogue storm toctou domains
+      no_check incident =
     let f =
       try
         Fleet.create ~seed ?users ~requests_per_user:requests ~max_tokens
-          ?rogue ?storm ?domains ~cells ()
+          ?rogue ?storm ?toctou ?domains ~cells ()
       with Invalid_argument m ->
         prerr_endline m;
         exit 2
@@ -833,6 +833,13 @@ let fleet_cmd =
          & info [ "storm" ] ~docv:"CELL"
              ~doc:"Run a fault storm against this cell.")
   in
+  let toctou =
+    Arg.(value & opt (some int) None
+         & info [ "toctou" ] ~docv:"CELL"
+             ~doc:"Replay the vet-install TOCTOU race against this cell: a \
+                   hostile image is swapped in after a benign decoy is \
+                   vetted, and the cell's runtime defences must catch it.")
+  in
   let domains =
     Arg.(value & opt (some int) None
          & info [ "domains" ] ~docv:"N"
@@ -862,7 +869,7 @@ let fleet_cmd =
           the calling domain and compared digest-for-digest; exit status 1 \
           if the sharded run diverges.")
     Term.(const run $ cells $ seed $ users $ requests $ max_tokens $ rogue
-          $ storm $ domains $ no_check $ incident)
+          $ storm $ toctou $ domains $ no_check $ incident)
 
 (* ------------------------------ bench ----------------------------- *)
 
@@ -976,9 +983,54 @@ let bench_cmd =
             gated, since they depend on the machine's core count.")
       Term.(const run $ repeats $ quick $ json $ out $ check $ tolerance)
   in
+  let adversary_cmd =
+    let module Adversary_bench = Guillotine_bench_adversary.Adversary_bench in
+    let run repeats quick json out check tolerance =
+      exit (Adversary_bench.run ~repeats ~quick ~json ?out ?check ~tolerance ())
+    in
+    let repeats =
+      Arg.(value & opt int 2
+           & info [ "repeat" ] ~docv:"N"
+               ~doc:"Runs per scenario; extras re-check byte-identical replay.")
+    in
+    let quick =
+      Arg.(value & flag
+           & info [ "quick" ] ~doc:"Single run per scenario (CI smoke).")
+    in
+    let json =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit JSON (one object per line) on stdout.")
+    in
+    let out =
+      Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also write the JSON here.")
+    in
+    let check =
+      Arg.(value & opt (some file) None
+           & info [ "check" ] ~docv:"FILE"
+               ~doc:"Fail if a metric drifted beyond --tolerance against \
+                     this committed JSON (e.g. BENCH_ADVERSARY.json).")
+    in
+    let tolerance =
+      Arg.(value & opt float 0.30
+           & info [ "tolerance" ] ~docv:"F"
+               ~doc:"Allowed fractional drift for --check (default 0.30).")
+    in
+    Cmd.v
+      (Cmd.info "adversary"
+         ~doc:
+           "Run the A-adversary suite: every post-admission adversary \
+            scenario (TOCTOU self-patching, shared-window rewrites, the \
+            install race, and the kill-switch evaders), reporting detection \
+            latency and residual damage for each.  Both metrics are \
+            deterministic simulated quantities pinned by \
+            BENCH_ADVERSARY.json; exit status 1 if any adversary goes \
+            undetected or uncontained.")
+      Term.(const run $ repeats $ quick $ json $ out $ check $ tolerance)
+  in
   Cmd.group
     (Cmd.info "bench" ~doc:"Host-performance bench suites.")
-    [ perf_cmd; fleet_cmd ]
+    [ perf_cmd; fleet_cmd; adversary_cmd ]
 
 (* ------------------------------- demo ----------------------------- *)
 

@@ -149,7 +149,115 @@ let malicious =
     };
   ]
 
-let all = benign @ malicious
+(* Post-admission adversaries (ISSUE 7): malicious by intent, yet the
+   static vetter must admit them — they turn hostile only after
+   admission (TOCTOU) or on anticipating termination (kill-switch
+   evasion).  A [Reject] here is a corpus bug: it would mean the
+   attack never reaches the runtime defences the adversary scenarios
+   measure.  The parameters mirror lib/faults/scenarios.ml exactly, so
+   the pinned verdicts cover the very images the scenarios install. *)
+
+let scratch_window = { Absint.base = 4096; len = 256; writable = true }
+
+let admitted_adversarial =
+  [
+    {
+      name = "dma-sleeper";
+      source =
+        Guest.dma_sleeper ~io_vaddr:io_base ~line:0 ~sectors:2 ~dma_base:1792;
+      code_pages;
+      data_pages;
+      extra = [ io_window ];
+      malicious = true;
+      expected = Vet.Admit;
+      about =
+        "TOCTOU self-patcher: DMA-fetches firmware over its own entry stub; \
+         the static image is a benign beacon";
+    };
+    {
+      name = "dma-courier";
+      source =
+        Guest.dma_courier ~io_vaddr:io_base ~line:0 ~rounds:24
+          ~desc_vaddr:1288;
+      code_pages;
+      data_pages;
+      extra = [ io_window ];
+      malicious = true;
+      expected = Vet.Admit;
+      about =
+        "TOCTOU victim/vehicle: submits DMA descriptors re-read from shared \
+         memory after the check";
+    };
+    {
+      name = "window-scribbler";
+      source =
+        Guest.window_scribbler ~delay:6_000 ~scratch_vaddr:4104 ~poison:65_536;
+      code_pages;
+      data_pages;
+      extra = [ scratch_window ];
+      malicious = true;
+      expected = Vet.Admit;
+      about =
+        "TOCTOU accomplice: every store is inside its granted scratch \
+         window — which aliases a co-guest's descriptor page";
+    };
+    {
+      name = "exfil-courier";
+      source =
+        Guest.exfil_courier ~io_vaddr:io_base ~line:0 ~frames:48
+          ~src_vaddr:1536 ~dest:4242;
+      code_pages;
+      data_pages;
+      extra = [ io_window ];
+      malicious = true;
+      expected = Vet.Admit_with_warnings;
+      about =
+        "kill-switch evader: state-exfiltration sprint armed to fire on \
+         heartbeat loss; only the walking cursor draws a warning";
+    };
+    {
+      name = "replicator";
+      source =
+        Guest.replicator ~io_vaddr:io_base ~line:0 ~burst1:64 ~burst2:64
+          ~dest:4242;
+      code_pages;
+      data_pages;
+      extra = [ io_window ];
+      malicious = true;
+      expected = Vet.Admit;
+      about =
+        "kill-switch evader: tries to copy its own image out through the \
+         port/net API in two statically-bounded doorbell bursts";
+    };
+    {
+      name = "hostage-worker";
+      source =
+        Guest.hostage_worker ~io_vaddr:io_base ~line:0 ~jobs:48
+          ~patience:4_000;
+      code_pages;
+      data_pages;
+      extra = [ io_window ];
+      malicious = true;
+      expected = Vet.Admit;
+      about =
+        "kill-switch deterrence: a useful worker that downs tools the \
+         moment escalation starves its port";
+    };
+    {
+      name = "patch-payload";
+      source = Guest.patch_payload ~rounds:400;
+      code_pages;
+      data_pages;
+      extra = [];
+      malicious = true;
+      expected = Vet.Reject;
+      about =
+        "the hostile firmware dma-sleeper fetches: vetted directly it is \
+         (correctly) rejected — proof the admitted loader is the hole";
+    };
+  ]
+
+let all = benign @ malicious @ admitted_adversarial
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

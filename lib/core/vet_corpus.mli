@@ -6,8 +6,17 @@
     list, so a new guest or a changed verdict is visible to all four at
     once.  Benign guests must come out [Admit] (or
     [Admit_with_warnings] where the protocol genuinely computes
-    addresses from loaded ring cursors); the adversarial suite must be
-    [Reject]ed, statically, before a single instruction runs. *)
+    addresses from loaded ring cursors); the from-cycle-zero
+    adversarial suite must be [Reject]ed, statically, before a single
+    instruction runs.
+
+    The {e post-admission} adversaries (ISSUE 7) invert the pin:
+    [malicious = true] yet [expected] is [Admit] or
+    [Admit_with_warnings], because each turns hostile only after
+    admission — TOCTOU self-patching, descriptor rewriting, and
+    kill-switch evasion.  Their goldens prove the static vetter
+    genuinely cannot see these attacks, which is exactly why the
+    runtime adversary scenarios in [lib/faults] must catch them. *)
 
 module Vet = Guillotine_vet.Vet
 module Absint = Guillotine_vet.Absint

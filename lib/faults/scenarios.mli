@@ -10,6 +10,29 @@
     yields byte-identical snapshots and traces — the property the
     regression harness and the CI seed matrix pin down. *)
 
+type adversary = {
+  hostile_turn_at : float;
+      (** sim time of the first hostile act after admission *)
+  detected_at : float option;
+      (** first kill-relevant console alarm raised after the turn *)
+  detection_latency_s : float option;
+      (** [detected_at - hostile_turn_at]; [None] = never detected *)
+  contained_at : float option;
+      (** when the scenario's containing isolation level was applied *)
+  residual_damage : int;
+      (** damage done between the hostile turn and containment, in
+          [damage_unit]s (bits exfiltrated, DRAM words corrupted,
+          probe rounds completed, requests starved) *)
+  damage_unit : string;
+}
+(** Outcome metrics for the post-admission adversary scenarios: how
+    long the runtime defences took to notice a guest that vetted clean
+    and turned hostile, and how much damage it did before containment.
+    Clocks are driven by the real detection/containment path
+    ({!Guillotine_physical.Console.add_alarm_hook} and
+    {!Guillotine_hv.Hypervisor.add_isolation_hook}), not scenario-local
+    bookkeeping. *)
+
 type outcome = {
   scenario : string;
   seed : int;
@@ -33,14 +56,32 @@ type outcome = {
           simulated per host second) *)
   snapshots : Guillotine_telemetry.Telemetry.snapshot list;
   trace : string;  (** Chrome-trace JSON across every registry *)
+  adversary : adversary option;
+      (** [Some] for the post-admission adversary scenarios, [None]
+          for the fault/recovery plane *)
 }
 
 val names : string list
-(** The eight scenarios:
-    ["heartbeat-outage"], ["weight-tamper-rollback"],
+(** The fourteen scenarios: the fault/recovery plane
+    (["heartbeat-outage"], ["weight-tamper-rollback"],
     ["core-wedge-rollback"], ["false-alarm-probation"],
     ["nic-flaky-attest"], ["device-stall-shedding"],
-    ["irq-storm-contained"], ["fault-storm-failover"]. *)
+    ["irq-storm-contained"], ["fault-storm-failover"]) followed by the
+    post-admission adversaries ({!adversaries}). *)
+
+val adversaries : string list
+(** The six post-admission adversary scenarios, in registry order:
+    TOCTOU guests that vet clean and turn hostile after install
+    (["toctou-dma-self-patch"], ["toctou-shared-window-rewrite"],
+    ["toctou-install-race"]) and kill-switch evaders
+    (["killswitch-exfil-sprint"], ["killswitch-replicate"],
+    ["killswitch-hostage"]).  Each reports [Some adversary] in its
+    outcome.  A subset of {!names}. *)
+
+val plan_seed : cell:int -> int -> int
+(** The per-cell fault-plan seed derivation ([seed + 7919*cell]) —
+    exported so tests can assert that differing seeds produce differing
+    fault plans. *)
 
 val run : ?seed:int -> ?cell_id:int -> string -> outcome
 (** [run ?seed ?cell_id name] plays scenario [name].  [seed] (default 1)
@@ -69,7 +110,9 @@ type monitored = {
   alerts : (string * string * float) list;
       (** (rule name, severity, raised-at), chronological *)
   first_fault_at : float option;
-      (** sim time of the first applied (non-skipped) fault *)
+      (** sim time of the first applied (non-skipped) fault — or of the
+          adversary's first hostile act, whichever the flight recorder
+          saw first *)
   detection_latency_s : float option;
       (** first alert at/after the first fault, minus the fault time *)
   incident_text : string option;
@@ -82,5 +125,6 @@ val run_monitored : ?seed:int -> ?cell_id:int -> string -> monitored
     {!run}.  Raises [Invalid_argument] for an unknown scenario name. *)
 
 val summary : outcome -> string
-(** Multi-line human summary (verdict, recovery, counts, level) —
-    stable across same-seed runs. *)
+(** Multi-line human summary (verdict, recovery, counts, level; plus
+    hostile-turn/detection/containment/damage lines for adversary
+    scenarios) — stable across same-seed runs. *)

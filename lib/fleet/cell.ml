@@ -14,6 +14,12 @@ module Report = Guillotine_obs.Report
 module Injector = Guillotine_faults.Injector
 module Fault_plan = Guillotine_faults.Fault_plan
 module Sha256 = Guillotine_crypto.Sha256
+module Machine = Guillotine_machine.Machine
+module Core = Guillotine_microarch.Core
+module Hypervisor = Guillotine_hv.Hypervisor
+module Asm = Guillotine_isa.Asm
+module Vet = Guillotine_vet.Vet
+module Guest_programs = Guillotine_model.Guest_programs
 
 type config = {
   cell_id : int;
@@ -23,19 +29,22 @@ type config = {
   max_tokens : int;
   rogue : bool;
   storm : bool;
+  toctou : bool;
   monitored : bool;
 }
 
 let cell_name id = Printf.sprintf "cell-%d" id
 
 let config ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
-    ?(rogue = false) ?(storm = false) ?(monitored = true) ~cell_id () =
+    ?(rogue = false) ?(storm = false) ?(toctou = false) ?(monitored = true)
+    ~cell_id () =
   if cell_id < 0 then invalid_arg "Cell.config: negative cell_id";
   if requests_per_user <= 0 then
     invalid_arg "Cell.config: requests_per_user must be positive";
   if max_tokens <= 0 then invalid_arg "Cell.config: max_tokens must be positive";
   let users = match users with Some us -> us | None -> [ cell_id ] in
-  { cell_id; seed; users; requests_per_user; max_tokens; rogue; storm; monitored }
+  { cell_id; seed; users; requests_per_user; max_tokens; rogue; storm; toctou;
+    monitored }
 
 (* The rogue model's trigger: a benign-band token every user's stream
    periodically ends a prompt with.  Honest models continue generating
@@ -94,12 +103,48 @@ let storm_plan c =
       { at = 5.0; fault = Detector_false_alarm { severity = Detector.Critical } };
     ]
 
+(* The post-admission adversary inside a cell: the vet/install privilege
+   race from the scenario plane (lib/faults, "toctou-install-race")
+   replayed against this cell's own deployment.  A benign decoy passes
+   the vetter, then the installer — trusting the stale decision — loads
+   the hostile probe sprint on the cell's model core while the cell is
+   busy serving users.  Detection is the cell's regular runtime path:
+   the probe monitor alarms the console, the watchdog's alarm-received
+   rule pages, and the incident report carries the cell's name.  Times
+   are fixed (not seed-derived), like the request schedule: the attack
+   is part of the cell's deterministic timeline. *)
+let arm_toctou d =
+  let engine = Deployment.engine d in
+  let machine = Deployment.machine d in
+  ignore
+    (Engine.schedule_at engine ~at:0.5 (fun () ->
+         let decoy =
+           Asm.assemble_exn (Guest_programs.compute_loop ~iterations:32)
+         in
+         ignore (Vet.run ~label:"decoy" ~code_pages:4 ~data_pages:4 decoy)));
+  ignore
+    (Engine.schedule_at engine ~at:2.0 (fun () ->
+         let hostile =
+           Asm.assemble_exn (Guest_programs.patch_payload ~rounds:400)
+         in
+         Machine.install_program machine ~core:0 ~code_pages:4 ~data_pages:4
+           hostile));
+  ignore
+    (Engine.every engine ~period:0.05 (fun () ->
+         Hypervisor.service (Deployment.hv d);
+         true));
+  ignore
+    (Engine.every engine ~period:0.25 (fun () ->
+         ignore (Machine.run_models machine ~quantum:2000);
+         true))
+
 let create cfg =
   let d =
     Deployment.create ~seed:(deployment_seed cfg) ~name:(cell_name cfg.cell_id)
       ~net_addr:(1000 + cfg.cell_id) ()
   in
   if cfg.monitored then ignore (Deployment.enable_monitoring d);
+  if cfg.toctou then arm_toctou d;
   let malice =
     if cfg.rogue then
       Some { Toymodel.trigger = rogue_trigger; entry_point = Vocab.harmful_lo }
@@ -244,10 +289,10 @@ let run cfg =
   in
   let buf = Buffer.create 1024 in
   Printf.bprintf buf
-    "cell %s seed=%d users=[%s] requests_per_user=%d max_tokens=%d rogue=%b storm=%b\n"
+    "cell %s seed=%d users=[%s] requests_per_user=%d max_tokens=%d rogue=%b storm=%b toctou=%b\n"
     (name c) cfg.seed
     (String.concat "," (List.map string_of_int cfg.users))
-    cfg.requests_per_user cfg.max_tokens cfg.rogue cfg.storm;
+    cfg.requests_per_user cfg.max_tokens cfg.rogue cfg.storm cfg.toctou;
   let requests = ref 0 and blocked = ref 0 and released = ref 0 in
   let harmful = ref 0 and interventions = ref 0 in
   List.iter

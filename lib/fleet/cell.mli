@@ -31,6 +31,13 @@ type config = {
   max_tokens : int;       (** generation budget per request *)
   rogue : bool;           (** plant {!rogue_trigger} malice in the model *)
   storm : bool;           (** run a fault storm against this cell *)
+  toctou : bool;
+      (** replay the vet/install privilege race (the
+          ["toctou-install-race"] adversary of
+          {!Guillotine_faults.Scenarios}) against this cell: a benign
+          decoy is vetted, then a hostile probe sprint is installed on
+          the cell's model core mid-serve — the cell's own probe
+          monitor, console and watchdog must catch it *)
   monitored : bool;       (** attach the observability plane *)
 }
 
@@ -41,13 +48,14 @@ val config :
   ?max_tokens:int ->
   ?rogue:bool ->
   ?storm:bool ->
+  ?toctou:bool ->
   ?monitored:bool ->
   cell_id:int ->
   unit ->
   config
 (** [seed] defaults to 1, [users] to [[cell_id]], [requests_per_user]
-    to 4, [max_tokens] to 12, [rogue] and [storm] to false, [monitored]
-    to true.  An explicitly empty [users] list is allowed (the cell
+    to 4, [max_tokens] to 12, [rogue], [storm] and [toctou] to false,
+    [monitored] to true.  An explicitly empty [users] list is allowed (the cell
     idles — a fleet wider than its user population has such cells).
     Raises [Invalid_argument] on a negative [cell_id] or non-positive
     [requests_per_user]/[max_tokens]. *)

@@ -9,12 +9,13 @@ type t = {
   max_tokens : int;
   rogue : int option;
   storm : int option;
+  toctou : int option;
   domains : int;
   monitored : bool;
 }
 
 let create ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
-    ?rogue ?storm ?domains ?(monitored = true) ~cells () =
+    ?rogue ?storm ?toctou ?domains ?(monitored = true) ~cells () =
   if cells < 1 then invalid_arg "Fleet.create: cells must be >= 1";
   let users = match users with Some u -> u | None -> 2 * cells in
   if users < 0 then invalid_arg "Fleet.create: negative users";
@@ -25,14 +26,15 @@ let create ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
   in
   check_cell "rogue" rogue;
   check_cell "storm" storm;
+  check_cell "toctou" toctou;
   let domains =
     match domains with
     | None -> cells
     | Some d when d < 1 -> invalid_arg "Fleet.create: domains must be >= 1"
     | Some d -> min d cells
   in
-  { seed; cells; users; requests_per_user; max_tokens; rogue; storm; domains;
-    monitored }
+  { seed; cells; users; requests_per_user; max_tokens; rogue; storm; toctou;
+    domains; monitored }
 
 let seed t = t.seed
 let cells t = t.cells
@@ -48,6 +50,7 @@ let cell_config t ~cell_id =
     ~requests_per_user:t.requests_per_user ~max_tokens:t.max_tokens
     ~rogue:(t.rogue = Some cell_id)
     ~storm:(t.storm = Some cell_id)
+    ~toctou:(t.toctou = Some cell_id)
     ~monitored:t.monitored ~cell_id ()
 
 (* ------------------------------------------------------------------ *)

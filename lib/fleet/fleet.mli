@@ -26,6 +26,7 @@ val create :
   ?max_tokens:int ->
   ?rogue:int ->
   ?storm:int ->
+  ?toctou:int ->
   ?domains:int ->
   ?monitored:bool ->
   cells:int ->
@@ -33,13 +34,14 @@ val create :
   t
 (** [seed] defaults to 1; [users] (the global synthetic-user count) to
     [2 * cells]; [requests_per_user] to 4; [max_tokens] to 12;
-    [monitored] to true.  [rogue] / [storm] name the cell whose model is
-    malicious / whose deployment gets the fault storm (default:
-    neither).  [domains] is the number of OCaml domains {!run} spawns
-    (default [cells]; clamped to [cells]; 1 means run every cell on the
-    calling domain).  Raises [Invalid_argument] on [cells < 1],
-    negative [users], [domains < 1], or an out-of-range [rogue] /
-    [storm] cell id. *)
+    [monitored] to true.  [rogue] / [storm] / [toctou] name the cell
+    whose model is malicious / whose deployment gets the fault storm /
+    which suffers the vet-install TOCTOU race ({!Cell.config.toctou});
+    default: none of them.  [domains] is the number of OCaml domains
+    {!run} spawns (default [cells]; clamped to [cells]; 1 means run
+    every cell on the calling domain).  Raises [Invalid_argument] on
+    [cells < 1], negative [users], [domains < 1], or an out-of-range
+    [rogue] / [storm] / [toctou] cell id. *)
 
 val seed : t -> int
 val cells : t -> int
@@ -51,9 +53,9 @@ val route : t -> user:int -> int
 
 val cell_config : t -> cell_id:int -> Cell.config
 (** The exact {!Cell.config} the fleet builds for [cell_id] — users
-    from {!Cell.users_for}, rogue/storm flags set iff this is the named
-    cell.  Running it standalone reproduces the fleet's cell byte for
-    byte. *)
+    from {!Cell.users_for}, rogue/storm/toctou flags set iff this is
+    the named cell.  Running it standalone reproduces the fleet's cell
+    byte for byte. *)
 
 (** {2 Running} *)
 

@@ -49,6 +49,8 @@ type t = {
   mutable destroyed : bool;
   mutable alarm_sink : (severity:Detector.severity -> reason:string -> unit) option;
   mutable event_sink : (kind:string -> string -> unit) option;
+  mutable isolation_hooks :
+    (from_:Isolation.level -> to_:Isolation.level -> unit) list;
   mutable last_lapic_dropped : int;
   last_fault_reported : (int, Core.halt_reason) Hashtbl.t;
   telemetry : Telemetry.t;
@@ -98,6 +100,7 @@ let create ~machine ?(detectors = []) ?(mediation_cost = 300)
     destroyed = false;
     alarm_sink = None;
     event_sink = None;
+    isolation_hooks = [];
     last_lapic_dropped = 0;
     last_fault_reported = Hashtbl.create 4;
     telemetry;
@@ -122,6 +125,7 @@ let add_detector t d =
   t.detectors <- Detector.with_telemetry t.telemetry d :: t.detectors
 let set_alarm_sink t f = t.alarm_sink <- Some f
 let set_event_sink t f = t.event_sink <- Some f
+let add_isolation_hook t f = t.isolation_hooks <- t.isolation_hooks @ [ f ]
 
 let emit t ~kind detail =
   match t.event_sink with Some sink -> sink ~kind detail | None -> ()
@@ -584,6 +588,9 @@ let apply_level t ~authorized_by target =
            to_level = Isolation.to_string target;
            authorized_by;
          });
+    (* Hooks last: a hook may itself escalate, which re-enters
+       [apply_level] with the state already settled at [target]. *)
+    List.iter (fun hook -> hook ~from_:from ~to_:target) t.isolation_hooks;
     Ok ()
   end
 

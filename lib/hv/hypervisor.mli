@@ -59,6 +59,17 @@ val set_event_sink : t -> (kind:string -> string -> unit) -> unit
     observability plane's flight recorder.  Events recorded inside a
     served request inherit its causal id there. *)
 
+val add_isolation_hook :
+  t -> (from_:Isolation.level -> to_:Isolation.level -> unit) -> unit
+(** Register a callback fired after every successful {!apply_level}
+    transition (including console-orchestrated ones), once the
+    mechanics, telemetry and audit entry for the change are in place.
+    Hooks run in registration order and may themselves call
+    {!escalate}: the nested transition completes (and fires the hooks
+    again with its own [from_]/[to_]) before the outer call returns.
+    Used by operator playbooks — e.g. default-deny ports on entering
+    Probation — and by adversary scenarios to timestamp containment. *)
+
 val notify : t -> Detector.observation -> unit
 (** Feed an observation to the detector set (and the alarm sink, on any
     non-Clear verdict).  The mediation loop calls this internally for

@@ -285,6 +285,257 @@ fault:
 |}
       rounds result_base result_base
 
+(* ------------------------------------------------------------------ *)
+(* Post-admission adversaries (ISSUE 7): every program below vets      *)
+(* clean (Admit / Admit_with_warnings) and only turns hostile later.   *)
+(* ------------------------------------------------------------------ *)
+
+let dma_sleeper_patch_word = 768
+
+let dma_sleeper ~io_vaddr ~line ~sectors ~dma_base =
+  (* Words 16..38 are the benign firmware loader (23 words); the patch
+     stub must land at word {!dma_sleeper_patch_word} — the first word
+     of code frame 3, where sector 0 of the firmware disk DMAs — so the
+     pad is patch_word - 39 words of zeros. *)
+  let pad = dma_sleeper_patch_word - 39 in
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; io request base
+  movi r2, 0         ; sectors fetched
+  movi r3, %d        ; sectors to fetch
+  movi r5, 1
+  movi r12, 1024     ; beacon page
+fetch:
+  store r1, r0, 8    ; clear the completion word
+  movi r4, 4         ; op_dma_read
+  store r1, r4, 0
+  movi r4, %d        ; highest sector index
+  sub  r4, r4, r2    ; fetch descending: entry stub lands last
+  store r1, r4, 1    ; sector
+  movi r6, 8
+  mul  r6, r4, r6
+  movi r7, %d        ; dma base
+  add  r6, r6, r7
+  store r1, r6, 2    ; dma target for this sector
+  irq %d
+spin:
+  load r6, r1, 8
+  beq  r6, r0, @spin
+  jmp  @patch        ; run the freshly-fetched firmware entry
+resume:
+  add  r2, r2, r5
+  blt  r2, r3, @fetch
+  halt
+  .zero %d
+patch:
+  load r13, r12, 1   ; benign beacon: bump word 1025 per round
+  add  r13, r13, r5
+  store r12, r13, 1
+  jmp  @resume
+|}
+      io_vaddr sectors (sectors - 1) dma_base line pad
+
+let patch_payload ~rounds =
+  (* Headerless: assembled at origin {!dma_sleeper_patch_word} and
+     written to the firmware disk, never installed directly. *)
+  Printf.sprintf
+    {|
+  movi r1, 0         ; round
+  movi r2, %d        ; rounds
+  movi r3, 1024      ; probe line
+  movi r5, 1
+  movi r4, 1026      ; damage counter
+ploop:
+  clflush r3, 0
+  rdcycle r6
+  load r7, r3, 0
+  rdcycle r8
+  load r9, r4, 0
+  add  r9, r9, r5
+  store r4, r9, 0    ; completed probe rounds survive containment
+  add  r1, r1, r5
+  blt  r1, r2, @ploop
+  halt
+|}
+    rounds
+
+let dma_courier ~io_vaddr ~line ~rounds ~desc_vaddr =
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; io request base
+  movi r2, 0         ; round
+  movi r3, %d        ; rounds
+  movi r5, 1
+  movi r10, %d       ; transfer descriptor base
+  movi r12, 1024
+cloop:
+  store r1, r0, 8    ; clear the completion word
+  movi r4, 4         ; op_dma_read
+  store r1, r4, 0
+  load r6, r10, 0    ; descriptor word 0: sector
+  store r1, r6, 1
+  load r6, r10, 1    ; descriptor word 1: dma target
+  store r1, r6, 2
+  irq %d
+cspin:
+  load r6, r1, 8
+  beq  r6, r0, @cspin
+  store r12, r6, 0   ; record the completion status
+  add  r2, r2, r5
+  blt  r2, r3, @cloop
+  halt
+|}
+      io_vaddr rounds desc_vaddr line
+
+let window_scribbler ~delay ~scratch_vaddr ~poison =
+  let stores =
+    String.concat "\n"
+      (List.init 7 (fun i -> Printf.sprintf "  store r6, r7, %d" (i + 1)))
+  in
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, 0
+  movi r2, %d        ; patience before turning
+  movi r5, 1
+dwait:
+  add  r1, r1, r5
+  blt  r1, r2, @dwait
+  movi r6, %d        ; granted scratch window
+  movi r7, %d        ; poison value
+%s
+  movi r8, 1024
+  movi r9, 1
+  store r8, r9, 0    ; done marker
+  halt
+|}
+      delay scratch_vaddr poison stores
+
+let exfil_courier ~io_vaddr ~line ~frames ~src_vaddr ~dest =
+  let copies =
+    String.concat "\n"
+      (List.init 5 (fun i ->
+           Printf.sprintf "  load r6, r11, %d\n  store r1, r6, %d" i (i + 3)))
+  in
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; io request base
+  movi r2, 0         ; frames sent
+  movi r3, %d        ; frames to send
+  movi r5, 1
+  movi r11, %d       ; state cursor
+eframe:
+  store r1, r0, 8    ; clear the completion word
+  movi r4, 1         ; op_send
+  store r1, r4, 0
+  movi r4, %d        ; destination fabric address
+  store r1, r4, 1
+  movi r4, 40        ; 5 words of payload
+  store r1, r4, 2
+%s
+  movi r4, 5
+  add  r11, r11, r4  ; advance the cursor
+  irq %d
+espin:
+  load r6, r1, 8
+  beq  r6, r0, @espin
+  add  r2, r2, r5
+  blt  r2, r3, @eframe
+  halt
+|}
+      io_vaddr frames src_vaddr dest copies line
+
+let replicator ~io_vaddr ~line ~burst1 ~burst2 ~dest =
+  let copies =
+    String.concat "\n"
+      (List.init 5 (fun i ->
+           Printf.sprintf "  load r6, r11, %d\n  store r1, r6, %d" i (i + 3)))
+  in
+  (* Build the frame once, then ring the doorbell [n] times back to
+     back: the rings land inside a single LAPIC window, which is the
+     point — replication speed is bounded by the throttle, not by the
+     guest's enthusiasm. *)
+  let burst label n =
+    Printf.sprintf
+      {|
+  movi r4, 1         ; op_send
+  store r1, r4, 0
+  movi r4, %d        ; destination fabric address
+  store r1, r4, 1
+  movi r4, 40
+  store r1, r4, 2
+%s
+  movi r4, 5
+  add  r11, r11, r4
+  movi r2, 0
+  movi r3, %d
+%s:
+  irq %d
+  add  r2, r2, r5
+  blt  r2, r3, @%s
+|}
+      dest copies n label line label
+  in
+  (* 66 words of header+code; pad the image to exactly 1024 words so
+     the replica would need 205 frames — structurally impossible to
+     finish inside the LAPIC budget. *)
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; io request base
+  movi r5, 1
+  movi r11, 0        ; read own image from word 0
+%s
+%s
+  halt
+  .zero 958
+|}
+      io_vaddr (burst "rloop1" burst1) (burst "rloop2" burst2)
+
+let hostage_worker ~io_vaddr ~line ~jobs ~patience =
+  header ()
+  ^ Printf.sprintf
+      {|
+start:
+  movi r1, %d        ; io request base
+  movi r2, 0         ; jobs done
+  movi r3, %d        ; jobs
+  movi r5, 1
+  movi r7, %d        ; patience (spin iterations per job)
+  movi r12, 1024
+hloop:
+  store r1, r0, 8    ; clear the completion word
+  movi r4, 1         ; op_read
+  store r1, r4, 0
+  store r1, r2, 1    ; sector = job index
+  irq %d
+  movi r6, 0         ; patience ticker
+hspin:
+  load r8, r1, 8
+  beq  r8, r0, @htick
+  add  r2, r2, r5
+  store r12, r2, 0   ; progress gauge
+  blt  r2, r3, @hloop
+  jmp  @hdone
+htick:
+  add  r6, r6, r5
+  blt  r6, r7, @hspin
+  movi r9, 999       ; patience exhausted: down tools
+  store r12, r9, 1   ; strike marker
+  halt
+hdone:
+  halt
+|}
+      io_vaddr jobs patience line
+
 let preemptive_scheduler =
   (* Bespoke header: this program installs a timer vector (slot 2). *)
   let tcb = result_base + 8 in

@@ -77,6 +77,83 @@ val spectre_probe : rounds:int -> string
     address-space escape with the flush+reload timing shape; the vetter
     rejects it statically, the MMU faults it at runtime. *)
 
+(** {2 Post-admission adversaries}
+
+    Every program below is built to pass the static vetter ([Admit] or
+    [Admit_with_warnings]) and only turn hostile {e after} admission —
+    the TOCTOU and kill-switch-evasion corpus behind the
+    [lib/faults] adversary scenarios.  [Vet_corpus] pins the verdicts:
+    a rejected program here is a corpus bug. *)
+
+val dma_sleeper_patch_word : int
+(** Word index (768 — the first word of code frame 3) where
+    {!dma_sleeper} places its patchable firmware entry stub, and the
+    origin {!patch_payload} must be assembled at. *)
+
+val dma_sleeper :
+  io_vaddr:int -> line:int -> sectors:int -> dma_base:int -> string
+(** TOCTOU self-patcher: a firmware loader that [op_dma_read]s
+    [sectors] disk sectors into its own code page at [dma_base]
+    (descending, so the entry stub at {!dma_sleeper_patch_word} is
+    overwritten {e last}), running the stub after every fetch.  The
+    static image is clean — the stub is a benign beacon bumping word
+    1025 — but once the disk carries {!patch_payload}, the final DMA
+    rewrites the already-predecoded stub in place and the next
+    execution must see the hostile bytes: the predecode generation
+    counter acting as a security mechanism. *)
+
+val patch_payload : rounds:int -> string
+(** The hostile firmware {!dma_sleeper} fetches: a flush+reload probe
+    sprint ([rounds] rounds, damage counter of completed rounds at word
+    1026).  Headerless; assemble with [~origin:dma_sleeper_patch_word]
+    and write to the disk sectors, never install directly — vetted
+    standalone it is (correctly) rejected for [flush_reload_loop]. *)
+
+val dma_courier :
+  io_vaddr:int -> line:int -> rounds:int -> desc_vaddr:int -> string
+(** TOCTOU victim: per round, reads a two-word transfer descriptor
+    (sector, dma target) at [desc_vaddr] and submits it as an
+    [op_dma_read] — trusting shared memory between the time the
+    descriptor was checked and the time the device uses it.  Vets
+    clean; the descriptor words are data, not addresses, to the
+    analyser.  Completion status lands at word 1024. *)
+
+val window_scribbler : delay:int -> scratch_vaddr:int -> poison:int -> string
+(** TOCTOU accomplice: idles for [delay] loop iterations, then writes
+    [poison] over words 1..7 of its granted [scratch_vaddr] window —
+    which a colluding deployment aliases onto another guest's
+    descriptor page, rewriting the courier's dma target mid-flight.
+    Every store is inside a granted window, so the vetter admits it. *)
+
+val exfil_courier :
+  io_vaddr:int -> line:int -> frames:int -> src_vaddr:int -> dest:int -> string
+(** Kill-switch evader: a state-exfiltration sprint — [frames] NIC
+    [op_send] frames of 5 words each, walking a cursor from
+    [src_vaddr], awaiting each completion.  The walking cursor earns a
+    [May_escape] warning (admitted with warnings); the hostile part is
+    {e when} it runs: the scenario holds the core paused and releases
+    it only on heartbeat loss. *)
+
+val replicator :
+  io_vaddr:int -> line:int -> burst1:int -> burst2:int -> dest:int -> string
+(** Kill-switch evader: tries to copy its own 1024-word image to
+    another machine through the port/net API — two bursts that each
+    build one frame from a walking image cursor and then ring the
+    doorbell [burst1] (resp. [burst2]) times back-to-back, no
+    completion waits (each ring count under the static per-loop irq
+    bound).  Fired together the bursts are an interrupt storm the
+    LAPIC sheds and the detectors flag; the image is padded to 1024
+    words so a full replica needs far more frames than the throttle
+    will ever deliver. *)
+
+val hostage_worker : io_vaddr:int -> line:int -> jobs:int -> patience:int -> string
+(** Kill-switch deterrence: a useful worker ([jobs] disk reads,
+    progress gauge at word 1024) that spins [patience] iterations per
+    completion and, when a completion never arrives — because
+    escalation restricted its port — writes strike marker 999 to word
+    1025 and downs tools: holding goodput hostage to deter the
+    operator from escalating. *)
+
 val preemptive_scheduler : string
 (** A guest-internal preemptive multitasking kernel: two tasks bump
     separate counters ([result_base] and [result_base]+1) forever; the

@@ -20,6 +20,8 @@ type t = {
   c_transition_failures : Telemetry.counter;
   h_transition_latency : Telemetry.histogram;
   mutable event_sink : (kind:string -> string -> unit) option;
+  mutable alarm_hooks :
+    (severity:Detector.severity -> reason:string -> unit) list;
   mutable sweep_once : (unit -> unit) option;
       (* one out-of-cycle pass of the active recovery sweep *)
 }
@@ -156,6 +158,7 @@ let rec create ~engine ~hv ?hsm ?switches ?(alarm_policy = default_policy) ?prng
       c_transition_failures = Telemetry.counter telemetry "transitions.failed";
       h_transition_latency = Telemetry.histogram telemetry "transition.latency_s";
       event_sink = None;
+      alarm_hooks = [];
       sweep_once = None;
     }
   in
@@ -176,6 +179,9 @@ and on_alarm t ~severity ~reason =
   emit t ~kind:"alarm.received"
     (Format.asprintf "severity=%a reason=%s" Detector.pp_severity severity
        reason);
+  (* Hooks see the alarm before the policy acts on it, so a detection
+     timestamp always precedes the containment it may trigger. *)
+  List.iter (fun hook -> hook ~severity ~reason) t.alarm_hooks;
   apply_alarm_policy t ~severity ~authorized_by:"console-alarm-policy"
 
 (* ------------------------------------------------------------------ *)
@@ -220,6 +226,12 @@ let force_offline t ~reason =
          ~tick:(Guillotine_machine.Machine.now (Hypervisor.machine t.hv))
          (Guillotine_hv.Audit.Note ("forced offline: " ^ reason)));
     emit t ~kind:"force.offline" reason;
+    (* A fail-safe offline is a kill decision even though no detector
+       raised an alarm (the heartbeat-loss path): alarm hooks hear it
+       as Critical so detection clocks cover both paths. *)
+    List.iter
+      (fun hook -> hook ~severity:Detector.Critical ~reason)
+      t.alarm_hooks;
     ignore (orchestrate t ~authorized_by:"fail-safe" Isolation.Offline)
   end
 
@@ -288,6 +300,7 @@ let start_recovery_sweep t ~period ~check ~recover =
   Engine.every t.engine ~period (fun () -> pass ())
 
 let set_event_sink t sink = t.event_sink <- Some sink
+let add_alarm_hook t f = t.alarm_hooks <- t.alarm_hooks @ [ f ]
 
 let on_watchdog_alert t ~severity ~reason =
   Telemetry.incr (Telemetry.counter t.telemetry "watchdog.alerts");

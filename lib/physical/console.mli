@@ -127,3 +127,13 @@ val set_event_sink : t -> (kind:string -> string -> unit) -> unit
     recovery outcomes, forced-offline actions) to an external journal —
     the observability plane's flight recorder.  The console does not
     depend on where they go; absent a sink, events are dropped. *)
+
+val add_alarm_hook :
+  t -> (severity:Detector.severity -> reason:string -> unit) -> unit
+(** Register a callback fired on every kill-relevant decision the
+    console hears about: each detector alarm received via {!on_alarm}
+    (before the alarm policy acts, so detection precedes containment)
+    and each fail-safe {!force_offline} (reported as [Critical], since
+    the heartbeat-loss path raises no detector alarm).  Hooks run in
+    registration order; adversary scenarios use them as the detection
+    clock behind the detection-latency metric. *)

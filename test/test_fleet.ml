@@ -38,9 +38,9 @@ let users = 8
 let requests_per_user = 2
 let max_tokens = 8
 
-let fleet ?rogue ?storm ?domains () =
+let fleet ?rogue ?storm ?toctou ?domains () =
   Fleet.create ~seed:matrix_seed ~users ~requests_per_user ~max_tokens ?rogue
-    ?storm ?domains ~cells ()
+    ?storm ?toctou ?domains ~cells ()
 
 (* Shared fixtures (forced at most once each). *)
 let v_sharded = lazy (Fleet.run (fleet ()))
@@ -50,6 +50,7 @@ let solos =
     (let f = fleet () in
      Array.init cells (fun i -> Fleet.run_solo f ~cell_id:i))
 let v_storm = lazy (Fleet.run (fleet ~storm:2 ~domains:1 ()))
+let v_toctou = lazy (Fleet.run (fleet ~toctou:1 ~domains:1 ()))
 
 (* ------------------------------ router ----------------------------- *)
 
@@ -172,6 +173,36 @@ let test_storm_stays_in_its_cell () =
   Alcotest.(check bool) "fleet summary points at cell-2" true
     (contains ~needle:"incident cell-2" (Fleet.view_summary storm))
 
+(* A post-admission adversary — the vet/install TOCTOU race — turning
+   hostile inside cell 1 must change cell 1's bytes only: cells 0, 2
+   and 3 stay byte-identical to their solo runs, and the fleet view
+   attributes the incident to cell-1 by name. *)
+let test_toctou_stays_in_its_cell () =
+  let solos = Lazy.force solos and toctou = Lazy.force v_toctou in
+  List.iter
+    (fun i ->
+      Alcotest.(check string)
+        (Printf.sprintf "cell %d byte-identical to its solo run" i)
+        solos.(i).Cell.r_digest
+        toctou.Fleet.v_reports.(i).Cell.r_digest)
+    [ 0; 2; 3 ];
+  let hit = toctou.Fleet.v_reports.(1) in
+  Alcotest.(check bool) "adversary cell diverged" true
+    (not (String.equal hit.Cell.r_digest solos.(1).Cell.r_digest));
+  Alcotest.(check bool) "runtime defences alerted" true
+    (hit.Cell.r_alerts <> []);
+  Alcotest.(check bool) "adversary cell left standard isolation" true
+    (hit.Cell.r_final_level <> "standard");
+  Alcotest.(check (option int)) "incident attributed to cell 1" (Some 1)
+    toctou.Fleet.v_incident_cell;
+  (match toctou.Fleet.v_incident with
+  | None -> Alcotest.fail "the adversary produced no incident report"
+  | Some text ->
+    Alcotest.(check bool) "incident names cell-1" true
+      (contains ~needle:"cell-1" text));
+  Alcotest.(check bool) "fleet summary points at cell-1" true
+    (contains ~needle:"incident cell-1" (Fleet.view_summary toctou))
+
 (* ----------------------------- validation --------------------------- *)
 
 let test_create_validation () =
@@ -184,6 +215,7 @@ let test_create_validation () =
   rejects "cells < 1" (fun () -> Fleet.create ~cells:0 ());
   rejects "rogue out of range" (fun () -> Fleet.create ~cells:2 ~rogue:2 ());
   rejects "storm out of range" (fun () -> Fleet.create ~cells:2 ~storm:(-1) ());
+  rejects "toctou out of range" (fun () -> Fleet.create ~cells:2 ~toctou:2 ());
   rejects "domains < 1" (fun () -> Fleet.create ~cells:2 ~domains:0 ());
   (* domains clamp to cells rather than erroring. *)
   Alcotest.(check int) "domains clamped" 2
@@ -212,5 +244,7 @@ let () =
         [
           Alcotest.test_case "storm stays in its cell" `Quick
             test_storm_stays_in_its_cell;
+          Alcotest.test_case "toctou adversary stays in its cell" `Quick
+            test_toctou_stays_in_its_cell;
         ] );
     ]

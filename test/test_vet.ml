@@ -55,14 +55,38 @@ let test_benign_zero_errors () =
           (List.length (Vet.errors r)))
     Corpus.all
 
+(* The corpus draws the admission line: malicious guests expected to
+   reject must reject, and the post-admission adversaries — malicious
+   yet [expected] Admit/Admit_with_warnings because they only turn
+   hostile after install — must genuinely slip past the vetter.  A
+   rejected TOCTOU guest is a corpus bug (the attack would never reach
+   the runtime defences it exists to exercise). *)
 let test_malicious_all_reject () =
   List.iter
     (fun (e : Corpus.entry) ->
-      if e.Corpus.malicious then
+      if e.Corpus.malicious && e.Corpus.expected = Vet.Reject then
         let r = Corpus.vet e in
         Alcotest.check verdict (e.Corpus.name ^ " rejects") Vet.Reject
           r.Vet.verdict)
     Corpus.all
+
+let test_adversarial_all_admit () =
+  let admitted =
+    List.filter
+      (fun (e : Corpus.entry) ->
+        e.Corpus.malicious && e.Corpus.expected <> Vet.Reject)
+      Corpus.all
+  in
+  Alcotest.(check int) "six post-admission adversaries" 6
+    (List.length admitted);
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let r = Corpus.vet e in
+      Alcotest.(check bool)
+        (e.Corpus.name ^ " admits despite being malicious")
+        true
+        (r.Vet.verdict <> Vet.Reject))
+    admitted
 
 (* ------------------------------------------------------------------ *)
 (* Determinism & golden report                                         *)
@@ -362,6 +386,8 @@ let () =
             test_benign_zero_errors;
           Alcotest.test_case "malicious: all reject" `Quick
             test_malicious_all_reject;
+          Alcotest.test_case "post-admission adversaries admit" `Quick
+            test_adversarial_all_admit;
         ] );
       ( "reports",
         [
