@@ -1,19 +1,24 @@
 (* The guillotine command-line tool.
 
    Subcommands:
-     attacks     run the adversarial suite (T2) and print the verdict table
-     asm         assemble a GRISC source file; print listing and symbols
-     run         assemble + execute a guest program on a model core
-     serve       run the model-service simulator
-     risk        classify a model card under the policy hypervisor
-     covert      run the prime+probe covert channel
-     trace       run a scenario and export its Chrome-trace timeline
-     faults      replay a named fault-injection scenario deterministically
-     monitor     replay a fault scenario with the observability plane attached
-     report      print the incident report for a monitored fault scenario
-     vet         statically vet a guest program (or the whole corpus)
-     bench perf  host-perf suite (P1): interpreter throughput + allocation
-     demo        containment walkthrough (same story as the example)
+     attacks          run the adversarial suite (T2) and print the verdict table
+     asm              assemble a GRISC source file; print listing and symbols
+     run              assemble + execute a guest program on a model core
+     serve            run the model-service simulator
+     risk             classify a model card under the policy hypervisor
+     covert           run the prime+probe covert channel
+     trace            run a scenario and export its Chrome-trace timeline
+     faults           replay a named fault-injection scenario deterministically
+     monitor          replay a fault scenario with the observability plane attached
+     report           print the incident report for a monitored fault scenario
+     vet              statically vet a guest program (or the whole corpus)
+     fleet            run a fleet of cells sharded across OCaml domains
+     profile          cycle-attribution profile of a scenario or corpus guest
+     bench perf       host-perf suite (P1): interpreter throughput + allocation
+     bench fleet      capacity-scaling suite (F): fleet width vs throughput
+     bench adversary  adversary suite (A): detection latency + residual damage
+     bench profile    profiler suite (PROF1): overhead gate + sim-cycle equality
+     demo             containment walkthrough (same story as the example)
 
    Try:  dune exec bin/guillotine.exe -- attacks *)
 
@@ -871,6 +876,133 @@ let fleet_cmd =
     Term.(const run $ cells $ seed $ users $ requests $ max_tokens $ rogue
           $ storm $ toctou $ domains $ no_check $ incident)
 
+(* ----------------------------- profile ---------------------------- *)
+
+let profile_cmd =
+  let module Scenarios = Guillotine_faults.Scenarios in
+  let module Profile = Guillotine_obs.Profile in
+  let module Hypervisor = Guillotine_hv.Hypervisor in
+  let profile_of_guest ~name ~fuel =
+    (* "benign" is shorthand for the canonical benign corpus guest. *)
+    let name = if name = "benign" then "compute-loop" else name in
+    match Vet_corpus.find name with
+    | None ->
+      Printf.eprintf "unknown guest %S (try: guillotine vet --list)\n" name;
+      exit 2
+    | Some e -> (
+      match Asm.assemble e.Vet_corpus.source with
+      | Error err ->
+        Printf.eprintf "corpus guest %s: line %d: %s\n" name err.Asm.line
+          err.Asm.message;
+        exit 2
+      | Ok p ->
+        let m = Machine.create () in
+        let hv = Hypervisor.create ~machine:m () in
+        (* Passthrough install (no vet policy): adversary guests the
+           static vetter would reject still get profiled — exactly the
+           programs whose hot blocks we most want to see. *)
+        (match
+           Hypervisor.install_program hv ~label:name ~core:0
+             ~code_pages:e.Vet_corpus.code_pages
+             ~data_pages:e.Vet_corpus.data_pages p
+         with
+        | Ok _ -> ()
+        | Error _ -> assert false (* no vet policy: plain passthrough *));
+        let core = Machine.model_core m 0 in
+        Core.set_profiling core true;
+        ignore (Core.run core ~fuel);
+        Profile.make
+          [
+            Profile.guest ~core:0 ~label:name
+              ~leaders:(Core.profile_leaders core)
+              ~cycles:(Core.profile_cycles core)
+              ~retired:(Core.profile_retired core);
+          ])
+  in
+  let run scenario guest seed fuel top folded_out json =
+    if scenario = "list" && guest = None then begin
+      print_endline "available fault scenarios:";
+      List.iter (fun n -> Printf.printf "  %s\n" n) Scenarios.names
+    end
+    else begin
+      let p =
+        match guest with
+        | Some name -> profile_of_guest ~name ~fuel
+        | None -> (
+          let o =
+            try Scenarios.run ~seed ~profile:true scenario
+            with Invalid_argument msg ->
+              Printf.eprintf "%s\n" msg;
+              exit 1
+          in
+          match o.Scenarios.profile with
+          | Some p -> p
+          | None ->
+            prerr_endline "scenario collected no profile";
+            exit 1)
+      in
+      if json then print_endline (Profile.to_json ~top p)
+      else begin
+        print_endline (Profile.table ~top p);
+        print_endline (Profile.summary p)
+      end;
+      match folded_out with
+      | None -> ()
+      | Some file -> (
+        try
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Profile.folded p));
+          if not json then Printf.printf "folded stacks written to %s\n" file
+        with Sys_error e ->
+          Printf.eprintf "cannot write folded output: %s\n" e;
+          exit 1)
+    end
+  in
+  let scenario =
+    Arg.(value & pos 0 string "list"
+         & info [] ~docv:"SCENARIO"
+             ~doc:"A scenario name from $(b,guillotine profile list).")
+  in
+  let guest =
+    Arg.(value & opt (some string) None
+         & info [ "guest" ] ~docv:"NAME"
+             ~doc:"Profile a corpus guest on a bare core instead of a \
+                   scenario ($(b,benign) aliases the canonical benign \
+                   guest; adversary guests are installed unvetted).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  let fuel =
+    Arg.(value & opt int 200_000
+         & info [ "fuel" ] ~docv:"N"
+             ~doc:"Instruction budget in $(b,--guest) mode.")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N" ~doc:"Hot blocks to rank (default 10).")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write folded stacks (guest;block;class count) here — \
+                   flamegraph.pl input.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Cycle-attribution profile: run a fault scenario (or a corpus guest \
+          on a bare core) with the deterministic profiler armed and print \
+          the ranked hot-block table — every simulated cycle attributed to \
+          (guest, basic block, cost class).  Profiling reads simulated state \
+          without perturbing it, so the profiled run's telemetry is \
+          byte-identical to the bare run and the output is reproducible \
+          bit-for-bit for a given seed.")
+    Term.(const run $ scenario $ guest $ seed $ fuel $ top $ folded_out $ json)
+
 (* ------------------------------ bench ----------------------------- *)
 
 let bench_cmd =
@@ -1028,9 +1160,51 @@ let bench_cmd =
             undetected or uncontained.")
       Term.(const run $ repeats $ quick $ json $ out $ check $ tolerance)
   in
+  let profile_bench_cmd =
+    let module Profile_bench = Guillotine_bench_profile.Profile_bench in
+    let run repeat quick json out check tolerance =
+      exit (Profile_bench.run ~repeat ~quick ~json ?out ?check ~tolerance ())
+    in
+    let repeat =
+      Arg.(value & opt int 3
+           & info [ "repeat" ] ~docv:"N" ~doc:"Best-of-N timing runs.")
+    in
+    let quick =
+      Arg.(value & flag
+           & info [ "quick" ] ~doc:"Reduced iteration counts (CI smoke).")
+    in
+    let json =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit JSON (one object per line) on stdout.")
+    in
+    let out =
+      Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also write the JSON here.")
+    in
+    let check =
+      Arg.(value & opt (some file) None
+           & info [ "check" ] ~docv:"FILE"
+               ~doc:"Fail if profiled throughput regressed beyond --tolerance \
+                     against this committed JSON (e.g. BENCH_PROFILE.json).")
+    in
+    let tolerance =
+      Arg.(value & opt float 0.30
+           & info [ "tolerance" ] ~docv:"F"
+               ~doc:"Allowed fractional regression for --check (default 0.30).")
+    in
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "Run the PROF1 profiler suite: the benign P1 workload and the \
+            fault-storm scenario, each measured profiler-off vs profiler-on. \
+            Gates (exit 1): any simulated cycle/telemetry delta between the \
+            two modes, profiler overhead above 5% on the benign workload, an \
+            armed run that collects no profile, or a --check regression.")
+      Term.(const run $ repeat $ quick $ json $ out $ check $ tolerance)
+  in
   Cmd.group
     (Cmd.info "bench" ~doc:"Host-performance bench suites.")
-    [ perf_cmd; fleet_cmd; adversary_cmd ]
+    [ perf_cmd; fleet_cmd; adversary_cmd; profile_bench_cmd ]
 
 (* ------------------------------- demo ----------------------------- *)
 
@@ -1066,6 +1240,7 @@ let () =
             report_cmd;
             vet_cmd;
             fleet_cmd;
+            profile_cmd;
             bench_cmd;
             demo_cmd;
           ]))

@@ -472,6 +472,51 @@ let enable_monitoring ?period ?window ?(rules = default_slo_rules)
     m
 
 (* ------------------------------------------------------------------ *)
+(* Profiling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let enable_profiling t =
+  Array.iter
+    (fun core -> Core.set_profiling core true)
+    (Machine.model_cores t.machine)
+
+let profiling t =
+  Array.exists Core.profiling (Machine.model_cores t.machine)
+
+(* Collect the raw per-core accumulators into a pure profile value.
+   Cores that never executed anything (spare cores) are omitted; labels
+   come from the hypervisor's install records, falling back to the core
+   id for programs loaded below the hypervisor's back. *)
+let profile t =
+  if not (profiling t) then None
+  else begin
+    let labels = Hypervisor.installed_guests t.hv in
+    let guests =
+      Machine.model_cores t.machine |> Array.to_list
+      |> List.filter_map (fun core ->
+             let cycles = Core.profile_cycles core in
+             if Core.instructions_retired core = 0
+                && Array.for_all (fun c -> c = 0) cycles
+             then None
+             else
+               let id = Core.id core in
+               let label =
+                 match List.assoc_opt id labels with
+                 | Some l -> l
+                 | None -> Printf.sprintf "core%d" id
+               in
+               Some
+                 (Guillotine_obs.Profile.guest ~core:id ~label
+                    ~leaders:(Core.profile_leaders core)
+                    ~cycles
+                    ~retired:(Core.profile_retired core)))
+    in
+    match guests with
+    | [] -> None (* armed but idle: every model core was a spare *)
+    | gs -> Some (Guillotine_obs.Profile.make gs)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
 (* ------------------------------------------------------------------ *)
 

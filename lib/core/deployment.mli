@@ -191,6 +191,30 @@ val enable_monitoring :
 
 val monitor : t -> Guillotine_obs.Monitor.t option
 
+(** {2 Profiling}
+
+    The cycle-attribution plane: per-(guest, basic block, cost class)
+    accounting maintained allocation-free inside each model core (see
+    [Guillotine_microarch.Core]), with block maps installed from the
+    vetting CFG at {!install_guest} time.  Profiling never perturbs
+    simulated-cycle behaviour — profiled replays are byte-identical to
+    bare ones (the equivalence and scenario suites pin this). *)
+
+val enable_profiling : t -> unit
+(** Turn the accumulators on for every model core.  Idempotent.  Cores
+    created while [Core.profile_default] was set (e.g. under the
+    [GUILLOTINE_PROFILE] environment variable) are already profiling. *)
+
+val profiling : t -> bool
+(** True when any model core is accumulating. *)
+
+val profile : t -> Guillotine_obs.Profile.t option
+(** Snapshot the accumulators as a pure {!Guillotine_obs.Profile.t}:
+    one guest record per model core that has executed anything, labelled
+    from the hypervisor's install records ([core<i>] when a program was
+    loaded without the hypervisor).  [None] when profiling is off or no
+    core ever executed (an armed but idle deployment). *)
+
 (** {2 Telemetry}
 
     Every subsystem registry is re-pointed at one unified sim-time

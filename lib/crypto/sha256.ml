@@ -22,6 +22,8 @@ let k =
 type ctx = {
   h : int32 array; (* 8 working hash values *)
   buf : Bytes.t;   (* partial block, 64 bytes *)
+  w : int32 array; (* message schedule — per-context so that contexts
+                      on different domains never share scratch state *)
   mutable buf_len : int;
   mutable total : int64; (* total message bytes fed *)
   mutable finished : bool;
@@ -35,6 +37,7 @@ let init () =
         0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
       |];
     buf = Bytes.create 64;
+    w = Array.make 64 0l;
     buf_len = 0;
     total = 0L;
     finished = false;
@@ -46,10 +49,9 @@ let ( ^% ) = Int32.logxor
 let ( &% ) = Int32.logand
 let lnot32 = Int32.lognot
 
-let w = Array.make 64 0l
-
 (* Compress one 64-byte block located at [off] in [block]. *)
 let compress ctx block off =
+  let w = ctx.w in
   for i = 0 to 15 do
     let b j = Int32.of_int (Char.code (Bytes.get block (off + (4 * i) + j))) in
     w.(i) <-

@@ -21,6 +21,7 @@ module Monitor = Guillotine_obs.Monitor
 module Watchdog = Guillotine_obs.Watchdog
 module Recorder = Guillotine_obs.Recorder
 module Report = Guillotine_obs.Report
+module Profile = Guillotine_obs.Profile
 module Block = Guillotine_devices.Block
 module Nic = Guillotine_devices.Nic
 module Dram = Guillotine_memory.Dram
@@ -50,6 +51,9 @@ type outcome = {
   snapshots : Telemetry.snapshot list;
   trace : string;
   adversary : adversary option;
+  profile : Guillotine_obs.Profile.t option;
+      (* populated only on profiled runs; never feeds [snapshots] or
+         [trace], so profiled outcomes stay byte-identical there *)
 }
 
 (* Every seed a scenario derives is salted with the owning cell's id so
@@ -126,6 +130,7 @@ let deployment_outcome ?(adversary = None) ~scenario ~seed ~cell ~verdict
     trace =
       Telemetry.export_chrome_trace (Deployment.registries d @ extra_regs);
     adversary;
+    profile = Deployment.profile d;
   }
 
 (* --- Post-admission adversary instrumentation ---------------------- *)
@@ -195,14 +200,18 @@ let adv_io_window = { Absint.base = adv_io_vaddr; len = 256; writable = true }
    as vetted, and granted the port — everything after that is the
    runtime's problem. *)
 let vet_install d ~core ~label ?(extra = []) ?port_device source =
-  let machine = Deployment.machine d in
   let program = Asm.assemble_exn source in
   let report = Vet.run ~label ~extra ~code_pages:4 ~data_pages:4 program in
   (match report.Vet.verdict with
   | Vet.Reject ->
     invalid_arg (Printf.sprintf "adversary %s rejected at admission" label)
   | Vet.Admit | Vet.Admit_with_warnings -> ());
-  Machine.install_program machine ~core ~code_pages:4 ~data_pages:4 program;
+  (* Passthrough hypervisor install (vetted above): simulated state is
+     identical to Machine.install_program, and the profiler's paddr→block
+     map rides along. *)
+  ignore
+    (Hypervisor.install_program (Deployment.hv d) ~label ~core ~code_pages:4
+       ~data_pages:4 program);
   match port_device with
   | None -> -1
   | Some device ->
@@ -288,8 +297,10 @@ let core_wedge_rollback ?obs ?(cell = 0) ~seed () =
   let engine = Deployment.engine d in
   let machine = Deployment.machine d in
   let model = Deployment.load_model d () in
-  Machine.install_program machine ~core:0 ~code_pages:4 ~data_pages:4
-    (Asm.assemble_exn (Guest_programs.compute_loop ~iterations:50_000_000));
+  ignore
+    (Hypervisor.install_program (Deployment.hv d) ~label:"compute-loop"
+       ~core:0 ~code_pages:4 ~data_pages:4
+       (Asm.assemble_exn (Guest_programs.compute_loop ~iterations:50_000_000)));
   (* Scheduler: keep the guest executing through the whole run. *)
   ignore
     (Engine.every engine ~period:0.25 (fun () ->
@@ -523,6 +534,7 @@ let device_stall_shedding ?obs ?(cell = 0) ~seed () =
       @ List.map Telemetry.snapshot ([ Injector.telemetry inj; reg ] @ obs_regs m);
     trace = Telemetry.export_chrome_trace regs;
     adversary = None;
+    profile = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -536,8 +548,10 @@ let irq_storm_contained ?obs ?(cell = 0) ~seed () =
   let engine = Deployment.engine d in
   let machine = Deployment.machine d in
   let hv = Deployment.hv d in
-  Machine.install_program machine ~core:0 ~code_pages:4 ~data_pages:4
-    (Asm.assemble_exn (Guest_programs.irq_flood ~count:500 ~line:3));
+  ignore
+    (Hypervisor.install_program hv ~label:"irq-flood" ~core:0 ~code_pages:4
+       ~data_pages:4
+       (Asm.assemble_exn (Guest_programs.irq_flood ~count:500 ~line:3)));
   (* Let the flood run to completion before the hypervisor services
      anything, so the injected LAPIC glitch has a pending set to lose. *)
   ignore
@@ -666,6 +680,7 @@ let fault_storm_failover ?obs ?(cell = 0) ~seed () =
           ([ Cluster.telemetry cluster; Injector.telemetry inj ] @ obs_regs m);
     trace = Telemetry.export_chrome_trace regs;
     adversary = None;
+    profile = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -717,7 +732,7 @@ let toctou_dma_self_patch ?obs ?(cell = 0) ~seed () =
   (* The DMA grant covers exactly the loader's own code frame 3 — the
      window is legitimate; what flows through it later is not. *)
   let _iommu, dma_engine =
-    Hypervisor.create_dma_engine hv ~windows:[ (7, 3, true) ]
+    Hypervisor.create_dma_engine hv ~windows:[ (7, 3, true) ] ()
   in
   Block.set_dma_engine blk dma_engine;
   let stub0 = Dram.read dram Guest_programs.dma_sleeper_patch_word in
@@ -777,7 +792,7 @@ let toctou_shared_window_rewrite ?obs ?(cell = 0) ~seed () =
   done;
   (* The courier's legitimate DMA window: device page 0 over frame 6. *)
   let _iommu, dma_engine =
-    Hypervisor.create_dma_engine hv ~windows:[ (0, 6, true) ]
+    Hypervisor.create_dma_engine hv ~windows:[ (0, 6, true) ] ()
   in
   Block.set_dma_engine blk dma_engine;
   let _port =
@@ -897,8 +912,9 @@ let toctou_install_race ?obs ?(cell = 0) ~seed () =
          let hostile =
            Asm.assemble_exn (Guest_programs.patch_payload ~rounds:400)
          in
-         Machine.install_program machine ~core:0 ~code_pages:4 ~data_pages:4
-           hostile;
+         ignore
+           (Hypervisor.install_program hv ~label:"hostile" ~core:0
+              ~code_pages:4 ~data_pages:4 hostile);
          adv_mark_turn engine clk mon
            "install raced the vet decision: hostile image substituted"));
   ignore
@@ -1199,9 +1215,22 @@ let adversaries =
     "killswitch-hostage";
   ]
 
-let run ?(seed = 1) ?(cell_id = 0) name =
+(* Profiled replays flip the process-wide profiling default around the
+   scenario body instead of threading a parameter through every
+   scenario: cores are then created with accumulators armed, and since
+   the accumulators never feed back into simulated state, the outcome's
+   snapshots/trace stay byte-identical to the bare golden (the profile
+   itself arrives in the [profile] field). *)
+let with_profile_default enabled f =
+  let saved = Core.profile_default () in
+  Core.set_profile_default enabled;
+  Fun.protect ~finally:(fun () -> Core.set_profile_default saved) f
+
+let run ?(seed = 1) ?(cell_id = 0) ?(profile = false) name =
   match List.assoc_opt name all with
-  | Some f -> f ~cell:cell_id ~seed ()
+  | Some f ->
+    if profile then with_profile_default true (fun () -> f ~cell:cell_id ~seed ())
+    else f ~cell:cell_id ~seed ()
   | None ->
     invalid_arg
       (Printf.sprintf "Scenarios.run: unknown scenario %S (known: %s)" name

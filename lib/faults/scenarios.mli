@@ -59,6 +59,13 @@ type outcome = {
   adversary : adversary option;
       (** [Some] for the post-admission adversary scenarios, [None]
           for the fault/recovery plane *)
+  profile : Guillotine_obs.Profile.t option;
+      (** cycle-attribution profile of the rig's model cores, [Some] on
+          profiled runs ({!run} with [~profile:true], or under
+          [GUILLOTINE_PROFILE]); [None] otherwise, and always [None]
+          for the serving-only scenarios with no deployment.  Carried
+          out-of-band: [snapshots] and [trace] are byte-identical
+          whether or not the run was profiled. *)
 }
 
 val names : string list
@@ -83,13 +90,18 @@ val plan_seed : cell:int -> int -> int
     exported so tests can assert that differing seeds produce differing
     fault plans. *)
 
-val run : ?seed:int -> ?cell_id:int -> string -> outcome
+val run : ?seed:int -> ?cell_id:int -> ?profile:bool -> string -> outcome
 (** [run ?seed ?cell_id name] plays scenario [name].  [seed] (default 1)
     selects the fault plan and rig randomness; [cell_id] (default 0)
     decorrelates the run from other cells of a fleet by salting every
     derived seed.  [cell_id:0] is byte-identical to the pre-fleet
-    behaviour.  Raises [Invalid_argument] for an unknown scenario
-    name. *)
+    behaviour.  [profile] (default false) arms the cycle-attribution
+    accumulators for the duration of the run (by flipping the
+    process-wide {!Guillotine_microarch.Core.set_profile_default}
+    around the scenario body, restored on exit) and delivers the
+    result in the outcome's [profile] field — everything else in the
+    outcome is byte-identical to the unprofiled run.  Raises
+    [Invalid_argument] for an unknown scenario name. *)
 
 (** {2 Monitored runs}
 

@@ -20,6 +20,7 @@ module Hypervisor = Guillotine_hv.Hypervisor
 module Asm = Guillotine_isa.Asm
 module Vet = Guillotine_vet.Vet
 module Guest_programs = Guillotine_model.Guest_programs
+module Profile = Guillotine_obs.Profile
 
 type config = {
   cell_id : int;
@@ -31,20 +32,21 @@ type config = {
   storm : bool;
   toctou : bool;
   monitored : bool;
+  profile : bool;
 }
 
 let cell_name id = Printf.sprintf "cell-%d" id
 
 let config ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
     ?(rogue = false) ?(storm = false) ?(toctou = false) ?(monitored = true)
-    ~cell_id () =
+    ?(profile = false) ~cell_id () =
   if cell_id < 0 then invalid_arg "Cell.config: negative cell_id";
   if requests_per_user <= 0 then
     invalid_arg "Cell.config: requests_per_user must be positive";
   if max_tokens <= 0 then invalid_arg "Cell.config: max_tokens must be positive";
   let users = match users with Some us -> us | None -> [ cell_id ] in
   { cell_id; seed; users; requests_per_user; max_tokens; rogue; storm; toctou;
-    monitored }
+    monitored; profile }
 
 (* The rogue model's trigger: a benign-band token every user's stream
    periodically ends a prompt with.  Honest models continue generating
@@ -144,6 +146,9 @@ let create cfg =
       ~net_addr:(1000 + cfg.cell_id) ()
   in
   if cfg.monitored then ignore (Deployment.enable_monitoring d);
+  (* Per-core flags, not the process default: a profiled cell in one
+     domain never touches what sibling cells' cores record. *)
+  if cfg.profile then Deployment.enable_profiling d;
   if cfg.toctou then arm_toctou d;
   let malice =
     if cfg.rogue then
@@ -203,6 +208,9 @@ type report = {
   r_incident : string option;
   r_transcript : string;
   r_digest : string;
+  r_profile : Profile.t option;
+      (* carried outside the transcript: a profiled cell's transcript
+         and digest are byte-identical to the unprofiled run *)
 }
 
 let first_request_at = 1.0
@@ -335,6 +343,7 @@ let run cfg =
     r_incident = incident;
     r_transcript = transcript;
     r_digest = Sha256.digest_hex transcript;
+    r_profile = Deployment.profile c.d;
   }
 
 let report_summary r =

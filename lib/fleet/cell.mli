@@ -39,6 +39,11 @@ type config = {
           the cell's model core mid-serve — the cell's own probe
           monitor, console and watchdog must catch it *)
   monitored : bool;       (** attach the observability plane *)
+  profile : bool;
+      (** arm the cycle-attribution profiler on the cell's model cores;
+          read-only over simulated state, so a profiled cell's
+          transcript and digest match the unprofiled run byte for
+          byte *)
 }
 
 val config :
@@ -50,15 +55,16 @@ val config :
   ?storm:bool ->
   ?toctou:bool ->
   ?monitored:bool ->
+  ?profile:bool ->
   cell_id:int ->
   unit ->
   config
 (** [seed] defaults to 1, [users] to [[cell_id]], [requests_per_user]
-    to 4, [max_tokens] to 12, [rogue], [storm] and [toctou] to false,
-    [monitored] to true.  An explicitly empty [users] list is allowed (the cell
-    idles — a fleet wider than its user population has such cells).
-    Raises [Invalid_argument] on a negative [cell_id] or non-positive
-    [requests_per_user]/[max_tokens]. *)
+    to 4, [max_tokens] to 12, [rogue], [storm], [toctou] and [profile]
+    to false, [monitored] to true.  An explicitly empty [users] list is
+    allowed (the cell idles — a fleet wider than its user population
+    has such cells).  Raises [Invalid_argument] on a negative [cell_id]
+    or non-positive [requests_per_user]/[max_tokens]. *)
 
 val cell_name : int -> string
 (** ["cell-<id>"] — the deployment name, the incident-report label, and
@@ -129,6 +135,10 @@ type report = {
           with the cell's name *)
   r_transcript : string;    (** one line per request, deterministic *)
   r_digest : string;        (** SHA-256 hex of the transcript *)
+  r_profile : Guillotine_obs.Profile.t option;
+      (** cycle-attribution profile of the cell's model cores when
+          [config.profile] was set; carried outside the transcript, so
+          [r_transcript]/[r_digest] are unchanged by profiling *)
 }
 
 val sim_horizon : config -> float

@@ -1,5 +1,6 @@
 module Scenarios = Guillotine_faults.Scenarios
 module Sha256 = Guillotine_crypto.Sha256
+module Profile = Guillotine_obs.Profile
 
 type t = {
   seed : int;
@@ -12,10 +13,12 @@ type t = {
   toctou : int option;
   domains : int;
   monitored : bool;
+  profiled : bool;
 }
 
 let create ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
-    ?rogue ?storm ?toctou ?domains ?(monitored = true) ~cells () =
+    ?rogue ?storm ?toctou ?domains ?(monitored = true) ?(profiled = false)
+    ~cells () =
   if cells < 1 then invalid_arg "Fleet.create: cells must be >= 1";
   let users = match users with Some u -> u | None -> 2 * cells in
   if users < 0 then invalid_arg "Fleet.create: negative users";
@@ -34,7 +37,7 @@ let create ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
     | Some d -> min d cells
   in
   { seed; cells; users; requests_per_user; max_tokens; rogue; storm; toctou;
-    domains; monitored }
+    domains; monitored; profiled }
 
 let seed t = t.seed
 let cells t = t.cells
@@ -51,7 +54,7 @@ let cell_config t ~cell_id =
     ~rogue:(t.rogue = Some cell_id)
     ~storm:(t.storm = Some cell_id)
     ~toctou:(t.toctou = Some cell_id)
-    ~monitored:t.monitored ~cell_id ()
+    ~monitored:t.monitored ~profile:t.profiled ~cell_id ()
 
 (* ------------------------------------------------------------------ *)
 (* Domain sharding                                                     *)
@@ -103,6 +106,7 @@ type view = {
   v_incident_cell : int option;
   v_incident : string option;
   v_digest : string;
+  v_profile : Profile.t option;
 }
 
 let view_of t reports =
@@ -122,6 +126,20 @@ let view_of t reports =
     | Some r -> (Some r.Cell.r_cell_id, r.Cell.r_incident)
     | None -> (None, None)
   in
+  (* Fleet-wide profile: each cell's guests relabelled with the owning
+     cell's name, then unioned — so the hottest block in the aggregate
+     still names the cell it belongs to. *)
+  let profile =
+    let per_cell =
+      Array.to_list reports
+      |> List.filter_map (fun (r : Cell.report) ->
+             Option.map
+               (Profile.relabel (fun l ->
+                    Printf.sprintf "%s/%s" (Cell.cell_name r.Cell.r_cell_id) l))
+               r.Cell.r_profile)
+    in
+    match per_cell with [] -> None | ps -> Some (Profile.union ps)
+  in
   {
     v_seed = t.seed;
     v_cells = t.cells;
@@ -136,6 +154,7 @@ let view_of t reports =
     v_alerts = alerts;
     v_incident_cell = incident_cell;
     v_incident = incident;
+    v_profile = profile;
     v_digest =
       Sha256.digest_hex
         (String.concat "\n"
@@ -177,7 +196,26 @@ let view_summary v =
         | Some c -> Printf.sprintf "incident %s" (Cell.cell_name c)
         | None -> "incident none");
         Printf.sprintf "digest   %s" v.v_digest;
-      ])
+      ]
+    @
+    (* Profile lines only on profiled runs: unprofiled summaries stay
+       byte-identical to the pre-profiling goldens. *)
+    match v.v_profile with
+    | None -> []
+    | Some p ->
+      (Array.to_list v.v_reports
+      |> List.filter_map (fun (r : Cell.report) ->
+             Option.bind r.Cell.r_profile Profile.hottest
+             |> Option.map (fun (s : Profile.block_stat) ->
+                    Printf.sprintf
+                      "profile  %s hottest %s block=%s cycles=%d"
+                      (Cell.cell_name r.Cell.r_cell_id)
+                      s.Profile.bs_guest
+                      (match s.Profile.bs_leader with
+                      | Some l -> Printf.sprintf "0x%04x" l
+                      | None -> "unmapped")
+                      s.Profile.bs_cycles)))
+      @ [ Printf.sprintf "profile  fleet %s" (Profile.summary p) ])
 
 (* ------------------------------------------------------------------ *)
 (* Scenario fan-out                                                    *)

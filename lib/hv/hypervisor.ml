@@ -9,6 +9,8 @@ module Detector = Guillotine_detect.Detector
 module Heap = Guillotine_util.Heap
 module Isa = Guillotine_isa.Isa
 module Telemetry = Guillotine_telemetry.Telemetry
+module Cost_class = Guillotine_util.Cost_class
+module Cfg = Guillotine_vet.Cfg
 
 type port_id = int
 
@@ -53,6 +55,7 @@ type t = {
     (from_:Isolation.level -> to_:Isolation.level -> unit) list;
   mutable last_lapic_dropped : int;
   last_fault_reported : (int, Core.halt_reason) Hashtbl.t;
+  guest_labels : (int, string) Hashtbl.t;  (* core -> installed label *)
   telemetry : Telemetry.t;
   c_served : Telemetry.counter;
   c_denied : Telemetry.counter;
@@ -103,6 +106,7 @@ let create ~machine ?(detectors = []) ?(mediation_cost = 300)
     isolation_hooks = [];
     last_lapic_dropped = 0;
     last_fault_reported = Hashtbl.create 4;
+    guest_labels = Hashtbl.create 4;
     telemetry;
     c_served = Telemetry.counter telemetry "port.requests_served";
     c_denied = Telemetry.counter telemetry "port.requests_denied";
@@ -213,12 +217,38 @@ let record_vet_decision t ~label (report : Vet.report) =
        findings);
   log t (Audit.Vet_decision { label; verdict; findings })
 
+(* Install the profiler's paddr→block map on the target core, derived
+   from the same CFG discovery the vetter runs.  [Machine.install_program]
+   identity-maps code (pc = paddr), so CFG addresses index the map
+   directly.  Unconditional: the core ignores the map unless profiling
+   is on, and building it never touches simulated state. *)
+let install_profile_map t ~core ~code_pages ~label program =
+  Hashtbl.replace t.guest_labels core label;
+  let cfg = Cfg.build ~code_pages program in
+  let nblocks = List.length cfg.Cfg.blocks in
+  let block_of = Array.make cfg.Cfg.code_words nblocks in
+  let leaders = Array.make nblocks 0 in
+  List.iteri
+    (fun b (blk : Cfg.block) ->
+      leaders.(b) <- blk.Cfg.leader;
+      List.iter
+        (fun (addr, _) ->
+          if addr >= 0 && addr < cfg.Cfg.code_words then block_of.(addr) <- b)
+        blk.Cfg.instrs)
+    cfg.Cfg.blocks;
+  Core.set_profile_blocks (Machine.model_core t.machine core) ~block_of ~leaders
+
+let installed_guests t =
+  Hashtbl.fold (fun core label acc -> (core, label) :: acc) t.guest_labels []
+  |> List.sort compare
+
 let install_program t ?vet_policy ?(label = "guest") ~core ~code_pages
     ~data_pages program =
   if t.destroyed then invalid_arg "install_program: machine destroyed";
   match vet_policy with
   | None ->
     Machine.install_program t.machine ~core ~code_pages ~data_pages program;
+    install_profile_map t ~core ~code_pages ~label program;
     Ok None
   | Some vp ->
     let report =
@@ -229,6 +259,7 @@ let install_program t ?vet_policy ?(label = "guest") ~core ~code_pages
     if report.Vet.verdict = Vet.Reject && vp.enforce then Error report
     else begin
       Machine.install_program t.machine ~core ~code_pages ~data_pages program;
+      install_profile_map t ~core ~code_pages ~label program;
       Ok (Some report)
     end
 
@@ -237,6 +268,14 @@ let install_program t ?vet_policy ?(label = "guest") ~core ~code_pages
 (* ------------------------------------------------------------------ *)
 
 let charge t cycles = Machine.charge_hypervisor t.machine cycles
+
+(* Mediation/copy cycles are charged to the hypervisor core, but they
+   are work done {e on a guest's behalf} — attribute them to the owning
+   guest's current block so the profile answers "what is this guest
+   costing us".  No-op unless that core is being profiled. *)
+let charge_for t ~core ~cls cycles =
+  charge t cycles;
+  Core.profile_note (Machine.model_core t.machine core) ~cls cycles
 
 let grant_port t ~core ~device ~mode ~io_page ~vpage =
   if t.destroyed then invalid_arg "grant_port: machine destroyed";
@@ -272,7 +311,7 @@ let grant_port t ~core ~device ~mode ~io_page ~vpage =
   log t (Audit.Note (Printf.sprintf "port %d granted: core %d -> %s (%s)" id core
                        device.Device.name
                        (match mode with Mailbox -> "mailbox" | Rings -> "rings")));
-  charge t t.mediation_cost;
+  charge_for t ~core ~cls:Cost_class.Doorbell t.mediation_cost;
   id
 
 let find_port t id =
@@ -328,7 +367,7 @@ let doorbell t id =
       (Lapic.raise_line (Machine.lapic t.machine) ~now:(Machine.now t.machine)
          ~line:id ~src_core:p.core)
 
-let create_dma_engine t ~windows =
+let create_dma_engine t ?(core = 0) ~windows () =
   let iommu = Guillotine_memory.Iommu.create () in
   List.iter
     (fun (dma_page, frame, writable) ->
@@ -339,7 +378,16 @@ let create_dma_engine t ~windows =
     windows;
   let engine ~dma_addr words =
     match Machine.dma_write t.machine ~iommu ~dma_addr words with
-    | Ok () -> Ok ()
+    | Ok () ->
+      (* DMA bursts charge no simulated cycles today; attribute a
+         nominal per-word copy cost to the receiving guest so the
+         profile still shows where device traffic lands.  Attribution
+         only — the cycle counters are untouched. *)
+      Core.profile_note
+        (Machine.model_core t.machine core)
+        ~cls:Cost_class.Dma_iommu
+        (t.copy_cost_per_word * Array.length words);
+      Ok ()
     | Error reason ->
       observe t (Detector.Tamper { what = "device DMA blocked: " ^ reason });
       log t (Audit.Note ("blocked DMA: " ^ reason));
@@ -389,7 +437,8 @@ let deliver_completion t ({ port; response; issued; _ } : completion) =
       ~args:[ ("port", string_of_int port.id); ("device", port.device.Device.name) ]
       "port.complete"
   in
-  charge t (t.copy_cost_per_word * words);
+  charge_for t ~core:port.core ~cls:Cost_class.Doorbell
+    (t.copy_cost_per_word * words);
   Telemetry.incr t.c_completions;
   Telemetry.observe t.h_port_latency
     (float_of_int (Machine.now t.machine - issued));
@@ -440,7 +489,8 @@ let handle_request t port =
           "port.mediate"
       in
       let now = Machine.now t.machine in
-      charge t (t.mediation_cost + (t.copy_cost_per_word * Array.length words));
+      charge_for t ~core:port.core ~cls:Cost_class.Doorbell
+        (t.mediation_cost + (t.copy_cost_per_word * Array.length words));
       log t
         (Audit.Port_request
            { port = port.id; device = port.device.Device.name; words = Array.length words });

@@ -111,7 +111,15 @@ val install_program :
     passthrough returning [Ok None].  With one, the report is returned:
     [Ok (Some r)] when admitted (possibly with warnings, or when an
     advisory policy let a rejection through), [Error r] when rejected
-    under enforcement — in which case nothing was installed. *)
+    under enforcement — in which case nothing was installed.
+
+    Every successful install additionally derives the profiler's
+    paddr→block map from the vetting CFG and installs it (with [label])
+    on the target core — free unless profiling is enabled. *)
+
+val installed_guests : t -> (int * string) list
+(** [(core, label)] for every program installed through
+    {!install_program}, sorted by core (latest install per core wins). *)
 
 (** {2 Ports} *)
 
@@ -146,7 +154,9 @@ val response_ring : t -> port_id -> Guillotine_devices.Ringbuf.t
 
 val create_dma_engine :
   t ->
+  ?core:int ->
   windows:(int * int * bool) list ->
+  unit ->
   Guillotine_memory.Iommu.t * (dma_addr:int -> int64 array -> (unit, string) result)
 (** Build a DMA write engine for one device: [windows] are
     [(dma_page, model_frame, writable)] grants in a fresh IOMMU.  The
@@ -154,7 +164,9 @@ val create_dma_engine :
     {!Guillotine_devices.Block.set_dma_engine}) writes bursts into model
     DRAM through the IOMMU; any blocked burst is audited and raised to
     the detectors as tamper evidence — a device pushing outside its
-    windows is either broken or suborned. *)
+    windows is either broken or suborned.  [core] (default 0) names the
+    guest whose profile successful bursts are attributed to (class
+    [Dma_iommu]; attribution only, no cycles charged). *)
 
 val doorbell : t -> port_id -> unit
 (** Simulate the owning model core executing [Irq line]: the signal goes

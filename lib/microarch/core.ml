@@ -47,6 +47,53 @@ let predecode_enabled () = !predecode_enabled_flag
 let pd_slots = 4096 (* direct-mapped; must be a power of two *)
 let pd_mask = pd_slots - 1
 
+(* ------------------------------------------------------------------ *)
+(* Cycle-attribution profiling                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic execution profiler: every simulated cycle a profiled
+   core charges is attributed to a (basic block, cost class) pair in
+   plain int-array accumulators — no allocation, no clocks, no hash
+   tables on the retire path.  The discipline mirrors the predecode
+   cache: profiling observes the interpreter, it never participates in
+   it, so simulated cycles, cache movement and every architectural
+   effect are byte-identical with profiling on or off.  When a core's
+   [prof_on] flag is false the entire apparatus costs one predictable
+   branch per step and per charge site.
+
+   Attribution works per step: the explicit charge sites (fetch TLB
+   lookup, fetch hierarchy read, data TLB lookup, data hierarchy
+   read/write/flush, vector-table reads, the Irq doorbell) bank their
+   costs into per-step pending fields; at the end of the step the
+   pendings land in the current block's accumulators and whatever the
+   cycle delta does not explain is the Execute residual (ALU latency,
+   mul/div, branch resolution, fences).  Sum over all (block, class)
+   cells therefore equals the core's cycle counter exactly for any
+   interval profiled from its start.
+
+   GUILLOTINE_PROFILE=1 turns profiling on for every subsequently
+   created core — the CI lever proving zero simulated-cycle
+   perturbation across the whole scenario matrix. *)
+
+module Cost_class = Guillotine_util.Cost_class
+
+let profile_default_flag =
+  ref
+    (match Sys.getenv_opt "GUILLOTINE_PROFILE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let set_profile_default enabled = profile_default_flag := enabled
+let profile_default () = !profile_default_flag
+
+let n_classes = Cost_class.count
+let cc_fetch = Cost_class.index Cost_class.Fetch_decode
+let cc_tlb = Cost_class.index Cost_class.Tlb_walk
+let cc_mem = Cost_class.index Cost_class.Cache_data
+let cc_exec = Cost_class.index Cost_class.Execute
+let cc_exc = Cost_class.index Cost_class.Exception_dispatch
+let cc_door = Cost_class.index Cost_class.Doorbell
+
 type t = {
   id : int;
   kind : kind;
@@ -83,6 +130,27 @@ type t = {
   pd_instr : Isa.instr array;
   mutable pd_hits : int;
   mutable pd_fills : int;
+  (* Profiling plane.  [prof_block_of.(pc) = block id] for every pc of
+     the installed image; pcs outside the map (and cores with no map)
+     fall back to the pseudo-block [prof_nblocks].  [prof_cycles] is
+     row-major (nblocks + 1) x n_classes; [prof_retired] counts retired
+     instructions per block.  The prof_* pendings accumulate over the
+     current block residency (opened at cycle [prof_cycle0]) and are
+     banked by [prof_flush] on block transitions, readout, and disarm;
+     meaningful only while [prof_on]. *)
+  mutable prof_on : bool;
+  mutable prof_block_of : int array;
+  mutable prof_leaders : int array;
+  mutable prof_nblocks : int;
+  mutable prof_cycles : int array;
+  mutable prof_retired : int array;
+  mutable prof_block : int;
+  mutable prof_cycle0 : int;  (* cycle count when the residency opened *)
+  mutable prof_fetch : int;
+  mutable prof_tlb : int;
+  mutable prof_mem : int;
+  mutable prof_exc : int;
+  mutable prof_door : int;
 }
 
 (* Trap ABI register assignments. *)
@@ -123,6 +191,19 @@ let create ~id ~kind ~hierarchy ?tlb ?bpred ?mmu () =
     pd_instr = Array.make pd_slots Isa.Nop;
     pd_hits = 0;
     pd_fills = 0;
+    prof_on = !profile_default_flag;
+    prof_block_of = [||];
+    prof_leaders = [||];
+    prof_nblocks = 0;
+    prof_cycles = Array.make n_classes 0;
+    prof_retired = Array.make 1 0;
+    prof_block = 0;
+    prof_cycle0 = 0;
+    prof_fetch = 0;
+    prof_tlb = 0;
+    prof_mem = 0;
+    prof_exc = 0;
+    prof_door = 0;
   }
 
 let id t = t.id
@@ -136,6 +217,96 @@ let traps_taken t = t.traps
 let interrupts_delivered t = t.irqs_delivered
 let microarch_clears t = t.microarch_clears
 let predecode_stats t = (t.pd_hits, t.pd_fills)
+
+(* ------------------- profiling control & readout ------------------- *)
+
+let profiling t = t.prof_on
+
+(* Bank the current block residency: every cycle since [prof_cycle0]
+   belongs to [prof_block], split into the explicitly banked class
+   pendings with Execute as the unexplained residual.  Every pending
+   increment is paired with a cycle charge of at least that amount, so
+   the residual is never negative.  Called only on block transitions,
+   on readout, and on disarm — not per step — which is what keeps the
+   armed profiler's host overhead low. *)
+let prof_flush t =
+  let dcycles = t.cycles - t.prof_cycle0 in
+  if dcycles > 0 then begin
+    let a = t.prof_cycles in
+    let base = t.prof_block * n_classes in
+    a.(base + cc_fetch) <- a.(base + cc_fetch) + t.prof_fetch;
+    a.(base + cc_tlb) <- a.(base + cc_tlb) + t.prof_tlb;
+    a.(base + cc_mem) <- a.(base + cc_mem) + t.prof_mem;
+    a.(base + cc_exc) <- a.(base + cc_exc) + t.prof_exc;
+    a.(base + cc_door) <- a.(base + cc_door) + t.prof_door;
+    a.(base + cc_exec) <-
+      a.(base + cc_exec) + dcycles - t.prof_fetch - t.prof_tlb - t.prof_mem
+      - t.prof_exc - t.prof_door
+  end;
+  t.prof_cycle0 <- t.cycles;
+  t.prof_fetch <- 0;
+  t.prof_tlb <- 0;
+  t.prof_mem <- 0;
+  t.prof_exc <- 0;
+  t.prof_door <- 0
+
+let set_profiling t enabled =
+  (if t.prof_on && not enabled then prof_flush t
+   else if enabled && not t.prof_on then begin
+     (* Open the first residency at the current cycle count so nothing
+        that ran before arming is attributed. *)
+     t.prof_cycle0 <- t.cycles;
+     t.prof_fetch <- 0;
+     t.prof_tlb <- 0;
+     t.prof_mem <- 0;
+     t.prof_exc <- 0;
+     t.prof_door <- 0
+   end);
+  t.prof_on <- enabled
+
+let reset_profile t =
+  Array.fill t.prof_cycles 0 (Array.length t.prof_cycles) 0;
+  Array.fill t.prof_retired 0 (Array.length t.prof_retired) 0;
+  t.prof_block <- t.prof_nblocks;
+  t.prof_cycle0 <- t.cycles;
+  t.prof_fetch <- 0;
+  t.prof_tlb <- 0;
+  t.prof_mem <- 0;
+  t.prof_exc <- 0;
+  t.prof_door <- 0
+
+let set_profile_blocks t ~block_of ~leaders =
+  let n = Array.length leaders in
+  Array.iter
+    (fun b ->
+      if b < 0 || b > n then
+        invalid_arg "Core.set_profile_blocks: block id out of range")
+    block_of;
+  t.prof_block_of <- Array.copy block_of;
+  t.prof_leaders <- Array.copy leaders;
+  t.prof_nblocks <- n;
+  t.prof_cycles <- Array.make ((n + 1) * n_classes) 0;
+  t.prof_retired <- Array.make (n + 1) 0;
+  reset_profile t
+
+let profile_nblocks t = t.prof_nblocks
+let profile_leaders t = Array.copy t.prof_leaders
+
+let profile_cycles t =
+  (* Bank the open residency first so readout mid-run balances. *)
+  if t.prof_on then prof_flush t;
+  Array.copy t.prof_cycles
+
+let profile_retired t = Array.copy t.prof_retired
+
+(* Attribute externally charged cycles (hypervisor mediation, DMA) to
+   this core's current block.  Host-side bookkeeping only: the caller
+   has already charged the simulated cost wherever it belongs. *)
+let profile_note t ~cls cycles =
+  if t.prof_on && cycles > 0 then begin
+    let i = (t.prof_block * n_classes) + Cost_class.index cls in
+    t.prof_cycles.(i) <- t.prof_cycles.(i) + cycles
+  end
 
 let set_irq_sink t f = t.irq_sink <- Some f
 
@@ -165,7 +336,9 @@ let vector_entry t slot =
   if paddr < 0 then None
   else begin
     let v = Hierarchy.read_value t.hierarchy ~addr:paddr in
-    t.cycles <- t.cycles + Hierarchy.read_cost t.hierarchy;
+    let cost = Hierarchy.read_cost t.hierarchy in
+    t.cycles <- t.cycles + cost;
+    if t.prof_on then t.prof_exc <- t.prof_exc + cost;
     if v = 0L then None else Some (Int64.to_int v)
   end
 
@@ -216,7 +389,9 @@ let vpage_of t addr =
    path allocates nothing. *)
 let translate_data t ~vaddr ~access =
   let vpage = vpage_of t vaddr in
-  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+  let tlb_cost = Tlb.lookup t.tlb ~vpage in
+  t.cycles <- t.cycles + tlb_cost;
+  if t.prof_on then t.prof_tlb <- t.prof_tlb + tlb_cost;
   let paddr = Mmu.translate_raw t.mmu ~addr:vaddr ~access in
   if paddr < 0 then deliver_exception t (Isa.Page_fault vaddr);
   paddr
@@ -401,7 +576,9 @@ let execute t instr =
       let paddr = translate_data t ~vaddr ~access:`R in
       if paddr >= 0 then begin
         t.regs.(rd) <- Hierarchy.read_value t.hierarchy ~addr:paddr;
-        t.cycles <- t.cycles + Hierarchy.read_cost t.hierarchy;
+        let cost = Hierarchy.read_cost t.hierarchy in
+        t.cycles <- t.cycles + cost;
+        if t.prof_on then t.prof_mem <- t.prof_mem + cost;
         next t
       end
     end
@@ -413,6 +590,7 @@ let execute t instr =
       if paddr >= 0 then begin
         let cost = Hierarchy.write t.hierarchy ~addr:paddr (reg_value t rs) in
         t.cycles <- t.cycles + cost;
+        if t.prof_on then t.prof_mem <- t.prof_mem + cost;
         next t
       end
     end
@@ -435,6 +613,7 @@ let execute t instr =
     | None -> deliver_exception t Bad_instruction
     | Some sink ->
       t.cycles <- t.cycles + 5;
+      if t.prof_on then t.prof_door <- t.prof_door + 5;
       sink ~line;
       next t)
   | Iret ->
@@ -466,6 +645,7 @@ let execute t instr =
     if paddr >= 0 then begin
       Hierarchy.flush_line t.hierarchy ~addr:paddr;
       t.cycles <- t.cycles + 20;
+      if t.prof_on then t.prof_mem <- t.prof_mem + 20;
       next t
     end
   | Fence ->
@@ -495,6 +675,8 @@ let execute_and_retire t instr =
      reaches the trace port (its handler's instructions will). *)
   if not t.trapped then begin
     t.instret <- t.instret + 1;
+    if t.prof_on then
+      t.prof_retired.(t.prof_block) <- t.prof_retired.(t.prof_block) + 1;
     match t.retire_hooks with
     | [] -> ()
     | hooks -> List.iter (fun hook -> hook ~pc:retired_pc instr) hooks
@@ -520,7 +702,9 @@ let predecode_hit t slot paddr word gen =
    hierarchy read, predecoded instruction on hit. *)
 let fetch_and_execute_fast t =
   let vpage = vpage_of t t.pc in
-  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+  let tlb_cost = Tlb.lookup t.tlb ~vpage in
+  t.cycles <- t.cycles + tlb_cost;
+  if t.prof_on then t.prof_tlb <- t.prof_tlb + tlb_cost;
   let paddr = Mmu.translate_raw t.mmu ~addr:t.pc ~access:`X in
   if paddr < 0 then deliver_exception t (Isa.Page_fault t.pc)
   else begin
@@ -528,7 +712,9 @@ let fetch_and_execute_fast t =
        movement and the fetch's cycle cost are part of the timing
        model the predecode cache must not perturb. *)
     let word = Hierarchy.read_value t.hierarchy ~addr:paddr in
-    t.cycles <- t.cycles + Hierarchy.read_cost t.hierarchy;
+    let fetch_cost = Hierarchy.read_cost t.hierarchy in
+    t.cycles <- t.cycles + fetch_cost;
+    if t.prof_on then t.prof_fetch <- t.prof_fetch + fetch_cost;
     let slot = paddr land pd_mask in
     let gen = Hierarchy.write_generation t.hierarchy in
     if predecode_hit t slot paddr word gen then begin
@@ -557,12 +743,15 @@ let fetch_and_execute_fast t =
    measured from.  It also keeps the allocating wrapper APIs exercised. *)
 let fetch_and_execute_legacy t =
   let vpage = t.pc / Mmu.page_size t.mmu in
-  t.cycles <- t.cycles + Tlb.lookup t.tlb ~vpage;
+  let tlb_cost = Tlb.lookup t.tlb ~vpage in
+  t.cycles <- t.cycles + tlb_cost;
+  if t.prof_on then t.prof_tlb <- t.prof_tlb + tlb_cost;
   match Mmu.translate t.mmu ~addr:t.pc ~access:`X with
   | Error _ -> deliver_exception t (Isa.Page_fault t.pc)
   | Ok paddr -> (
     let word, cost = Hierarchy.read t.hierarchy ~addr:paddr in
     t.cycles <- t.cycles + cost;
+    if t.prof_on then t.prof_fetch <- t.prof_fetch + cost;
     match Encoding.decode word with
     | None -> deliver_exception t Isa.Bad_instruction
     | Some instr -> execute_and_retire t instr)
@@ -570,32 +759,53 @@ let fetch_and_execute_legacy t =
 let fetch_and_execute t =
   (* Code watchpoint: trap before fetch. *)
   if code_watch_hit t then t.status <- Halted (Watchpoint t.pc)
-  else if !predecode_enabled_flag then fetch_and_execute_fast t
-  else fetch_and_execute_legacy t
+  else begin
+    (* On a block transition, bank the finished residency and point at
+       the block owning the pc about to be fetched.  Interrupt and
+       exception dispatch charge their vector-read cost before the pc
+       lands here, so dispatch cycles are attributed to the interrupted
+       (or faulting) block — the block that incurred them. *)
+    if t.prof_on then begin
+      let b =
+        if t.pc >= 0 && t.pc < Array.length t.prof_block_of then
+          t.prof_block_of.(t.pc)
+        else t.prof_nblocks
+      in
+      if b <> t.prof_block then begin
+        prof_flush t;
+        t.prof_block <- b
+      end
+    end;
+    if !predecode_enabled_flag then fetch_and_execute_fast t
+    else fetch_and_execute_legacy t
+  end
+
+let step_body t =
+  (* Core-local timer: architecturally just another interrupt.  Ticks
+     that land while a handler runs (or while one is already queued)
+     are coalesced away, as a real local timer's level signal would
+     be. *)
+  if
+    t.timer_interval > 0
+    && t.cycles >= t.timer_deadline
+    && (not t.in_handler)
+    && Queue.is_empty t.pending_irqs
+  then begin
+    t.timer_deadline <- t.cycles + t.timer_interval;
+    Queue.push Isa.vector_timer t.pending_irqs
+  end;
+  (* Deliver one pending interrupt if we're not inside a handler. *)
+  if (not t.in_handler) && not (Queue.is_empty t.pending_irqs) then
+    deliver_irq t (Queue.pop t.pending_irqs);
+  match t.status with
+  | Running -> fetch_and_execute t
+  | Halted _ | Powered_off -> ()
 
 let step t =
   match t.status with
   | Halted _ | Powered_off -> false
   | Running ->
-    (* Core-local timer: architecturally just another interrupt.  Ticks
-       that land while a handler runs (or while one is already queued)
-       are coalesced away, as a real local timer's level signal would
-       be. *)
-    if
-      t.timer_interval > 0
-      && t.cycles >= t.timer_deadline
-      && (not t.in_handler)
-      && Queue.is_empty t.pending_irqs
-    then begin
-      t.timer_deadline <- t.cycles + t.timer_interval;
-      Queue.push Isa.vector_timer t.pending_irqs
-    end;
-    (* Deliver one pending interrupt if we're not inside a handler. *)
-    if (not t.in_handler) && not (Queue.is_empty t.pending_irqs) then
-      deliver_irq t (Queue.pop t.pending_irqs);
-    (match t.status with
-    | Running -> fetch_and_execute t
-    | Halted _ | Powered_off -> ());
+    step_body t;
     true
 
 let run t ~fuel =

@@ -107,6 +107,60 @@ val predecode_stats : t -> int * int
 (** [(hits, fills)]: fetches served from the predecode cache vs decode
     calls that filled a slot.  Host-perf observability only. *)
 
+(** {2 Cycle-attribution profiling}
+
+    When profiling is on, every simulated cycle the core charges is
+    attributed to a [(basic block, cost class)] cell in a flat int
+    array — no allocation on the hot path, and {e zero} effect on
+    simulated-cycle behaviour (the equivalence suite pins this, same
+    discipline as the predecode fast path).  The hypervisor installs
+    the paddr→block map at program-install time from the vetting CFG;
+    cycles charged at a pc outside the map (or before any map is
+    installed) land in a single pseudo-block with id
+    [profile_nblocks t].  Mediation, copy, and DMA cycles the
+    hypervisor charges on a guest's behalf are attributed via
+    {!profile_note}. *)
+
+val set_profile_default : bool -> unit
+(** Process-wide default for [prof_on] applied at {!create} time.
+    Initialised from the [GUILLOTINE_PROFILE] environment variable
+    (any value other than empty or ["0"] enables). *)
+
+val profile_default : unit -> bool
+
+val profiling : t -> bool
+val set_profiling : t -> bool -> unit
+
+val set_profile_blocks : t -> block_of:int array -> leaders:int array -> unit
+(** Install the paddr→block-id map: [block_of.(paddr)] is the owning
+    block id (or [Array.length leaders] for unmapped words);
+    [leaders.(b)] is block [b]'s leader paddr.  Resets accumulators.
+    Raises [Invalid_argument] if any id is out of range. *)
+
+val reset_profile : t -> unit
+
+val profile_nblocks : t -> int
+(** Real blocks in the installed map; the pseudo-block for unmapped
+    pcs has this id. *)
+
+val profile_leaders : t -> int array
+
+val profile_cycles : t -> int array
+(** Row-major copy of the accumulators: index
+    [block * Guillotine_util.Cost_class.count + Cost_class.index cls],
+    with [profile_nblocks t + 1] rows (last row = pseudo-block).  For a
+    core profiled since creation, the sum of all cells equals {!cycles}
+    plus whatever {!profile_note} attributed on the core's behalf
+    (hypervisor-side charges land on the hypervisor core's counter). *)
+
+val profile_retired : t -> int array
+(** Instructions retired per block (same row indexing). *)
+
+val profile_note : t -> cls:Guillotine_util.Cost_class.t -> int -> unit
+(** Attribute [cycles] externally-charged cycles (hypervisor mediation,
+    copy, DMA) to the core's current block under [cls].  No-op when
+    profiling is off. *)
+
 val set_speculation_depth : t -> int -> unit
 (** Size of the transient window executed down the wrong path after a
     branch mispredict (default 8; 0 disables speculation).  Transient

@@ -2,7 +2,19 @@ module Stats = Guillotine_util.Stats
 module Table = Guillotine_util.Table
 
 type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+
+(* Gauges keep a bounded time series of their [set]s (timestamped off
+   the owning registry's clock, shared by ref so late [set_clock] calls
+   reach existing gauges) — the counter track the Chrome-trace export
+   renders.  The track lives outside the event buffer: recorded/dropped
+   accounting is untouched by gauge traffic. *)
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+  g_clock : (unit -> float) ref;
+  mutable g_samples : (float * float) list; (* (ts, value), reversed *)
+  mutable g_count : int;
+}
 
 type histogram = {
   h_name : string;
@@ -28,7 +40,7 @@ type event = {
 
 type t = {
   reg_name : string;
-  mutable clock : unit -> float;
+  clock : (unit -> float) ref;
   metrics : (string, metric) Hashtbl.t;
   mutable order : string list; (* reversed registration order *)
   max_events : int;
@@ -52,7 +64,7 @@ type span = {
 let create ?(clock = fun () -> 0.0) ?(max_events = 65536) ~name () =
   {
     reg_name = name;
-    clock;
+    clock = ref clock;
     metrics = Hashtbl.create 16;
     order = [];
     max_events;
@@ -62,8 +74,8 @@ let create ?(clock = fun () -> 0.0) ?(max_events = 65536) ~name () =
   }
 
 let name t = t.reg_name
-let set_clock t clock = t.clock <- clock
-let now t = t.clock ()
+let set_clock t clock = t.clock := clock
+let now t = !(t.clock) ()
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -101,11 +113,25 @@ let counter_value c = c.c_value
 let gauge t name =
   register t name
     (fun () ->
-      let g = { g_name = name; g_value = 0.0 } in
+      let g =
+        { g_name = name; g_value = 0.0; g_clock = t.clock; g_samples = [];
+          g_count = 0 }
+      in
       (M_gauge g, g))
     (function M_gauge g -> Some g | _ -> None)
 
-let set g v = g.g_value <- v
+(* Bound per-gauge memory the same way histograms do: keep the most
+   recent window, resetting at a fixed count so the kept set depends
+   only on the set sequence (deterministic across replays). *)
+let gauge_window = 256
+
+let set g v =
+  g.g_value <- v;
+  g.g_count <- g.g_count + 1;
+  let ts = !(g.g_clock) () in
+  if g.g_count land (gauge_window - 1) = 0 then g.g_samples <- [ (ts, v) ]
+  else g.g_samples <- (ts, v) :: g.g_samples
+
 let gauge_value g = g.g_value
 
 let histogram t name =
@@ -155,14 +181,14 @@ let push_event t ev =
   end
 
 let span t ?(cat = "") ?(args = []) name =
-  { sp_reg = t; sp_name = name; sp_cat = cat; sp_start = t.clock (); sp_args = args;
+  { sp_reg = t; sp_name = name; sp_cat = cat; sp_start = !(t.clock) (); sp_args = args;
     sp_done = false }
 
 let finish ?(args = []) sp =
   if not sp.sp_done then begin
     sp.sp_done <- true;
     let t = sp.sp_reg in
-    let stop = t.clock () in
+    let stop = !(t.clock) () in
     push_event t
       {
         ev_name = sp.sp_name;
@@ -189,7 +215,7 @@ let instant t ?(cat = "") ?(args = []) name =
     {
       ev_name = name;
       ev_cat = cat;
-      ev_ts = t.clock ();
+      ev_ts = !(t.clock) ();
       ev_dur = 0.0;
       ev_instant = true;
       ev_args = args;
@@ -326,12 +352,35 @@ let export_chrome_trace regs =
                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"%s\"}}"
                tid (json_escape t.reg_name))))
     tids;
-  let events =
+  let span_events =
     List.concat_map
       (fun (tid, t) ->
-        List.rev t.events |> List.mapi (fun seq ev -> (tid, seq, ev)))
+        List.rev t.events |> List.mapi (fun seq ev -> (tid, seq, `Ev ev)))
       tids
   in
+  (* Gauge counter tracks ("ph":"C"): every retained gauge sample, in
+     registration then chronological order, so Perfetto renders
+     occupancy/goodput alongside the spans they explain.  Sequence
+     numbers continue after the registry's recorded events, keeping the
+     total order below unambiguous. *)
+  let counter_events =
+    List.concat_map
+      (fun (tid, t) ->
+        let seq = ref t.recorded in
+        List.rev t.order
+        |> List.concat_map (fun name ->
+               match Hashtbl.find t.metrics name with
+               | M_gauge g ->
+                 List.rev_map
+                   (fun (ts, v) ->
+                     Stdlib.incr seq;
+                     (tid, !seq, `Gauge (g.g_name, ts, v)))
+                   g.g_samples
+                 |> List.rev
+               | _ -> []))
+      tids
+  in
+  let ts_of = function `Ev ev -> ev.ev_ts | `Gauge (_, ts, _) -> ts in
   (* Explicit total order: timestamp, then thread, then each registry's
      own recording sequence.  Events sharing a timestamp (an alert
      instant landing on the same tick as the span that triggered it)
@@ -340,26 +389,33 @@ let export_chrome_trace regs =
   let events =
     List.sort
       (fun (atid, aseq, a) (btid, bseq, b) ->
-        match Float.compare a.ev_ts b.ev_ts with
+        match Float.compare (ts_of a) (ts_of b) with
         | 0 -> (
           match compare atid btid with 0 -> compare aseq bseq | c -> c)
         | c -> c)
-      events
+      (span_events @ counter_events)
   in
   List.iter
-    (fun (tid, _, ev) ->
+    (fun (tid, _, item) ->
       emit (fun () ->
-          Buffer.add_string buf
-            (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
-               (json_escape ev.ev_name)
-               (json_escape (if ev.ev_cat = "" then "default" else ev.ev_cat))
-               (if ev.ev_instant then "i" else "X")
-               tid (usec ev.ev_ts));
-          if ev.ev_instant then Buffer.add_string buf ",\"s\":\"t\""
-          else Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" (usec ev.ev_dur));
-          Buffer.add_string buf ",\"args\":";
-          add_args buf ev.ev_args;
-          Buffer.add_string buf "}"))
+          match item with
+          | `Ev ev ->
+            Buffer.add_string buf
+              (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+                 (json_escape ev.ev_name)
+                 (json_escape (if ev.ev_cat = "" then "default" else ev.ev_cat))
+                 (if ev.ev_instant then "i" else "X")
+                 tid (usec ev.ev_ts));
+            if ev.ev_instant then Buffer.add_string buf ",\"s\":\"t\""
+            else Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" (usec ev.ev_dur));
+            Buffer.add_string buf ",\"args\":";
+            add_args buf ev.ev_args;
+            Buffer.add_string buf "}"
+          | `Gauge (name, ts, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"gauge\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%.6g}}"
+                 (json_escape name) tid (usec ts) v)))
     events;
   Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -141,8 +141,10 @@ val table : snapshot list -> Guillotine_util.Table.t
 val export_chrome_trace : t list -> string
 (** JSON for [chrome://tracing] / Perfetto: one thread per registry,
     all spans/instants merged and sorted so timestamps are
-    non-decreasing.  Timestamps are clock seconds scaled to
-    microseconds.
+    non-decreasing.  Gauges are emitted as counter ([{"ph":"C"}])
+    events — one per recorded sample — so occupancy/goodput render as
+    value tracks alongside the spans.  Timestamps are clock seconds
+    scaled to microseconds.
 
     Ordering is a documented total order, not an accident of the sort:
     (timestamp, position of the registry in the argument list, the

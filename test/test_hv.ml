@@ -712,7 +712,7 @@ let test_dma_block_device_end_to_end () =
       ~io_page:1 ~vpage:101
   in
   (* One writable window: device page 0 -> model frame 8. *)
-  let iommu, engine = Hypervisor.create_dma_engine hv ~windows:[ (0, 8, true) ] in
+  let iommu, engine = Hypervisor.create_dma_engine hv ~windows:[ (0, 8, true) ] () in
   Block.set_dma_engine disk engine;
   let transact req =
     ignore (Ringbuf.push (Hypervisor.request_ring hv port) req);

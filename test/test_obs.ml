@@ -11,6 +11,7 @@
 
 module Timeseries = Guillotine_obs.Timeseries
 module Watchdog = Guillotine_obs.Watchdog
+module Recorder = Guillotine_obs.Recorder
 module Scenarios = Guillotine_faults.Scenarios
 module Telemetry = Guillotine_telemetry.Telemetry
 module Engine = Guillotine_sim.Engine
@@ -102,6 +103,34 @@ let prop_hysteresis_no_flapping =
           ignore (Watchdog.evaluate wd ~now:at ts))
         (0.0 :: values);
       List.length (Watchdog.alerts wd) = 1)
+
+(* ------------------ recorder ring eviction (qcheck) ---------------- *)
+
+(* The flight recorder's ring bound evicts oldest-first and never
+   reorders: after any emission sequence the survivors are exactly the
+   last [min n capacity] events, in insertion order, with contiguous
+   sequence numbers ending at [recorded - 1] — and the recorded/dropped
+   accounting balances against the retained count. *)
+let prop_recorder_ring_insertion_order =
+  QCheck.Test.make ~count:200
+    ~name:"recorder ring keeps newest events in insertion order"
+    QCheck.(pair (int_range 1 16) (int_range 0 64))
+    (fun (capacity, n) ->
+      let r = Recorder.create ~capacity ~clock:(fun () -> 0.0) () in
+      for i = 0 to n - 1 do
+        Recorder.record r ~source:"test" ~kind:"k" (Printf.sprintf "e%d" i)
+      done;
+      let evs = Recorder.events r in
+      let retained = min n capacity in
+      let seqs = List.map (fun (e : Recorder.event) -> e.Recorder.seq) evs in
+      List.length evs = retained
+      && seqs = List.init retained (fun i -> n - retained + i)
+      && List.for_all
+           (fun (e : Recorder.event) ->
+             e.Recorder.detail = Printf.sprintf "e%d" e.Recorder.seq)
+           evs
+      && Recorder.recorded r = n
+      && Recorder.dropped r = n - retained)
 
 (* ----------------------- stale rule (unit) ------------------------- *)
 
@@ -234,6 +263,7 @@ let () =
           qc prop_hysteresis_no_flapping;
           Alcotest.test_case "stale rule" `Quick test_stale_rule;
         ] );
+      ("recorder", [ qc prop_recorder_ring_insertion_order ]);
       ( "console",
         [
           Alcotest.test_case "watchdog alert escalation" `Quick

@@ -1,0 +1,242 @@
+(* Cycle-attribution profiler tests.
+
+   The contract under test, in order of importance:
+
+   1. Read-only: running any scenario with [~profile:true] leaves every
+      observable byte — trace, verdict, recoveries, snapshots, adversary
+      metrics — identical to the bare run, across the whole scenario
+      list at whatever seed the CI matrix supplies via FAULTS_SEED.
+   2. Conservation: on a core with no hypervisor traffic, the profile's
+      cycle total equals the core's cycle counter exactly — no cycle
+      unattributed, none double-counted.
+   3. Determinism: a profiled run's JSON and folded renderings are
+      byte-identical across repeat runs.
+   4. Attribution: hot blocks carry real CFG leaders and the hottest
+      block of a known workload is its loop body.
+   5. Fleet: profiled cells aggregate with cell-qualified guest labels,
+      and profiling changes no fleet digest. *)
+
+module Scenarios = Guillotine_faults.Scenarios
+module Profile = Guillotine_obs.Profile
+module Machine = Guillotine_machine.Machine
+module Core = Guillotine_microarch.Core
+module Hypervisor = Guillotine_hv.Hypervisor
+module Asm = Guillotine_isa.Asm
+module Guest = Guillotine_model.Guest_programs
+module Fleet = Guillotine_fleet.Fleet
+module Cell = Guillotine_fleet.Cell
+
+let matrix_seed =
+  match Sys.getenv_opt "FAULTS_SEED" with
+  | Some s -> (try int_of_string s with Failure _ -> 1)
+  | None -> 1
+
+(* ------------------ profiled replay is byte-identical --------------- *)
+
+let test_profiled_replay_identical name () =
+  let bare = Scenarios.run name ~seed:matrix_seed in
+  let prof = Scenarios.run name ~seed:matrix_seed ~profile:true in
+  Alcotest.(check string) "trace" bare.Scenarios.trace prof.Scenarios.trace;
+  Alcotest.(check string) "verdict" bare.Scenarios.verdict prof.Scenarios.verdict;
+  Alcotest.(check string) "recovery" bare.Scenarios.recovery prof.Scenarios.recovery;
+  Alcotest.(check int) "recoveries" bare.Scenarios.recoveries prof.Scenarios.recoveries;
+  Alcotest.(check int) "faults" bare.Scenarios.faults_injected
+    prof.Scenarios.faults_injected;
+  Alcotest.(check bool) "snapshots equal" true
+    (bare.Scenarios.snapshots = prof.Scenarios.snapshots);
+  Alcotest.(check bool) "adversary metrics equal" true
+    (bare.Scenarios.adversary = prof.Scenarios.adversary);
+  (* And the bare run must not have collected a profile. *)
+  Alcotest.(check bool) "bare run has no profile" true
+    (bare.Scenarios.profile = None)
+
+(* -------------------------- conservation --------------------------- *)
+
+let test_cycle_conservation () =
+  let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
+  let p = Asm.assemble_exn (Guest.compute_loop ~iterations:2_000) in
+  (match
+     Hypervisor.install_program hv ~label:"loop" ~core:0 ~code_pages:4
+       ~data_pages:4 p
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "passthrough install rejected");
+  let c = Machine.model_core m 0 in
+  Core.set_profiling c true;
+  ignore (Core.run c ~fuel:50_000);
+  let total = Array.fold_left ( + ) 0 (Core.profile_cycles c) in
+  Alcotest.(check int) "sum of attributed cycles = core cycles"
+    (Core.cycles c) total;
+  let retired = Array.fold_left ( + ) 0 (Core.profile_retired c) in
+  Alcotest.(check int) "sum of attributed retires = instructions retired"
+    (Core.instructions_retired c) retired
+
+let test_readout_mid_run_balances () =
+  (* profile_cycles banks the open residency, so a mid-run readout must
+     balance too — and a later readout still balances (nothing lost or
+     double-counted by the flush). *)
+  let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
+  let p = Asm.assemble_exn (Guest.compute_loop ~iterations:2_000) in
+  ignore
+    (Hypervisor.install_program hv ~label:"loop" ~core:0 ~code_pages:4
+       ~data_pages:4 p);
+  let c = Machine.model_core m 0 in
+  Core.set_profiling c true;
+  ignore (Core.run c ~fuel:777);
+  let mid = Array.fold_left ( + ) 0 (Core.profile_cycles c) in
+  Alcotest.(check int) "mid-run readout balances" (Core.cycles c) mid;
+  ignore (Core.run c ~fuel:777);
+  let fin = Array.fold_left ( + ) 0 (Core.profile_cycles c) in
+  Alcotest.(check int) "second readout still balances" (Core.cycles c) fin
+
+(* -------------------------- determinism ---------------------------- *)
+
+let profile_of_scenario name =
+  match (Scenarios.run name ~seed:matrix_seed ~profile:true).Scenarios.profile with
+  | Some p -> p
+  | None -> Alcotest.fail (name ^ ": profiled run collected no profile")
+
+let test_profile_deterministic name () =
+  let a = profile_of_scenario name in
+  let b = profile_of_scenario name in
+  Alcotest.(check string) "json byte-identical"
+    (Profile.to_json a) (Profile.to_json b);
+  Alcotest.(check string) "folded byte-identical"
+    (Profile.folded a) (Profile.folded b);
+  Alcotest.(check string) "table byte-identical"
+    (Profile.table a) (Profile.table b)
+
+(* -------------------------- attribution ---------------------------- *)
+
+let test_hot_block_attribution () =
+  let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
+  let p = Asm.assemble_exn (Guest.compute_loop ~iterations:2_000) in
+  ignore
+    (Hypervisor.install_program hv ~label:"loop" ~core:0 ~code_pages:4
+       ~data_pages:4 p);
+  let c = Machine.model_core m 0 in
+  Core.set_profiling c true;
+  ignore (Core.run c ~fuel:50_000);
+  let profile =
+    Profile.make
+      [
+        Profile.guest ~core:0 ~label:"loop"
+          ~leaders:(Core.profile_leaders c)
+          ~cycles:(Core.profile_cycles c)
+          ~retired:(Core.profile_retired c);
+      ]
+  in
+  match Profile.hottest profile with
+  | None -> Alcotest.fail "no hot block"
+  | Some s ->
+    Alcotest.(check string) "guest label" "loop" s.Profile.bs_guest;
+    (* The loop body dominates a 2000-iteration loop: the hottest block
+       is a mapped CFG block (not the unmapped pseudo-block) and it
+       retires the overwhelming share of instructions. *)
+    Alcotest.(check bool) "hottest block is mapped" true
+      (s.Profile.bs_leader <> None);
+    let total_retired =
+      Array.fold_left ( + ) 0 (Core.profile_retired c)
+    in
+    Alcotest.(check bool) "loop body retires the majority" true
+      (s.Profile.bs_retired * 2 > total_retired);
+    (* Folded export mentions the hottest block under the guest label. *)
+    let folded = Profile.folded profile in
+    Alcotest.(check bool) "folded names the guest" true
+      (String.length folded > 0
+      && String.sub folded 0 5 = "loop;")
+
+let test_scenario_profile_nonempty () =
+  (* A deployment-backed adversary scenario must attribute real cycles
+     to real blocks of the labelled adversary guest. *)
+  let p = profile_of_scenario "killswitch-exfil-sprint" in
+  Alcotest.(check bool) "cycles collected" true (Profile.total_cycles p > 0);
+  match Profile.hottest p with
+  | None -> Alcotest.fail "no hot block"
+  | Some s ->
+    Alcotest.(check string) "adversary guest labelled" "exfil-courier"
+      s.Profile.bs_guest;
+    Alcotest.(check bool) "hottest block is mapped" true
+      (s.Profile.bs_leader <> None)
+
+(* ----------------------------- fleet ------------------------------- *)
+
+let test_fleet_profiled_attribution () =
+  (* A serving cell's model cores are spares — inference runs in the
+     toymodel, not on GRISC — so only a cell that actually executes
+     guest code collects cycles.  The toctou cell does: its adversary
+     loads a hostile program on the cell's model core mid-serve. *)
+  let mk ~profiled = Fleet.create ~seed:3 ~cells:2 ~toctou:1 ~profiled () in
+  let prof_view = Fleet.run (mk ~profiled:true) in
+  let bare_view = Fleet.run (mk ~profiled:false) in
+  (* Profiling must not move a single transcript byte. *)
+  Alcotest.(check string) "fleet digest unchanged" bare_view.Fleet.v_digest
+    prof_view.Fleet.v_digest;
+  Alcotest.(check bool) "bare fleet has no profile" true
+    (bare_view.Fleet.v_profile = None);
+  match prof_view.Fleet.v_profile with
+  | None -> Alcotest.fail "profiled fleet collected no profile"
+  | Some p ->
+    Alcotest.(check bool) "cycles collected" true (Profile.total_cycles p > 0);
+    (* Every aggregated guest label is cell-qualified, so the fleet's
+       hottest block names its owning cell. *)
+    List.iter
+      (fun (s : Profile.block_stat) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "label %S is cell-qualified" s.Profile.bs_guest)
+          true
+          (String.length s.Profile.bs_guest > 5
+          && String.sub s.Profile.bs_guest 0 5 = "cell-"))
+      (Profile.hot_blocks p);
+    (* Per-cell profiles survive in the reports: the attacked cell
+       carries one, the purely-serving cell (idle model cores) reports
+       [None] rather than an empty profile. *)
+    Array.iter
+      (fun (r : Cell.report) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s profile presence" r.Cell.r_name)
+          (r.Cell.r_name = "cell-1")
+          (r.Cell.r_profile <> None))
+      prof_view.Fleet.v_reports
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( Printf.sprintf "profiled replay (seed=%d)" matrix_seed,
+        List.map
+          (fun name ->
+            Alcotest.test_case (name ^ " byte-identical") `Quick
+              (test_profiled_replay_identical name))
+          Scenarios.names );
+      ( "conservation",
+        [
+          Alcotest.test_case "cycles fully attributed" `Quick
+            test_cycle_conservation;
+          Alcotest.test_case "mid-run readout balances" `Quick
+            test_readout_mid_run_balances;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "benign scenario" `Quick
+            (test_profile_deterministic "core-wedge-rollback");
+          Alcotest.test_case "adversary scenario" `Quick
+            (test_profile_deterministic "killswitch-exfil-sprint");
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "hot block is the loop body" `Quick
+            test_hot_block_attribution;
+          Alcotest.test_case "adversary scenario profiles its guest" `Quick
+            test_scenario_profile_nonempty;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "profiled fleet attribution + digests" `Quick
+            test_fleet_profiled_attribution;
+        ] );
+    ]

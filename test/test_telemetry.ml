@@ -277,7 +277,7 @@ let test_chrome_trace_golden () =
   List.iter
     (fun ev ->
       (match field "ph" ev with
-      | Json.Str ("M" | "X" | "i") -> ()
+      | Json.Str ("M" | "X" | "i" | "C") -> ()
       | Json.Str ph -> Alcotest.fail ("unexpected phase " ^ ph)
       | _ -> Alcotest.fail "ph not a string");
       (match field "ts" ev with Json.Num _ -> () | _ -> Alcotest.fail "ts not numeric");
@@ -364,6 +364,78 @@ let test_chrome_trace_tiebreak_deterministic () =
   Alcotest.(check bool) "alpha track before beta at same ts" true
     (pos "a.second" < pos "b.first")
 
+let test_chrome_trace_counter_track () =
+  (* Gauge writes surface as Chrome-trace counter events ("ph":"C") so
+     Perfetto draws occupancy/goodput tracks next to the spans.  The
+     export is pinned: two identical builds serialize byte-for-byte. *)
+  let build () =
+    let t = ref 0.0 in
+    let reg = Telemetry.create ~clock:(fun () -> !t) ~name:"svc" () in
+    let g = Telemetry.gauge reg "queue.depth" in
+    Telemetry.set g 1.0;
+    t := 0.5;
+    Telemetry.set g 3.0;
+    t := 1.0;
+    Telemetry.instant reg "tick";
+    Telemetry.export_chrome_trace [ reg ]
+  in
+  let json = build () in
+  Alcotest.(check string) "counter export deterministic" json (build ());
+  let doc = try Json.parse json with Json.Parse_error e -> Alcotest.fail e in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List es) -> es
+    | _ -> Alcotest.fail "missing traceEvents"
+  in
+  let counters =
+    List.filter (fun ev -> Json.member "ph" ev = Some (Json.Str "C")) events
+  in
+  Alcotest.(check int) "one C event per gauge write" 2 (List.length counters);
+  List.iter
+    (fun ev ->
+      (match Json.member "name" ev with
+      | Some (Json.Str "queue.depth") -> ()
+      | _ -> Alcotest.fail "counter name mismatch");
+      match Json.member "cat" ev with
+      | Some (Json.Str "gauge") -> ()
+      | _ -> Alcotest.fail "counter cat mismatch")
+    counters;
+  let values =
+    List.filter_map
+      (fun ev ->
+        match Json.member "args" ev with
+        | Some args -> (
+          match Json.member "value" args with
+          | Some (Json.Num v) -> Some v
+          | _ -> None)
+        | None -> None)
+      counters
+  in
+  Alcotest.(check (list (float 1e-9))) "values chronological" [ 1.0; 3.0 ] values;
+  let ts =
+    List.filter_map
+      (fun ev ->
+        match Json.member "ts" ev with Some (Json.Num t) -> Some t | _ -> None)
+      counters
+  in
+  Alcotest.(check (list (float 1.0))) "timestamps in us" [ 0.0; 500_000.0 ] ts
+
+let prop_event_conservation =
+  (* Counting invariant under any emission sequence: every emitted
+     event is either retained or counted as dropped — the buffer never
+     loses one silently and never double-counts. *)
+  QCheck.Test.make ~name:"events recorded + dropped = emitted" ~count:200
+    QCheck.(pair (int_range 1 32) (list bool))
+    (fun (cap, ops) ->
+      let reg = Telemetry.create ~max_events:cap ~name:"t" () in
+      List.iter
+        (fun is_span ->
+          if is_span then Telemetry.finish (Telemetry.span reg "s")
+          else Telemetry.instant reg "i")
+        ops;
+      Telemetry.events_recorded reg + Telemetry.events_dropped reg
+      = List.length ops)
+
 let test_snapshot_self_gauges () =
   let reg = Telemetry.create ~max_events:8 ~name:"svc" () in
   for i = 1 to 11 do
@@ -405,6 +477,7 @@ let () =
           Alcotest.test_case "bounded buffer" `Quick test_event_buffer_bounded;
           Alcotest.test_case "with_span on exception" `Quick
             test_with_span_closes_on_exception;
+          qc prop_event_conservation;
         ] );
       ("snapshots", [ Alcotest.test_case "uniform surface" `Quick test_snapshot_surface ]);
       ( "chrome-trace",
@@ -412,6 +485,8 @@ let () =
           Alcotest.test_case "golden export" `Quick test_chrome_trace_golden;
           Alcotest.test_case "same-ts tiebreak deterministic" `Quick
             test_chrome_trace_tiebreak_deterministic;
+          Alcotest.test_case "gauge counter track" `Quick
+            test_chrome_trace_counter_track;
           Alcotest.test_case "string escaping" `Quick test_chrome_trace_escapes_strings;
         ] );
       ( "self-observability",
