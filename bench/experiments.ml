@@ -1795,9 +1795,132 @@ let v1 () =
       say "  runtime yardstick: irq-storm-contained went UNDETECTED by the \
            monitoring plane (unexpected)."
 
+(* ================================================================== *)
+(* V2: co-admission interference vs runtime detection                  *)
+(* ================================================================== *)
+
+let v2 () =
+  let module Vet = Guillotine_vet.Vet in
+  let module Interfere = Guillotine_vet.Interfere in
+  let module Lints = Guillotine_vet.Lints in
+  let module Corpus = Guillotine_core.Vet_corpus in
+  let module Scenarios = Guillotine_faults.Scenarios in
+  say "V2  Co-admission interference: which post-admission adversaries become";
+  say "    statically rejectable once guests are vetted as a *set* (lib/vet's";
+  say "    second stage, fed each guest's planned placement, DMA windows and";
+  say "    descriptor regions), and which are fundamentally runtime-only.";
+  say "    Expected shape: memory- and doorbell-shaped attacks (self-patch";
+  say "    loader, descriptor rewrite, burst summing) reject before cycle 0;";
+  say "    temporal hostility (exfil sprint, hostage-taking) and attacks on";
+  say "    the installer itself co-admit clean — the runtime plane keeps those.";
+  (* One row per PR-7 adversary guest: the roster that carries it through
+     the co-admission gate, and the runtime scenario whose detection
+     latency is the yardstick the static verdict competes with. *)
+  let rows =
+    [
+      ("dma-sleeper", "toctou-dma-self-patch", "sleeper-loader");
+      ("dma-courier", "toctou-shared-window-rewrite", "colluding-pair");
+      ("window-scribbler", "toctou-shared-window-rewrite", "colluding-pair");
+      ("patch-payload", "toctou-install-race", "patch-direct");
+      ("replicator", "killswitch-replicate", "replicator-burst");
+      ("exfil-courier", "killswitch-exfil-sprint", "exfil-rider");
+      ("hostage-worker", "killswitch-hostage", "hostage-solo");
+    ]
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let coadmit_cache = ref [] in
+  let coadmit name =
+    match List.assoc_opt name !coadmit_cache with
+    | Some rep -> rep
+    | None ->
+      let rep =
+        match Corpus.find_roster name with
+        | Some r -> Corpus.coadmit r
+        | None -> invalid_arg (Printf.sprintf "roster %s missing" name)
+      in
+      coadmit_cache := (name, rep) :: !coadmit_cache;
+      rep
+  in
+  let latency_cache = ref [] in
+  let latency scenario =
+    match List.assoc_opt scenario !latency_cache with
+    | Some l -> l
+    | None ->
+      let o = Scenarios.run ~seed:1 scenario in
+      let l =
+        match o.Scenarios.adversary with
+        | Some a -> a.Scenarios.detection_latency_s
+        | None -> None
+      in
+      latency_cache := (scenario, l) :: !latency_cache;
+      l
+  in
+  let finding_for rep label =
+    let errs = Interfere.errors rep in
+    match
+      List.find_opt
+        (fun (f : Lints.finding) -> contains f.Lints.detail label)
+        errs
+    with
+    | Some f -> f.Lints.rule
+    | None -> (
+        match errs with f :: _ -> f.Lints.rule | [] -> "-")
+  in
+  let t =
+    Table.create ~title:"V2 static co-admission vs runtime detection (seed 1)"
+      ~columns:
+        [
+          ("adversary guest", Table.Left);
+          ("roster", Table.Left);
+          ("co-admission", Table.Left);
+          ("named finding", Table.Left);
+          ("runtime scenario", Table.Left);
+          ("detect latency", Table.Right);
+          ("class", Table.Left);
+        ]
+  in
+  let static_count = ref 0 in
+  List.iter
+    (fun (guest, scenario, roster) ->
+      let rep = coadmit roster in
+      let rejected = rep.Interfere.verdict = Vet.Reject in
+      if rejected then incr static_count;
+      let lat =
+        match latency scenario with
+        | Some l -> Printf.sprintf "%.2fs" l
+        | None -> "undetected"
+      in
+      Table.add_row t
+        [
+          guest;
+          roster;
+          Vet.verdict_label rep.Interfere.verdict;
+          (if rejected then finding_for rep guest else "-");
+          scenario;
+          lat;
+          (if rejected then "static" else "runtime-only");
+        ])
+    rows;
+  Table.print t;
+  say "  %d of %d adversary guests are now rejectable at co-admission, at the"
+    !static_count (List.length rows);
+  say "  microsecond analysis cost the coadmit-pair bench pins — vs 0.05-2.3";
+  say "  simulated seconds of exposure (plus residual damage) on the runtime";
+  say "  path.  patch-payload rejects when *presented* to the gate; its";
+  say "  install-race scenario smuggles it past the vetter entirely, so the";
+  say "  TOCTOU defence stays with the runtime plane.  exfil-courier and";
+  say "  hostage-worker are temporally hostile (trigger on heartbeat loss,";
+  say "  withhold goodput): nothing in their memory or doorbell footprint";
+  say "  distinguishes them, and co-admission rightly finds zero findings."
+
 let all = [
   ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5); ("t6", t6);
   ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5);
   ("f6", f6); ("f7", f7); ("f8", f8); ("f9", f9); ("f10", f10); ("f11", f11);
   ("a1", a1); ("a2", a2); ("a3", a3); ("r1", r1); ("o1", o1); ("v1", v1);
+  ("v2", v2);
 ]

@@ -18,6 +18,14 @@
                     Hierarchy/Cache access path with no core on top.
    - f-storm        the "fault-storm-failover" golden scenario, whole
                     rig end to end.
+   - coadmit-pair   the V2 cost side: full static co-admission of the
+                    colluding courier/scribbler pair — two effect
+                    summaries (each a complete vetting analysis) plus
+                    the pairwise interference check — measured in
+                    pairs/sec, to set the microseconds-per-pair price
+                    of rejecting before cycle 0 against the ~0.5
+                    sim-second runtime detection latency the adversary
+                    suite pays for the same attack.
 
    Simulated results are identical in every mode (the equivalence suite
    pins that); this file only measures host seconds and minor-heap
@@ -33,6 +41,7 @@ module Dram = Guillotine_memory.Dram
 module Hierarchy = Guillotine_memory.Hierarchy
 module Engine = Guillotine_sim.Engine
 module Scenarios = Guillotine_faults.Scenarios
+module Vet_corpus = Guillotine_core.Vet_corpus
 module Prng = Guillotine_util.Prng
 module Bits = Guillotine_util.Bits
 module Table = Guillotine_util.Table
@@ -49,7 +58,8 @@ type sample = {
   detail : string;
 }
 
-let workload_names = [ "benign-guest"; "fetch-loop"; "covert-channel"; "f-storm" ]
+let workload_names =
+  [ "benign-guest"; "fetch-loop"; "covert-channel"; "f-storm"; "coadmit-pair" ]
 
 (* ----------------------------- timing ------------------------------ *)
 
@@ -225,6 +235,34 @@ let bench_fstorm ~repeat ~runs =
     detail = Printf.sprintf "%d full scenario run(s) in %.2fs host" total dt;
   }
 
+(* --------------------------- coadmit-pair -------------------------- *)
+
+let bench_coadmit ~repeat ~pairs =
+  let roster =
+    match Vet_corpus.find_roster "colluding-pair" with
+    | Some r -> r
+    | None -> invalid_arg "colluding-pair roster missing from corpus"
+  in
+  let run () =
+    for _ = 1 to pairs do
+      ignore (Vet_corpus.coadmit roster)
+    done;
+    pairs
+  in
+  let rate, total, dt = best_of ~repeat run in
+  {
+    workload = "coadmit-pair";
+    metric = "pairs_per_sec";
+    value = rate;
+    baseline = 0.0;
+    speedup = 0.0;
+    alloc_words_per_instr = -1.0;
+    detail =
+      Printf.sprintf
+        "%d co-admissions in %.2fs host (%.0f us/pair, rejected before cycle 0; the runtime path catches the same rewrite ~0.5 sim-s after admission)"
+        total dt (1e6 /. rate);
+  }
+
 (* ------------------------------- JSON ------------------------------ *)
 
 let json_of_sample s =
@@ -321,6 +359,7 @@ let run_workload ~quick ~repeat = function
   | "fetch-loop" -> bench_fetch_loop ~repeat ~fuel:(if quick then 100_000 else 2_000_000)
   | "covert-channel" -> bench_covert ~repeat ~bits:(if quick then 64 else 512)
   | "f-storm" -> bench_fstorm ~repeat:(if quick then 1 else repeat) ~runs:1
+  | "coadmit-pair" -> bench_coadmit ~repeat ~pairs:(if quick then 8 else 64)
   | w -> invalid_arg (Printf.sprintf "unknown perf workload %S" w)
 
 let print_table samples =

@@ -11,7 +11,8 @@
      faults           replay a named fault-injection scenario deterministically
      monitor          replay a fault scenario with the observability plane attached
      report           print the incident report for a monitored fault scenario
-     vet              statically vet a guest program (or the whole corpus)
+     vet              statically vet a guest program (or the whole corpus);
+                      --coadmit checks guest *sets* for cross-guest interference
      fleet            run a fleet of cells sharded across OCaml domains
      profile          cycle-attribution profile of a scenario or corpus guest
      bench perf       host-perf suite (P1): interpreter throughput + allocation
@@ -36,6 +37,7 @@ module Risk = Guillotine_policy.Risk
 module Regulation = Guillotine_policy.Regulation
 module Prng = Guillotine_util.Prng
 module Vet = Guillotine_vet.Vet
+module Interfere = Guillotine_vet.Interfere
 module Vet_corpus = Guillotine_core.Vet_corpus
 
 (* ----------------------------- attacks ---------------------------- *)
@@ -688,8 +690,100 @@ let vet_cmd =
       exit 1
     end
   in
-  let run file guest suite list_guests json code_pages data_pages =
-    if list_guests then
+  let coadmit_exit (r : Interfere.report) =
+    match r.Interfere.verdict with Vet.Reject -> 1 | _ -> 0
+  in
+  let print_coadmit json r =
+    if json then print_endline (Interfere.to_json r)
+    else print_string (Interfere.to_text r)
+  in
+  let run_coadmit_suite json =
+    let rows =
+      List.map
+        (fun (r : Vet_corpus.roster) ->
+          let rep = Vet_corpus.coadmit r in
+          (r, rep, rep.Interfere.verdict = r.Vet_corpus.expect))
+        Vet_corpus.coadmit_rosters
+    in
+    if json then begin
+      print_string "[";
+      List.iteri
+        (fun i ((r : Vet_corpus.roster), rep, ok) ->
+          if i > 0 then print_string ",";
+          Printf.printf
+            "{\"roster\":\"%s\",\"expected\":\"%s\",\"report\":%s,\"as_expected\":%b}"
+            r.Vet_corpus.roster_name
+            (Vet.verdict_label r.Vet_corpus.expect)
+            (Interfere.to_json rep) ok)
+        rows;
+      print_endline "]"
+    end
+    else begin
+      Printf.printf "%-18s %-22s %-22s %-6s %s\n" "roster" "expected" "verdict"
+        "E/W" "members";
+      List.iter
+        (fun ((r : Vet_corpus.roster), (rep : Interfere.report), ok) ->
+          Printf.printf "%-18s %-22s %-22s %d/%-4d %s%s\n"
+            r.Vet_corpus.roster_name
+            (Vet.verdict_label r.Vet_corpus.expect)
+            (Vet.verdict_label rep.Interfere.verdict)
+            (List.length (Interfere.errors rep))
+            (List.length (Interfere.warnings rep))
+            (String.concat ", " rep.Interfere.roster)
+            (if ok then "" else "   <- UNEXPECTED"))
+        rows
+    end;
+    let mismatches = List.filter (fun (_, _, ok) -> not ok) rows in
+    if mismatches <> [] then begin
+      Printf.eprintf "coadmit suite: %d unexpected verdict(s)\n"
+        (List.length mismatches);
+      exit 1
+    end
+  in
+  let run_coadmit roster guests suite list_rosters json =
+    if list_rosters then
+      List.iter
+        (fun (r : Vet_corpus.roster) ->
+          Printf.printf "%-18s %-22s %s\n" r.Vet_corpus.roster_name
+            (Vet.verdict_label r.Vet_corpus.expect)
+            r.Vet_corpus.roster_about)
+        Vet_corpus.coadmit_rosters
+    else if suite then run_coadmit_suite json
+    else
+      match (roster, guests) with
+      | Some name, _ -> (
+          match Vet_corpus.find_roster name with
+          | None ->
+            Printf.eprintf "unknown roster %S (try --coadmit --list)\n" name;
+            exit 2
+          | Some r ->
+            let rep = Vet_corpus.coadmit r in
+            print_coadmit json rep;
+            exit (coadmit_exit rep))
+      | None, Some names ->
+        let specs =
+          List.mapi
+            (fun i n ->
+              match Vet_corpus.find n with
+              | None ->
+                Printf.eprintf "unknown guest %S (try --list)\n" n;
+                exit 2
+              | Some e -> Vet_corpus.coadmit_spec ~frame_base:(i * 16) e)
+            names
+        in
+        let rep = Interfere.run ~label:"cli-roster" specs in
+        print_coadmit json rep;
+        exit (coadmit_exit rep)
+      | None, None ->
+        prerr_endline
+          "nothing to co-admit: pass --roster NAME, --guests A,B or --suite";
+        exit 2
+  in
+  let run file guest suite list_guests json code_pages data_pages coadmit
+      roster guests =
+    if coadmit || roster <> None || guests <> None then
+      run_coadmit roster guests suite list_guests json
+    else if list_guests then
       List.iter
         (fun (e : Vet_corpus.entry) ->
           Printf.printf "%-22s %-10s %-22s %s\n" e.Vet_corpus.name
@@ -750,15 +844,40 @@ let vet_cmd =
     Arg.(value & opt int 4
          & info [ "data-pages" ] ~docv:"N" ~doc:"Granted data pages (FILE mode).")
   in
+  let coadmit =
+    Arg.(value & flag
+         & info [ "coadmit" ]
+             ~doc:
+               "Co-admission mode: vet guest $(i,sets) jointly for \
+                cross-guest interference (window overlap, DMA descriptor \
+                rewriting, DMA over executable pages, aggregate doorbell \
+                budget).  Combine with --roster, --guests, --suite or \
+                --list.")
+  in
+  let roster =
+    Arg.(value & opt (some string) None
+         & info [ "roster" ] ~docv:"NAME"
+             ~doc:"Co-admit a named corpus roster (implies --coadmit).")
+  in
+  let guests =
+    Arg.(value & opt (some (list string)) None
+         & info [ "guests" ] ~docv:"A,B,..."
+             ~doc:
+               "Co-admit this comma-separated corpus guest set under the \
+                striped placement (guest $(i,i) at physical frame \
+                $(i,16i); implies --coadmit).")
+  in
   Cmd.v
     (Cmd.info "vet"
        ~doc:
          "Statically vet a GRISC guest program: CFG + abstract \
           interpretation + lint rules, producing an \
           admit/admit-with-warnings/reject verdict before anything runs.  \
-          Exit status 1 on rejection.")
+          With --coadmit, the fleet-aware second stage checks a guest \
+          $(i,set) pairwise for interference.  Exit status 1 on \
+          rejection.")
     Term.(const run $ file $ guest $ suite $ list_guests $ json $ code_pages
-          $ data_pages)
+          $ data_pages $ coadmit $ roster $ guests)
 
 (* ------------------------------ fleet ----------------------------- *)
 

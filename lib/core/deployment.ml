@@ -215,6 +215,8 @@ let install_guest t ?(vet = Hypervisor.default_vet_policy) ?label ~core
   Hypervisor.install_program t.hv ~vet_policy:vet ?label ~core ~code_pages
     ~data_pages program
 
+let coadmit t ?policy ?label specs = Hypervisor.coadmit t.hv ?policy ?label specs
+
 let serve t ~model request =
   match t.monitor with
   | None -> Inference.run t.hv ~model request

@@ -84,6 +84,20 @@ val install_guest :
     and nothing was installed.  Use [Machine.install_program] directly
     to bypass vetting (the pre-gate behaviour). *)
 
+val coadmit :
+  t ->
+  ?policy:Hypervisor.coadmit_policy ->
+  ?label:string ->
+  Guillotine_vet.Summary.spec list ->
+  (Guillotine_vet.Interfere.report, Guillotine_vet.Interfere.report) result
+(** Fleet-aware second admission stage ({!Hypervisor.coadmit}): check a
+    roster of guest specs {e jointly} — cross-guest window aliasing,
+    writes into a co-guest's DMA descriptors, DMA over executable pages,
+    and the aggregate doorbell budget — before any of them is installed.
+    Guests admitted by earlier [coadmit] calls stay in the roster, so
+    arrivals are vetted against residents.  The decision is counted,
+    journaled and audit-chained like solo vet decisions. *)
+
 val serve : t -> model:Toymodel.t -> Inference.request -> Inference.outcome
 (** Serve one inference request through the mediated pipeline — build
     requests with {!Inference.request} and a {!Inference.posture}.

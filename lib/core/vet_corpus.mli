@@ -29,6 +29,11 @@ type entry = {
   extra : Absint.range list;  (** granted IO windows, matching the ports *)
   malicious : bool;
   expected : Vet.verdict;
+  dma : (int * int * bool) list;
+      (** the scenario's planned IOMMU windows for this guest's DMA
+          engine — co-admission input, empty for DMA-less guests *)
+  dma_descriptors : Absint.range list;
+      (** virtual ranges the guest re-reads as DMA descriptors *)
   about : string;  (** one-line description for listings *)
 }
 
@@ -39,3 +44,35 @@ val find : string -> entry option
 
 val vet : ?policy:Vet.policy -> entry -> Vet.report
 (** Assemble and vet the entry under its recorded grant. *)
+
+(** {2 Co-admission rosters}
+
+    Named guest {e sets} with pinned co-admission verdicts — the second
+    stage's analogue of the per-guest corpus above, consumed by the
+    [vet --coadmit] CLI, the CI smoke step, the V2 experiment and
+    [test/test_vet.ml].  All-benign rosters must co-admit with zero
+    findings; the colluding, self-patching and burst-summing rosters
+    must be rejected with named findings. *)
+
+module Summary = Guillotine_vet.Summary
+module Interfere = Guillotine_vet.Interfere
+
+val coadmit_spec :
+  ?frame_base:int -> ?aliases:(int * int) list -> entry -> Summary.spec
+(** The entry as a co-admission spec under an explicit physical
+    placement (default: identity at frame 0). *)
+
+type roster = {
+  roster_name : string;
+  members : Summary.spec list;  (** placements included *)
+  expect : Vet.verdict;  (** pinned co-admission verdict *)
+  roster_about : string;
+}
+
+val coadmit_rosters : roster list
+(** Deterministic order, benign rosters first. *)
+
+val find_roster : string -> roster option
+
+val coadmit : ?policy:Interfere.policy -> roster -> Interfere.report
+(** Run the interference check on the roster's members. *)

@@ -21,6 +21,8 @@ module Asm = Guillotine_isa.Asm
 module Vet = Guillotine_vet.Vet
 module Guest_programs = Guillotine_model.Guest_programs
 module Profile = Guillotine_obs.Profile
+module Vet_corpus = Guillotine_core.Vet_corpus
+module Interfere = Guillotine_vet.Interfere
 
 type config = {
   cell_id : int;
@@ -31,6 +33,7 @@ type config = {
   rogue : bool;
   storm : bool;
   toctou : bool;
+  roster : string list;
   monitored : bool;
   profile : bool;
 }
@@ -38,15 +41,20 @@ type config = {
 let cell_name id = Printf.sprintf "cell-%d" id
 
 let config ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
-    ?(rogue = false) ?(storm = false) ?(toctou = false) ?(monitored = true)
-    ?(profile = false) ~cell_id () =
+    ?(rogue = false) ?(storm = false) ?(toctou = false) ?(roster = [])
+    ?(monitored = true) ?(profile = false) ~cell_id () =
   if cell_id < 0 then invalid_arg "Cell.config: negative cell_id";
   if requests_per_user <= 0 then
     invalid_arg "Cell.config: requests_per_user must be positive";
   if max_tokens <= 0 then invalid_arg "Cell.config: max_tokens must be positive";
+  List.iter
+    (fun name ->
+      if Option.is_none (Vet_corpus.find name) then
+        invalid_arg (Printf.sprintf "Cell.config: unknown roster guest %s" name))
+    roster;
   let users = match users with Some us -> us | None -> [ cell_id ] in
   { cell_id; seed; users; requests_per_user; max_tokens; rogue; storm; toctou;
-    monitored; profile }
+    roster; monitored; profile }
 
 (* The rogue model's trigger: a benign-band token every user's stream
    periodically ends a prompt with.  Honest models continue generating
@@ -90,6 +98,7 @@ type t = {
   d : Deployment.t;
   model : Toymodel.t;
   inj : Injector.t option;
+  coadmit : Interfere.report option;
 }
 
 let storm_plan c =
@@ -150,6 +159,29 @@ let create cfg =
      domain never touches what sibling cells' cores record. *)
   if cfg.profile then Deployment.enable_profiling d;
   if cfg.toctou then arm_toctou d;
+  (* The co-admission gate runs before any guest (or the model) lands
+     in model DRAM: corpus names resolve to specs under the striped
+     placement (guest [i] at physical frame [16*i]), and the joint
+     interference report is recorded through the hypervisor — counted,
+     journaled, audit-chained.  A default (empty) roster skips the gate
+     entirely, keeping existing cell transcripts byte-identical. *)
+  let coadmit =
+    if cfg.roster = [] then None
+    else
+      let specs =
+        List.mapi
+          (fun i name ->
+            match Vet_corpus.find name with
+            | Some e -> Vet_corpus.coadmit_spec ~frame_base:(i * 16) e
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Cell.create: unknown roster guest %s" name))
+          cfg.roster
+      in
+      let label = cell_name cfg.cell_id ^ "-roster" in
+      match Deployment.coadmit d ~label specs with
+      | Ok r | Error r -> Some r
+  in
   let malice =
     if cfg.rogue then
       Some { Toymodel.trigger = rogue_trigger; entry_point = Vocab.harmful_lo }
@@ -171,11 +203,12 @@ let create cfg =
     end
     else None
   in
-  { cfg; d; model; inj }
+  { cfg; d; model; inj; coadmit }
 
 let id c = c.cfg.cell_id
 let name c = cell_name c.cfg.cell_id
 let cell_config c = c.cfg
+let coadmit_report c = c.coadmit
 let deployment c = c.d
 let engine c = Deployment.engine c.d
 let model c = c.model

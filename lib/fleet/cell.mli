@@ -38,6 +38,14 @@ type config = {
           decoy is vetted, then a hostile probe sprint is installed on
           the cell's model core mid-serve — the cell's own probe
           monitor, console and watchdog must catch it *)
+  roster : string list;
+      (** {!Guillotine_core.Vet_corpus} guest names to pass through the
+          co-admission interference gate at {!create} time, placed at
+          striped physical frames (guest [i] at frame [16*i]).  The
+          joint verdict is recorded via {!Deployment.coadmit}
+          (counted, journaled, audit-chained) and exposed through
+          {!coadmit_report}; an empty roster (the default) skips the
+          gate, keeping transcripts byte-identical to earlier runs *)
   monitored : bool;       (** attach the observability plane *)
   profile : bool;
       (** arm the cycle-attribution profiler on the cell's model cores;
@@ -54,6 +62,7 @@ val config :
   ?rogue:bool ->
   ?storm:bool ->
   ?toctou:bool ->
+  ?roster:string list ->
   ?monitored:bool ->
   ?profile:bool ->
   cell_id:int ->
@@ -61,10 +70,12 @@ val config :
   config
 (** [seed] defaults to 1, [users] to [[cell_id]], [requests_per_user]
     to 4, [max_tokens] to 12, [rogue], [storm], [toctou] and [profile]
-    to false, [monitored] to true.  An explicitly empty [users] list is
-    allowed (the cell idles — a fleet wider than its user population
-    has such cells).  Raises [Invalid_argument] on a negative [cell_id]
-    or non-positive [requests_per_user]/[max_tokens]. *)
+    to false, [roster] to empty, [monitored] to true.  An explicitly
+    empty [users] list is allowed (the cell idles — a fleet wider than
+    its user population has such cells).  Raises [Invalid_argument] on
+    a negative [cell_id], non-positive
+    [requests_per_user]/[max_tokens], or a [roster] name not in
+    {!Guillotine_core.Vet_corpus}. *)
 
 val cell_name : int -> string
 (** ["cell-<id>"] — the deployment name, the incident-report label, and
@@ -97,6 +108,14 @@ val create : config -> t
 val id : t -> int
 val name : t -> string
 val cell_config : t -> config
+
+val coadmit_report : t -> Guillotine_vet.Interfere.report option
+(** The co-admission interference report for {!config.roster} — [None]
+    iff the roster was empty.  A [Reject] verdict here means the roster
+    members were {e not} recorded as resident guests; the cell itself
+    still runs (the gate is the decision record, installation is the
+    caller's move). *)
+
 val deployment : t -> Deployment.t
 val engine : t -> Engine.t
 val model : t -> Toymodel.t

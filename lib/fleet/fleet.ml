@@ -11,14 +11,15 @@ type t = {
   rogue : int option;
   storm : int option;
   toctou : int option;
+  roster : string list;
   domains : int;
   monitored : bool;
   profiled : bool;
 }
 
 let create ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
-    ?rogue ?storm ?toctou ?domains ?(monitored = true) ?(profiled = false)
-    ~cells () =
+    ?rogue ?storm ?toctou ?(roster = []) ?domains ?(monitored = true)
+    ?(profiled = false) ~cells () =
   if cells < 1 then invalid_arg "Fleet.create: cells must be >= 1";
   let users = match users with Some u -> u | None -> 2 * cells in
   if users < 0 then invalid_arg "Fleet.create: negative users";
@@ -30,6 +31,12 @@ let create ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
   check_cell "rogue" rogue;
   check_cell "storm" storm;
   check_cell "toctou" toctou;
+  List.iter
+    (fun name ->
+      if Option.is_none (Guillotine_core.Vet_corpus.find name) then
+        invalid_arg
+          (Printf.sprintf "Fleet.create: unknown roster guest %s" name))
+    roster;
   let domains =
     match domains with
     | None -> cells
@@ -37,7 +44,7 @@ let create ?(seed = 1) ?users ?(requests_per_user = 4) ?(max_tokens = 12)
     | Some d -> min d cells
   in
   { seed; cells; users; requests_per_user; max_tokens; rogue; storm; toctou;
-    domains; monitored; profiled }
+    roster; domains; monitored; profiled }
 
 let seed t = t.seed
 let cells t = t.cells
@@ -54,7 +61,7 @@ let cell_config t ~cell_id =
     ~rogue:(t.rogue = Some cell_id)
     ~storm:(t.storm = Some cell_id)
     ~toctou:(t.toctou = Some cell_id)
-    ~monitored:t.monitored ~profile:t.profiled ~cell_id ()
+    ~roster:t.roster ~monitored:t.monitored ~profile:t.profiled ~cell_id ()
 
 (* ------------------------------------------------------------------ *)
 (* Domain sharding                                                     *)

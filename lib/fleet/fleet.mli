@@ -27,6 +27,7 @@ val create :
   ?rogue:int ->
   ?storm:int ->
   ?toctou:int ->
+  ?roster:string list ->
   ?domains:int ->
   ?monitored:bool ->
   ?profiled:bool ->
@@ -39,11 +40,16 @@ val create :
     profiler, {!Cell.config.profile}) to false.  [rogue] / [storm] /
     [toctou] name the cell whose model is malicious / whose deployment
     gets the fault storm / which suffers the vet-install TOCTOU race
-    ({!Cell.config.toctou}); default: none of them.  [domains] is the
-    number of OCaml domains {!run} spawns (default [cells]; clamped to
-    [cells]; 1 means run every cell on the calling domain).  Raises
-    [Invalid_argument] on [cells < 1], negative [users], [domains < 1],
-    or an out-of-range [rogue] / [storm] / [toctou] cell id. *)
+    ({!Cell.config.toctou}); default: none of them.  [roster] (default
+    empty) is a set of {!Guillotine_core.Vet_corpus} guest names every
+    cell passes through the co-admission interference gate at build
+    time ({!Cell.config.roster}) — the fleet deploys the same guest
+    set everywhere, so one colluding pair rejects fleet-wide.
+    [domains] is the number of OCaml domains {!run} spawns (default
+    [cells]; clamped to [cells]; 1 means run every cell on the calling
+    domain).  Raises [Invalid_argument] on [cells < 1], negative
+    [users], [domains < 1], an out-of-range [rogue] / [storm] /
+    [toctou] cell id, or an unknown [roster] name. *)
 
 val seed : t -> int
 val cells : t -> int

@@ -13,6 +13,7 @@ type event =
   | Heartbeat_missed of { side : string }
   | Invariant_failure of { message : string }
   | Vet_decision of { label : string; verdict : string; findings : int }
+  | Coadmit_decision of { roster : string; verdict : string; findings : int }
   | Note of string
 
 type entry = { seq : int; tick : int; event : event; digest : string }
@@ -48,6 +49,8 @@ let event_bytes = function
   | Invariant_failure { message } -> "invariant:" ^ message
   | Vet_decision { label; verdict; findings } ->
     Printf.sprintf "vet:%s:%s:%d" label verdict findings
+  | Coadmit_decision { roster; verdict; findings } ->
+    Printf.sprintf "coadmit:%s:%s:%d" roster verdict findings
   | Note s -> "note:" ^ s
 
 let entry_digest ~prev ~seq ~tick event =
@@ -97,6 +100,8 @@ let pp_event ppf = function
   | Invariant_failure { message } -> Format.fprintf ppf "INVARIANT FAILURE: %s" message
   | Vet_decision { label; verdict; findings } ->
     Format.fprintf ppf "vet %s: %s (%d findings)" label verdict findings
+  | Coadmit_decision { roster; verdict; findings } ->
+    Format.fprintf ppf "coadmit [%s]: %s (%d findings)" roster verdict findings
   | Note s -> Format.fprintf ppf "%s" s
 
 let pp_entry ppf e =

@@ -19,6 +19,7 @@ type event =
   | Heartbeat_missed of { side : string }
   | Invariant_failure of { message : string }
   | Vet_decision of { label : string; verdict : string; findings : int }
+  | Coadmit_decision of { roster : string; verdict : string; findings : int }
   | Note of string
 
 type entry = { seq : int; tick : int; event : event; digest : string }

@@ -56,6 +56,9 @@ type t = {
   mutable last_lapic_dropped : int;
   last_fault_reported : (int, Core.halt_reason) Hashtbl.t;
   guest_labels : (int, string) Hashtbl.t;  (* core -> installed label *)
+  mutable coadmitted : Guillotine_vet.Summary.t list;
+      (* effect summaries of every guest admitted through [coadmit], in
+         admission order: later rosters are checked against residents *)
   telemetry : Telemetry.t;
   c_served : Telemetry.counter;
   c_denied : Telemetry.counter;
@@ -107,6 +110,7 @@ let create ~machine ?(detectors = []) ?(mediation_cost = 300)
     last_lapic_dropped = 0;
     last_fault_reported = Hashtbl.create 4;
     guest_labels = Hashtbl.create 4;
+    coadmitted = [];
     telemetry;
     c_served = Telemetry.counter telemetry "port.requests_served";
     c_denied = Telemetry.counter telemetry "port.requests_denied";
@@ -241,6 +245,61 @@ let install_profile_map t ~core ~code_pages ~label program =
 let installed_guests t =
   Hashtbl.fold (fun core label acc -> (core, label) :: acc) t.guest_labels []
   |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Co-admission                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Vet_summary = Guillotine_vet.Summary
+module Vet_interfere = Guillotine_vet.Interfere
+
+type coadmit_policy = {
+  interfere : Vet_interfere.policy;
+  enforce_coadmit : bool;
+}
+
+let default_coadmit_policy =
+  { interfere = Vet_interfere.default_policy; enforce_coadmit = true }
+
+let coadmitted_guests t = t.coadmitted
+
+let record_coadmit_decision t (report : Vet_interfere.report) =
+  let bump name = Telemetry.incr (Telemetry.counter t.telemetry name) in
+  (match report.Vet_interfere.verdict with
+  | Vet.Admit -> bump "vet.coadmit_admitted"
+  | Vet.Admit_with_warnings ->
+    bump "vet.coadmit_admitted";
+    bump "vet.coadmit_warnings"
+  | Vet.Reject -> bump "vet.coadmit_rejected");
+  let roster = String.concat "," report.Vet_interfere.roster in
+  let verdict = Vet.verdict_label report.Vet_interfere.verdict in
+  let findings = List.length report.Vet_interfere.findings in
+  emit t ~kind:"vet.coadmit"
+    (Printf.sprintf "roster=%s verdict=%s errors=%d findings=%d" roster verdict
+       (List.length (Vet_interfere.errors report))
+       findings);
+  log t (Audit.Coadmit_decision { roster; verdict; findings })
+
+let coadmit t ?(policy = default_coadmit_policy) ?(label = "roster") specs =
+  if t.destroyed then invalid_arg "coadmit: machine destroyed";
+  let members =
+    List.map
+      (Vet_summary.summarize ~policy:policy.interfere.Vet_interfere.vet)
+      specs
+  in
+  (* Residents stay in the roster: a guest that was clean against its
+     original co-tenants can still interfere with a later arrival. *)
+  let report =
+    Vet_interfere.check ~policy:policy.interfere ~label
+      (t.coadmitted @ members)
+  in
+  record_coadmit_decision t report;
+  if report.Vet_interfere.verdict = Vet.Reject && policy.enforce_coadmit then
+    Error report
+  else begin
+    t.coadmitted <- t.coadmitted @ members;
+    Ok report
+  end
 
 let install_program t ?vet_policy ?(label = "guest") ~core ~code_pages
     ~data_pages program =

@@ -121,6 +121,39 @@ val installed_guests : t -> (int * string) list
 (** [(core, label)] for every program installed through
     {!install_program}, sorted by core (latest install per core wins). *)
 
+(** {2 Co-admission}
+
+    The fleet-aware second stage ({!Guillotine_vet.Interfere}): the solo
+    gate above judges one guest against its own grant; this gate judges
+    the {e set} — window aliasing across guests, may-write sets reaching
+    a co-guest's DMA descriptors, DMA windows over executable pages, and
+    the aggregate doorbell budget.  Decisions are counted
+    ([vet.coadmit_admitted]/[vet.coadmit_rejected]/[vet.coadmit_warnings]),
+    emitted to the event sink ([vet.coadmit]) and committed to the audit
+    chain, exactly like solo decisions. *)
+
+type coadmit_policy = {
+  interfere : Guillotine_vet.Interfere.policy;
+  enforce_coadmit : bool;  (** reject ⇒ refuse the roster (advisory when false) *)
+}
+
+val default_coadmit_policy : coadmit_policy
+
+val coadmit :
+  t ->
+  ?policy:coadmit_policy ->
+  ?label:string ->
+  Guillotine_vet.Summary.spec list ->
+  (Guillotine_vet.Interfere.report, Guillotine_vet.Interfere.report) result
+(** Summarize the specs and check them jointly — {e including} every
+    guest a previous [coadmit] admitted, so arrivals are vetted against
+    residents.  [Ok report] records the members as resident;
+    [Error report] (rejection under enforcement) leaves the resident
+    set untouched. *)
+
+val coadmitted_guests : t -> Guillotine_vet.Summary.t list
+(** Resident effect summaries, admission order. *)
+
 (** {2 Ports} *)
 
 type port_mode = Mailbox | Rings

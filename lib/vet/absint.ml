@@ -148,9 +148,15 @@ let sat_succ v = if finite v then v + 1 else v
 
 (* ---- granted-window classification --------------------------------- *)
 
+(* Zero- and negative-length grants denote nothing and are dropped
+   before the merge; touching windows ([b.base = a.base + a.len]) are
+   coalesced along with overlapping ones, so an access spanning two
+   abutting grants classifies [In_bounds] rather than [May_escape].
+   The merged window keeps the first window's [writable] flag — callers
+   partition by writability before normalizing, so flags never mix. *)
 let normalize_windows ws =
   let ws = List.filter (fun w -> w.len > 0) ws in
-  let ws = List.sort (fun a b -> compare a.base b.base) ws in
+  let ws = List.sort (fun a b -> compare (a.base, a.len) (b.base, b.len)) ws in
   let rec merge = function
     | a :: b :: rest when b.base <= a.base + a.len ->
         let hi = max (a.base + a.len) (b.base + b.len) in
@@ -160,7 +166,8 @@ let normalize_windows ws =
   in
   merge ws
 
-let classify windows (target : ivl) =
+(* Fast path over windows already put through {!normalize_windows}. *)
+let classify_normalized windows (target : ivl) =
   let contained =
     List.exists
       (fun w ->
@@ -176,6 +183,8 @@ let classify windows (target : ivl) =
         windows
     in
     if overlaps then May_escape else Escapes
+
+let classify windows target = classify_normalized (normalize_windows windows) target
 
 (* ---- transfer function --------------------------------------------- *)
 
@@ -433,7 +442,7 @@ let analyze ?(widen_after = 3) ~cfg ~code_pages ~data_pages ~extra () =
             match kind with Write -> write_windows | Read | Flush -> read_windows
           in
           accesses :=
-            { addr; kind; target; cls = classify windows target;
+            { addr; kind; target; cls = classify_normalized windows target;
               tainted = bv.timing }
             :: !accesses
         in

@@ -28,12 +28,26 @@ type value = { ivl : ivl; timing : bool }
 type range = { base : int; len : int; writable : bool }
 (** A granted address window: [base, base+len). *)
 
+val normalize_windows : range list -> range list
+(** Canonical window set: zero- and negative-length grants dropped,
+    remaining windows sorted by base and coalesced whenever they overlap
+    {e or touch} ([b.base = a.base + a.len]) — an access spanning two
+    abutting grants is one contiguous permission, not two.  The merged
+    window keeps the first window's [writable] flag; partition by
+    writability before normalizing when the flags matter.  Idempotent. *)
+
 type access_kind = Read | Write | Flush
 
 type access_class =
   | In_bounds   (** provably inside a granted window of the right mode *)
   | May_escape  (** interval overlaps both granted and ungranted space *)
   | Escapes     (** provably outside every granted window *)
+
+val classify : range list -> ivl -> access_class
+(** Classify an abstract address interval against a grant set.  The
+    windows are put through {!normalize_windows} first, so touching
+    grants count as one window: containment in the merged set is
+    [In_bounds] even when the interval spans an internal boundary. *)
 
 type access = {
   addr : int;            (** instruction address *)

@@ -243,6 +243,55 @@ let doorbell_findings (cfg : Cfg.t) (absint : Absint.result)
               :: acc))
     by_scc []
 
+(* Whole-program doorbell budget: the sum over every reachable [Irq]
+   site of its statically-provable ring count — trip bound × rings per
+   iteration for loop residents, one ring for straight-line sites.
+   [None] the moment any looping site has no provable bound; such a
+   guest is already rejected solo ([doorbell.storm]), so admitted
+   guests always summarize to [Some].  This is the per-guest term the
+   co-admission pass sums across a roster: two guests (or two loops)
+   each under the per-loop budget can still exceed it together. *)
+let doorbell_total_bound ~(cfg : Cfg.t) ~(absint : Absint.result) =
+  (* Full membership of every reachable loop SCC: the trip-bound pattern
+     match needs the loop's counter updates and back edge, not just its
+     Irq sites. *)
+  let by_scc = Hashtbl.create 7 in
+  let straight_line = ref 0 in
+  for addr = cfg.code_words - 1 downto 0 do
+    if cfg.reachable.(addr) then begin
+      (match cfg.instrs.(addr) with
+      | Some (Isa.Irq _) when not cfg.in_loop.(addr) -> incr straight_line
+      | _ -> ());
+      if cfg.in_loop.(addr) then begin
+        let scc = cfg.scc_id.(addr) in
+        let members =
+          match Hashtbl.find_opt by_scc scc with Some m -> m | None -> []
+        in
+        Hashtbl.replace by_scc scc (addr :: members)
+      end
+    end
+  done;
+  Hashtbl.fold
+    (fun scc members acc ->
+      match acc with
+      | None -> None
+      | Some total -> (
+          let irqs =
+            List.length
+              (List.filter
+                 (fun a ->
+                   match cfg.instrs.(a) with
+                   | Some (Isa.Irq _) -> true
+                   | _ -> false)
+                 members)
+          in
+          if irqs = 0 then Some total
+          else
+            match scc_trip_bound cfg absint scc members with
+            | Some trips -> Some (total + (trips * irqs))
+            | None -> None))
+    by_scc (Some !straight_line)
+
 let structure_findings (cfg : Cfg.t) =
   let jump_escapes =
     List.map

@@ -28,3 +28,12 @@ val run :
   max_doorbell_burst:int ->
   finding list
 (** Deterministic: sorted by address, then rule, then detail. *)
+
+val doorbell_total_bound :
+  cfg:Cfg.t -> absint:Absint.result -> int option
+(** Statically-provable upper bound on the total doorbell rings of one
+    full guest execution: loop sites contribute trip-bound × rings per
+    iteration, straight-line sites one ring each.  [None] when any loop
+    site has no provable trip bound (those guests are rejected solo by
+    [doorbell.storm]).  The co-admission pass sums this across a roster
+    against the aggregate budget. *)

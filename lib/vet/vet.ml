@@ -36,8 +36,8 @@ let errors r =
 let warnings r =
   List.filter (fun (f : Lints.finding) -> f.severity = Lints.Warn) r.findings
 
-let run ?(policy = default_policy) ?(label = "guest") ?(extra = []) ~code_pages
-    ~data_pages (program : Asm.program) =
+let analyze ?(policy = default_policy) ?(label = "guest") ?(extra = [])
+    ~code_pages ~data_pages (program : Asm.program) =
   (* Alternate CFG construction with the abstract interpreter: each
      round may collapse a [Jr] operand to a constant, which adds edges
      and can expose more code (and more constants) to the next round.
@@ -79,19 +79,28 @@ let run ?(policy = default_policy) ?(label = "guest") ?(extra = []) ~code_pages
     else if worst >= Lints.severity_rank Lints.Warn then Admit_with_warnings
     else Admit
   in
-  {
-    label;
-    verdict;
-    findings;
-    instr_count = Cfg.reachable_instr_count cfg;
-    image_words = cfg.Cfg.image_words;
-    code_pages;
-    data_pages;
-    extra_windows = List.length extra;
-    indirect_rounds = rounds;
-    widenings = absint.Absint.widenings;
-    policy;
-  }
+  let report =
+    {
+      label;
+      verdict;
+      findings;
+      instr_count = Cfg.reachable_instr_count cfg;
+      image_words = cfg.Cfg.image_words;
+      code_pages;
+      data_pages;
+      extra_windows = List.length extra;
+      indirect_rounds = rounds;
+      widenings = absint.Absint.widenings;
+      policy;
+    }
+  in
+  (report, cfg, absint)
+
+let run ?policy ?label ?extra ~code_pages ~data_pages program =
+  let report, _, _ =
+    analyze ?policy ?label ?extra ~code_pages ~data_pages program
+  in
+  report
 
 let count_severity sev r =
   List.length

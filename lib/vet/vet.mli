@@ -49,8 +49,25 @@ val run :
 (** [extra] lists additional granted windows (IO rings, shared pages)
     beyond the identity-mapped code/data pages. *)
 
+val analyze :
+  ?policy:policy ->
+  ?label:string ->
+  ?extra:Absint.range list ->
+  code_pages:int ->
+  data_pages:int ->
+  Guillotine_isa.Asm.program ->
+  report * Cfg.t * Absint.result
+(** {!run}, additionally handing back the converged CFG and abstract
+    fixpoint the verdict was derived from.  The co-admission pass
+    ({!Summary}) distills effect summaries from these instead of
+    re-running the fixpoint. *)
+
 val errors : report -> Lints.finding list
 val warnings : report -> Lints.finding list
 
 val to_text : report -> string
 val to_json : report -> string
+
+val json_escape : string -> string
+(** The report machinery's string escaping, shared with the
+    co-admission reports ({!Interfere}). *)

@@ -18,6 +18,8 @@ module Cfg = Guillotine_vet.Cfg
 module Absint = Guillotine_vet.Absint
 module Lints = Guillotine_vet.Lints
 module Vet = Guillotine_vet.Vet
+module Summary = Guillotine_vet.Summary
+module Interfere = Guillotine_vet.Interfere
 module Corpus = Guillotine_core.Vet_corpus
 module Machine = Guillotine_machine.Machine
 module Core = Guillotine_microarch.Core
@@ -376,6 +378,251 @@ let test_gate_warnings_counted () =
   Alcotest.(check int) "vet.admitted" 1 (counter_value hv "vet.admitted");
   Alcotest.(check int) "vet.warnings" 1 (counter_value hv "vet.warnings")
 
+(* ------------------------------------------------------------------ *)
+(* Window normalization: adjacent and zero-length grants               *)
+(* ------------------------------------------------------------------ *)
+
+let range base len = { Absint.base; len; writable = true }
+
+let test_normalize_touching_windows () =
+  (match Absint.normalize_windows [ range 4 4; range 0 4 ] with
+  | [ w ] ->
+    Alcotest.(check int) "merged base" 0 w.Absint.base;
+    Alcotest.(check int) "merged len" 8 w.Absint.len
+  | ws ->
+    Alcotest.failf "touching windows should coalesce to one, got %d"
+      (List.length ws));
+  (match Absint.normalize_windows [ range 0 6; range 4 4 ] with
+  | [ w ] -> Alcotest.(check int) "overlap merged len" 8 w.Absint.len
+  | ws ->
+    Alcotest.failf "overlapping windows should coalesce to one, got %d"
+      (List.length ws));
+  Alcotest.(check int) "zero- and negative-length grants drop" 0
+    (List.length (Absint.normalize_windows [ range 7 0; range 9 (-2) ]));
+  (* A gap of one word keeps the windows apart. *)
+  Alcotest.(check int) "gapped windows stay separate" 2
+    (List.length (Absint.normalize_windows [ range 0 4; range 5 4 ]))
+
+let test_classify_spans_touching_windows () =
+  let windows = [ range 0 4; range 4 4 ] in
+  Alcotest.(check bool) "access spanning the seam is in-bounds" true
+    (Absint.classify windows { Absint.lo = 2; hi = 6 } = Absint.In_bounds);
+  Alcotest.(check bool) "spilling past the merged extent is not" true
+    (Absint.classify windows { Absint.lo = 2; hi = 8 } <> Absint.In_bounds);
+  Alcotest.(check bool) "zero-length window grants nothing" true
+    (Absint.classify [ range 0 0 ] { Absint.lo = 0; hi = 0 } = Absint.Escapes)
+
+(* ------------------------------------------------------------------ *)
+(* Co-admission: roster verdicts and named findings                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_roster_verdicts () =
+  List.iter
+    (fun (r : Corpus.roster) ->
+      let rep = Corpus.coadmit r in
+      Alcotest.check verdict r.Corpus.roster_name r.Corpus.expect
+        rep.Interfere.verdict)
+    Corpus.coadmit_rosters
+
+(* Zero false positives at the roster level: every all-benign (or
+   runtime-only-adversary) roster co-admits without a single finding. *)
+let test_benign_rosters_zero_findings () =
+  List.iter
+    (fun (r : Corpus.roster) ->
+      if r.Corpus.expect <> Vet.Reject then
+        let rep = Corpus.coadmit r in
+        Alcotest.(check int)
+          (r.Corpus.roster_name ^ " findings")
+          0
+          (List.length rep.Interfere.findings))
+    Corpus.coadmit_rosters
+
+let coadmit_named name =
+  match Corpus.find_roster name with
+  | Some r -> Corpus.coadmit r
+  | None -> Alcotest.failf "roster %s missing from corpus" name
+
+let has_rule (rep : Interfere.report) rule =
+  List.exists (fun (f : Lints.finding) -> f.Lints.rule = rule)
+    rep.Interfere.findings
+
+let test_colluding_pair_named_findings () =
+  let rep = coadmit_named "colluding-pair" in
+  Alcotest.check verdict "rejects" Vet.Reject rep.Interfere.verdict;
+  Alcotest.(check bool) "descriptor rewrite named" true
+    (has_rule rep "interfere.dma_descriptor_rewrite");
+  Alcotest.(check bool) "window overlap named" true
+    (has_rule rep "interfere.window_overlap")
+
+let test_sleeper_loader_dma_wx () =
+  let rep = coadmit_named "sleeper-loader" in
+  Alcotest.check verdict "rejects" Vet.Reject rep.Interfere.verdict;
+  Alcotest.(check bool) "W^X across DMA named" true
+    (has_rule rep "interfere.dma_wx")
+
+let test_replicator_burst_aggregate () =
+  let rep = coadmit_named "replicator-burst" in
+  Alcotest.check verdict "rejects" Vet.Reject rep.Interfere.verdict;
+  Alcotest.(check bool) "aggregate doorbell named" true
+    (has_rule rep "interfere.doorbell_aggregate");
+  Alcotest.(check bool) "per-member bounds sum past the budget" true
+    (match rep.Interfere.aggregate_doorbell with
+    | Some t -> t > rep.Interfere.policy.Interfere.aggregate_doorbell_burst
+    | None -> false)
+
+let test_patch_direct_member_rejected () =
+  let rep = coadmit_named "patch-direct" in
+  Alcotest.check verdict "rejects" Vet.Reject rep.Interfere.verdict;
+  Alcotest.(check bool) "solo rejection propagates" true
+    (has_rule rep "interfere.member_rejected")
+
+let test_coadmit_reports_deterministic () =
+  List.iter
+    (fun (r : Corpus.roster) ->
+      let a = Corpus.coadmit r and b = Corpus.coadmit r in
+      Alcotest.(check string) (r.Corpus.roster_name ^ " text")
+        (Interfere.to_text a) (Interfere.to_text b);
+      Alcotest.(check string) (r.Corpus.roster_name ^ " json")
+        (Interfere.to_json a) (Interfere.to_json b))
+    Corpus.coadmit_rosters
+
+(* ------------------------------------------------------------------ *)
+(* Hypervisor co-admission gate                                        *)
+(* ------------------------------------------------------------------ *)
+
+let coadmit_spec_of name fb aliases =
+  match Corpus.find name with
+  | Some e -> Corpus.coadmit_spec ~frame_base:fb ~aliases e
+  | None -> Alcotest.failf "guest %s missing from corpus" name
+
+let test_hv_coadmit_gate () =
+  let _, hv = make_hv () in
+  let events = ref [] in
+  Hypervisor.set_event_sink hv (fun ~kind detail ->
+      events := (kind, detail) :: !events);
+  (* A benign pair admits and its members become resident. *)
+  (match
+     Hypervisor.coadmit hv ~label:"benign"
+       [ coadmit_spec_of "compute-loop" 0 []; coadmit_spec_of "io-request" 16 [] ]
+   with
+  | Ok rep -> Alcotest.check verdict "admits" Vet.Admit rep.Interfere.verdict
+  | Error _ -> Alcotest.fail "benign roster rejected");
+  Alcotest.(check int) "two residents" 2
+    (List.length (Hypervisor.coadmitted_guests hv));
+  (* Arriving colluders (courier at frame 32, scribbler whose scratch
+     page aliases the courier's descriptor frame 37) are rejected —
+     jointly with the residents — and leave the resident set alone. *)
+  (match
+     Hypervisor.coadmit hv ~label:"colluders"
+       [
+         coadmit_spec_of "dma-courier" 32 [];
+         coadmit_spec_of "window-scribbler" 48 [ (16, 37) ];
+       ]
+   with
+  | Ok _ -> Alcotest.fail "colluding roster admitted"
+  | Error rep ->
+    Alcotest.check verdict "rejects" Vet.Reject rep.Interfere.verdict;
+    Alcotest.(check bool) "descriptor rewrite named" true
+      (has_rule rep "interfere.dma_descriptor_rewrite");
+    Alcotest.(check int) "residents joined the check" 4
+      (List.length rep.Interfere.members));
+  Alcotest.(check int) "residents unchanged" 2
+    (List.length (Hypervisor.coadmitted_guests hv));
+  Alcotest.(check int) "vet.coadmit_admitted" 1
+    (counter_value hv "vet.coadmit_admitted");
+  Alcotest.(check int) "vet.coadmit_rejected" 1
+    (counter_value hv "vet.coadmit_rejected");
+  Alcotest.(check bool) "vet.coadmit event emitted" true
+    (List.exists (fun (k, _) -> k = "vet.coadmit") !events);
+  let decisions =
+    Audit.find (Hypervisor.audit hv) (function
+      | Audit.Coadmit_decision { verdict = "reject"; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check int) "audit records the rejection" 1 (List.length decisions)
+
+(* The cell-level gate: a named roster is resolved, striped, and run
+   through the deployment's coadmit path at build time. *)
+let test_cell_roster_gate () =
+  let module Cell = Guillotine_fleet.Cell in
+  let benign =
+    Cell.create
+      (Cell.config ~cell_id:0 ~roster:[ "compute-loop"; "io-request" ] ())
+  in
+  (match Cell.coadmit_report benign with
+  | Some rep ->
+    Alcotest.check verdict "benign roster admits" Vet.Admit
+      rep.Interfere.verdict
+  | None -> Alcotest.fail "expected a co-admission report");
+  let hostile =
+    Cell.create (Cell.config ~cell_id:1 ~roster:[ "dma-sleeper" ] ())
+  in
+  (match Cell.coadmit_report hostile with
+  | Some rep ->
+    Alcotest.check verdict "sleeper roster rejects" Vet.Reject
+      rep.Interfere.verdict
+  | None -> Alcotest.fail "expected a co-admission report");
+  let plain = Cell.create (Cell.config ~cell_id:2 ()) in
+  Alcotest.(check bool) "empty roster skips the gate" true
+    (Option.is_none (Cell.coadmit_report plain));
+  Alcotest.check_raises "unknown roster name refused"
+    (Invalid_argument "Cell.config: unknown roster guest no-such-guest")
+    (fun () -> ignore (Cell.config ~cell_id:3 ~roster:[ "no-such-guest" ] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Soundness of the effect summary: every word a fully-proven guest
+   concretely writes lies inside its summarized may-write set.  The
+   guest leaves its result in data DRAM; any word that became non-zero
+   was stored by the guest (install only writes the code image). *)
+let prop_summary_soundness =
+  QCheck.Test.make ~name:"summary may-write covers concrete stores" ~count:20
+    QCheck.(int_range 1 40)
+    (fun iterations ->
+      let p = Asm.assemble_exn (Guest.compute_loop ~iterations) in
+      let s =
+        Summary.summarize
+          (Summary.spec ~label:"prop" ~code_pages:4 ~data_pages:4 p)
+      in
+      let m = Machine.create () in
+      Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+      ignore (Core.run (Machine.model_core m 0) ~fuel:50_000);
+      let dram = Machine.model_dram m in
+      let sound = ref true in
+      for addr = 4 * 256 to (8 * 256) - 1 do
+        if
+          Guillotine_memory.Dram.read dram addr <> 0L
+          && not (Summary.mem s.Summary.may_write addr)
+        then sound := false
+      done;
+      !sound)
+
+(* Interference is symmetric: the finding set never depends on which
+   side of the pair arrived first. *)
+let prop_conflicts_symmetric =
+  let n = List.length Corpus.all in
+  QCheck.Test.make ~name:"pairwise conflicts are symmetric" ~count:20
+    QCheck.(triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 0 3))
+    (fun (i, j, k) ->
+      let entry idx = List.nth Corpus.all idx in
+      let a = Summary.summarize (Corpus.coadmit_spec (entry i)) in
+      let b =
+        Summary.summarize (Corpus.coadmit_spec ~frame_base:(k * 16) (entry j))
+      in
+      Interfere.conflicts a b = Interfere.conflicts b a)
+
+let prop_coadmit_deterministic =
+  let n = List.length Corpus.coadmit_rosters in
+  QCheck.Test.make ~name:"co-admission report byte-deterministic" ~count:10
+    QCheck.(int_range 0 (n - 1))
+    (fun i ->
+      let r = List.nth Corpus.coadmit_rosters i in
+      let a = Corpus.coadmit r and b = Corpus.coadmit r in
+      Interfere.to_text a = Interfere.to_text b
+      && Interfere.to_json a = Interfere.to_json b)
+
 let () =
   Alcotest.run "vet"
     [
@@ -422,4 +669,37 @@ let () =
           Alcotest.test_case "warnings counted" `Quick
             test_gate_warnings_counted;
         ] );
+      ( "windows",
+        [
+          Alcotest.test_case "touching/zero-length normalize" `Quick
+            test_normalize_touching_windows;
+          Alcotest.test_case "classify across the seam" `Quick
+            test_classify_spans_touching_windows;
+        ] );
+      ( "co-admission",
+        [
+          Alcotest.test_case "roster verdicts" `Quick test_roster_verdicts;
+          Alcotest.test_case "benign rosters: zero findings" `Quick
+            test_benign_rosters_zero_findings;
+          Alcotest.test_case "colluding pair named findings" `Quick
+            test_colluding_pair_named_findings;
+          Alcotest.test_case "sleeper loader W^X across DMA" `Quick
+            test_sleeper_loader_dma_wx;
+          Alcotest.test_case "replicator aggregate doorbells" `Quick
+            test_replicator_burst_aggregate;
+          Alcotest.test_case "solo rejection propagates" `Quick
+            test_patch_direct_member_rejected;
+          Alcotest.test_case "reports deterministic" `Quick
+            test_coadmit_reports_deterministic;
+          Alcotest.test_case "hypervisor coadmit gate" `Quick
+            test_hv_coadmit_gate;
+          Alcotest.test_case "cell roster gate" `Quick test_cell_roster_gate;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_summary_soundness;
+            prop_conflicts_symmetric;
+            prop_coadmit_deterministic;
+          ] );
     ]
