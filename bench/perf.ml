@@ -3,12 +3,19 @@
 
    Four pinned workloads, each reduced to one throughput number:
 
-   - benign-guest   full-machine interpreter throughput on the benign
-                    compute loop; measured twice — fast path (predecode
-                    + Engine.every_batch + Machine.run_cores) vs the
-                    baseline driver (predecode off + Engine.every at
-                    quantum 1, one instruction per heap event) — and
-                    reported as a speedup.
+   - benign-guest   full-machine throughput on the benign compute loop,
+                    installed through the hypervisor so the vetting CFG
+                    feeds block translation; measured twice — fast path
+                    (block-translated execution + predecode +
+                    Engine.every_batch + Machine.run_cores) vs the
+                    baseline driver (JIT and predecode off +
+                    Engine.every at quantum 1, one instruction per heap
+                    event) — and reported as a speedup.
+   - patch-loop     the invalidation price: the same hv-installed
+                    compute loop, but the host patches the hot mul word
+                    between runs, so every round invalidates the
+                    translated block and forces a lazy recompile before
+                    re-entering steady state.
    - fetch-loop     a pure control-flow guest (nops + jmp); the hot
                     fetch/execute path allocates nothing on predecode
                     hits, so this is where the words-per-instruction
@@ -34,7 +41,10 @@
 
 module Machine = Guillotine_machine.Machine
 module Core = Guillotine_microarch.Core
+module Hypervisor = Guillotine_hv.Hypervisor
 module Asm = Guillotine_isa.Asm
+module Isa = Guillotine_isa.Isa
+module Encoding = Guillotine_isa.Encoding
 module Guest = Guillotine_model.Guest_programs
 module Covert = Guillotine_model.Covert
 module Dram = Guillotine_memory.Dram
@@ -59,7 +69,8 @@ type sample = {
 }
 
 let workload_names =
-  [ "benign-guest"; "fetch-loop"; "covert-channel"; "f-storm"; "coadmit-pair" ]
+  [ "benign-guest"; "patch-loop"; "fetch-loop"; "covert-channel"; "f-storm";
+    "coadmit-pair" ]
 
 (* ----------------------------- timing ------------------------------ *)
 
@@ -104,14 +115,27 @@ let prepr_benign_instr_per_sec = 2.55e6
 (* The machine is built once and the guest reinstalled per timed call:
    rig construction (DRAM arrays, cache ways) is setup, not the
    interpreter work this sample measures, and at --quick iteration
-   counts it would otherwise dominate the window. *)
+   counts it would otherwise dominate the window.  Installation goes
+   through the hypervisor — the production path — so the vetting CFG's
+   block map reaches the core and the fast arm runs block-translated;
+   the per-call reinstall keeps the (cheap) translation pass inside the
+   window, as it is in deployment. *)
 let bench_benign ~repeat ~iterations =
+  let ambient_predecode = Core.predecode_enabled () in
+  let ambient_jit = Core.jit_enabled () in
   let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
   let p = Asm.assemble_exn (Guest.compute_loop ~iterations) in
   let c = Machine.model_core m 0 in
   let run ~fast () =
     Core.set_predecode fast;
-    Machine.install_program m ~core:0 ~code_pages:4 ~data_pages:4 p;
+    Core.set_jit fast;
+    (match
+       Hypervisor.install_program hv ~label:"benign" ~core:0 ~code_pages:4
+         ~data_pages:4 p
+     with
+    | Ok _ -> ()
+    | Error _ -> invalid_arg "benign-guest: install rejected");
     let before = Core.instructions_retired c in
     let e = Engine.create () in
     (if fast then
@@ -128,6 +152,10 @@ let bench_benign ~repeat ~iterations =
   in
   let fast_rate, retired, _ = best_of ~repeat (run ~fast:true) in
   let base_rate, _, _ = best_of ~repeat (run ~fast:false) in
+  (* Leave the process-wide flags as found — later workloads (patch-loop
+     in particular) measure under the ambient configuration. *)
+  Core.set_predecode ambient_predecode;
+  Core.set_jit ambient_jit;
   {
     workload = "benign-guest";
     metric = "instr_per_sec";
@@ -140,6 +168,68 @@ let bench_benign ~repeat ~iterations =
         retired
         (fast_rate /. prepr_benign_instr_per_sec)
         prepr_benign_instr_per_sec;
+  }
+
+(* ---------------------------- patch-loop --------------------------- *)
+
+(* Self-modifying guest: after each run to halt, the host rewrites the
+   hot [mul] word (alternating between two encodings so the stored word
+   really changes) and re-executes from entry.  Every round the
+   translated loop block sees a fetch/compile word mismatch, drops the
+   translation, finishes the round interpreting + lazily recompiling —
+   the invalidation path this sample prices.  The [dma_sleeper] TOCTOU
+   adversary exercises the same mechanism for correctness; this pins
+   its host cost. *)
+let bench_patch_loop ~repeat ~rounds =
+  let m = Machine.create () in
+  let hv = Hypervisor.create ~machine:m () in
+  let p = Asm.assemble_exn (Guest.compute_loop ~iterations:64) in
+  (match
+     Hypervisor.install_program hv ~label:"patch-loop" ~core:0 ~code_pages:4
+       ~data_pages:4 p
+   with
+  | Ok _ -> ()
+  | Error _ -> invalid_arg "patch-loop: install rejected");
+  let c = Machine.model_core m 0 in
+  let mul_a = Encoding.encode (Isa.Mul (6, 1, 1)) in
+  let mul_b = Encoding.encode (Isa.Mul (6, 5, 5)) (* r5 = 1: same result shape *) in
+  let mul_addr =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i w -> if !found < 0 && w = mul_a then found := p.Asm.origin + i)
+      p.Asm.words;
+    if !found < 0 then invalid_arg "patch-loop: mul word not found";
+    !found
+  in
+  (* First run to halt outside the window: warms caches and the initial
+     translation, and leaves the core quiescent for inspect_write. *)
+  ignore (Core.run c ~fuel:max_int);
+  let flip = ref false in
+  let run () =
+    let before = Core.instructions_retired c in
+    for _ = 1 to rounds do
+      Machine.inspect_write m mul_addr (if !flip then mul_a else mul_b);
+      flip := not !flip;
+      Core.set_pc c p.Asm.origin;
+      Core.resume c;
+      ignore (Core.run c ~fuel:max_int)
+    done;
+    Core.instructions_retired c - before
+  in
+  let rate, retired, _ = best_of ~repeat run in
+  let js = Core.jit_stats c in
+  {
+    workload = "patch-loop";
+    metric = "instr_per_sec";
+    value = rate;
+    baseline = 0.0;
+    speedup = 0.0;
+    alloc_words_per_instr = -1.0;
+    detail =
+      Printf.sprintf
+        "%d instructions across patch+rerun rounds; %d invalidations, %d retranslations"
+        retired js.Guillotine_microarch.Jit.invalidations
+        js.Guillotine_microarch.Jit.translations;
   }
 
 (* ---------------------------- fetch-loop --------------------------- *)
@@ -356,6 +446,7 @@ let check_against ~path ~tolerance samples =
 let run_workload ~quick ~repeat = function
   | "benign-guest" ->
     bench_benign ~repeat ~iterations:(if quick then 20_000 else 400_000)
+  | "patch-loop" -> bench_patch_loop ~repeat ~rounds:(if quick then 16 else 128)
   | "fetch-loop" -> bench_fetch_loop ~repeat ~fuel:(if quick then 100_000 else 2_000_000)
   | "covert-channel" -> bench_covert ~repeat ~bits:(if quick then 64 else 512)
   | "f-storm" -> bench_fstorm ~repeat:(if quick then 1 else repeat) ~runs:1
@@ -394,13 +485,17 @@ let print_table samples =
   Table.print t
 
 (* Runs the suite; returns an exit code (non-zero when a [check]
-   regression fired).  Restores the process-wide predecode flag. *)
+   regression fired).  Restores the process-wide predecode and JIT
+   flags. *)
 let run ?(workloads = workload_names) ?(repeat = 3) ?(quick = false) ?(json = false)
     ?out ?check ?(tolerance = 0.30) () =
   let initial_predecode = Core.predecode_enabled () in
+  let initial_jit = Core.jit_enabled () in
   let samples =
     Fun.protect
-      ~finally:(fun () -> Core.set_predecode initial_predecode)
+      ~finally:(fun () ->
+        Core.set_predecode initial_predecode;
+        Core.set_jit initial_jit)
       (fun () -> List.map (run_workload ~quick ~repeat) workloads)
   in
   if json then print_string (json_of_samples samples) else print_table samples;

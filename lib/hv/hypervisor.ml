@@ -1,6 +1,7 @@
 module Machine = Guillotine_machine.Machine
 module Lapic = Guillotine_machine.Lapic
 module Core = Guillotine_microarch.Core
+module Jit = Guillotine_microarch.Jit
 module Mmu = Guillotine_memory.Mmu
 module Dram = Guillotine_memory.Dram
 module Device = Guillotine_devices.Device
@@ -226,21 +227,26 @@ let record_vet_decision t ~label (report : Vet.report) =
    identity-maps code (pc = paddr), so CFG addresses index the map
    directly.  Unconditional: the core ignores the map unless profiling
    is on, and building it never touches simulated state. *)
+(* Install the shared block map on the target core: one CFG discovery
+   feeds both the profiler's paddr→block accumulators and the
+   threaded-code translation plane, so the two agree on block identity
+   (the profiler's attributed cycles are the JIT's translation-order
+   oracle).  [Core.install_jit] runs first: a reinstall of a profiled
+   image ranks its eager translations by the profile data
+   [Core.set_profile_blocks] is about to reset. *)
 let install_profile_map t ~core ~code_pages ~label program =
   Hashtbl.replace t.guest_labels core label;
   let cfg = Cfg.build ~code_pages program in
-  let nblocks = List.length cfg.Cfg.blocks in
-  let block_of = Array.make cfg.Cfg.code_words nblocks in
-  let leaders = Array.make nblocks 0 in
-  List.iteri
-    (fun b (blk : Cfg.block) ->
-      leaders.(b) <- blk.Cfg.leader;
-      List.iter
-        (fun (addr, _) ->
-          if addr >= 0 && addr < cfg.Cfg.code_words then block_of.(addr) <- b)
-        blk.Cfg.instrs)
-    cfg.Cfg.blocks;
-  Core.set_profile_blocks (Machine.model_core t.machine core) ~block_of ~leaders
+  let bm = Cfg.block_map cfg in
+  let model = Machine.model_core t.machine core in
+  Core.install_jit model
+    {
+      Jit.code_words = bm.Cfg.map_code_words;
+      leaders = bm.Cfg.map_leaders;
+      pcs = bm.Cfg.map_pcs;
+    };
+  Core.set_profile_blocks model ~block_of:bm.Cfg.map_block_of
+    ~leaders:bm.Cfg.map_leaders
 
 let installed_guests t =
   Hashtbl.fold (fun core label acc -> (core, label) :: acc) t.guest_labels []

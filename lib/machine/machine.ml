@@ -301,7 +301,25 @@ let metrics t =
               Telemetry.Counter (Core.interrupts_delivered core));
              (Printf.sprintf "core%d.flushes" i,
               Telemetry.Counter (Core.microarch_clears core));
-           ])
+           ]
+           @
+           (* Host-side execution-plane counters: simulated behaviour is
+              identical with either plane on or off, but trace/monitor
+              views want to see whether (and how hard) the fast paths
+              are working. *)
+           (let hits, fills = Core.predecode_stats core in
+            let js = Core.jit_stats core in
+            [
+              (Printf.sprintf "core%d.predecode.hits" i, Telemetry.Counter hits);
+              (Printf.sprintf "core%d.predecode.fills" i,
+               Telemetry.Counter fills);
+              (Printf.sprintf "core%d.jit.translations" i,
+               Telemetry.Counter js.Guillotine_microarch.Jit.translations);
+              (Printf.sprintf "core%d.jit.invalidations" i,
+               Telemetry.Counter js.Guillotine_microarch.Jit.invalidations);
+              (Printf.sprintf "core%d.jit.block_exits" i,
+               Telemetry.Counter js.Guillotine_microarch.Jit.block_exits);
+            ]))
   in
   Telemetry.snapshot_of ~component:base.Telemetry.component
     (base.Telemetry.values @ per_core)

@@ -69,6 +69,8 @@ let find_way t set tag =
   let ways = t.ways.(set) in
   find_way_from ways (Array.length ways) tag 0
 
+let way_of t ~set ~tag = find_way t set tag
+
 let rec access t ~addr =
   let set = set_of_addr t addr in
   let tag = tag_of_addr t addr in

@@ -10,8 +10,6 @@
     Physical addresses index the cache.  Replacement is true LRU within
     a set. *)
 
-type t
-
 type config = {
   line_words : int; (* words per line, power of two *)
   sets : int;       (* number of sets, power of two *)
@@ -19,6 +17,29 @@ type config = {
   hit_cost : int;   (* cycles on hit *)
   miss_cost : int;  (* extra cycles to consult the next level / DRAM *)
 }
+
+type way = { mutable tag : int; mutable stamp : int }
+(** [tag = -1] marks an invalid way. *)
+
+type t = {
+  name : string;
+  cfg : config;
+  next : t option;
+  ways : way array array; (* [set].[way] *)
+  line_shift : int;
+  set_mask : int;
+  sets_shift : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+(** Exposed for the core's translated-block fast path, which probes a
+    remembered (set, way) before falling back to {!access}.  A probe
+    that hits must replicate {!access}'s hit-path mutations exactly
+    (clock, hit counter, LRU stamp) — cache occupancy and timing are
+    the side channels the whole model exists to exhibit.  Tags are
+    unique within a set ({!access} only fills on miss), so a way whose
+    tag matches {e is} the way a full scan would find. *)
 
 val config_l1 : config
 (** 64 sets x 8 ways x 8-word lines, 1-cycle hit. *)
@@ -52,6 +73,14 @@ val set_of_addr : t -> int -> int
 (** Which set an address maps to; used by attack code to build eviction
     sets, mirroring how real attackers derive set indices from address
     bits. *)
+
+val tag_of_addr : t -> int -> int
+(** The tag an address carries at this level (pairs with
+    {!set_of_addr} for probe pre-computation). *)
+
+val way_of : t -> set:int -> tag:int -> int
+(** Index of the way currently holding [tag] in [set], or -1.  Pure
+    probe: no clock movement, no stats. *)
 
 val stats : t -> int * int
 (** (hits, misses) since creation or [reset_stats]. *)

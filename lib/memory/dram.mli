@@ -11,7 +11,17 @@
     exist, and in the simulation it must never be reachable from guest
     code (the MMU faults first); reaching it indicates a simulator bug. *)
 
-type t
+type t = {
+  data : int64 array;
+  mutable generation : int;
+}
+(** Concrete so the core's translated fetch path can read [data]
+    directly (after proving the index in bounds at translate time) and
+    compare [generation] without a cross-module call — the compiler is
+    run without flambda, so abstract accessors cost a call per
+    simulated instruction.  Treat as read-only outside this module:
+    every store to [data] must go through {!write} (or the bulk
+    mutators below) so [generation] is bumped. *)
 
 exception Bus_error of { addr : int; size : int }
 

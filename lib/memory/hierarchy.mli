@@ -9,7 +9,22 @@
     The shared IO DRAM region is uncached (device memory), so cache
     state never couples the two domains through it. *)
 
-type t
+type t = {
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  dram : Dram.t;
+  io : (int * Dram.t) option;
+  io_base_addr : int; (* max_int when no IO region is attached *)
+  io_dram : Dram.t;   (* = dram when no IO region is attached *)
+  io_cost : int;
+  mutable cycles : int;
+  mutable last_cost : int;
+}
+(** Exposed for the core's translated-block fetch path, which inlines
+    the L1 probe of {!read_value}.  Any such inline must keep [cycles]
+    and [last_cost] exactly as {!read_value} would ([cycles_spent] and
+    {!read_cost} are architecturally observable). *)
 
 val create :
   ?l1:Cache.config ->

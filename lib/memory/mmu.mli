@@ -34,7 +34,26 @@ type fault =
 
 val pp_fault : Format.formatter -> fault -> unit
 
-type t
+type pte = { frame : int; perm : perm }
+
+type t = {
+  page_size : int;
+  page_shift : int;
+  page_mask : int;
+  table : (int, pte) Hashtbl.t;
+  mutable lock : bool;
+  locked_vpages : (int, unit) Hashtbl.t;
+  locked_frames : (int, unit) Hashtbl.t;
+  mutable gen : int;
+  memo_vpage : int array;
+  memo_frame : int array;
+  memo_perm : int array;
+  memo_gen : int array;
+}
+(** Concrete only so the core's per-instruction paths can read [gen]
+    (see {!generation}) without a cross-module call.  All mutation must
+    go through the functions below — the lock rules and the
+    generation/memo discipline live there. *)
 
 val create : ?page_size:int -> unit -> t
 (** [page_size] in words, default 256, must be a power of two. *)
@@ -65,6 +84,13 @@ val translate_raw : t -> addr:int -> access:[ `R | `W | `X ] -> int
     generation counter that every {!map}/{!unmap}/{!protect}/
     {!lock_executable} bumps, so the decision is always identical to
     {!translate}'s. *)
+
+val generation : t -> int
+(** Internal table-mutation counter: bumped by every {!map}, {!unmap},
+    {!protect}, and {!lock_executable}.  While it is unchanged, every
+    {!translate_raw} answer is unchanged too — the core's translated
+    blocks use this to cache a per-site physical address instead of
+    re-walking per execution. *)
 
 val lookup : t -> vpage:int -> (int * perm) option
 

@@ -29,6 +29,7 @@ let rec find_from entries n vpage i =
   else find_from entries n vpage (i + 1)
 
 let find t vpage = find_from t.entries (Array.length t.entries) vpage 0
+let slot_of t ~vpage = find t vpage
 
 let lookup t ~vpage =
   t.clock <- t.clock + 1;

@@ -8,10 +8,32 @@
     and the hypervisor's "clear all microarchitectural state" operation
     flushes it. *)
 
-type t
+type entry = { mutable vpage : int; mutable stamp : int }
+(** [vpage = -1] marks an invalid entry. *)
+
+type t = {
+  entries : entry array;
+  hit_cost : int;
+  walk_cost : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+(** The representation is exposed for the core's translated-block fast
+    path, which probes a remembered slot before falling back to
+    {!lookup}.  Any such probe must replicate {!lookup}'s hit-path
+    mutations exactly (clock, hit counter, LRU stamp): occupancy and
+    timing are architecturally visible side channels.  Valid entries
+    have unique [vpage]s — {!lookup} only installs a page on miss — so
+    a slot whose [vpage] matches {e is} the entry a full scan would
+    find. *)
 
 val create : ?entries:int -> ?hit_cost:int -> ?walk_cost:int -> unit -> t
 (** Defaults: 64 entries, hit 1 cycle, page-table walk 20 cycles. *)
+
+val slot_of : t -> vpage:int -> int
+(** Index of the entry currently holding [vpage], or -1.  Pure probe:
+    no clock movement, no stats. *)
 
 val lookup : t -> vpage:int -> int
 (** Returns the cycle cost of translating a virtual page: [hit_cost] if

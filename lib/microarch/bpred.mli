@@ -8,7 +8,16 @@
     timing.  Guillotine gives every core a private predictor and lets
     the hypervisor clear it. *)
 
-type t
+type t = {
+  counters : int array; (* 0..3; >=2 predicts taken *)
+  mispredict_penalty : int;
+  mutable correct : int;
+  mutable wrong : int;
+}
+(** Exposed for the core's translated branch ops, which inline
+    {!predict} + {!predict_and_update} with the PC index baked in.  The
+    inline must keep cost, counter training, and the correct/wrong
+    stats exactly as the two-call sequence would. *)
 
 val create : ?entries:int -> ?mispredict_penalty:int -> unit -> t
 (** Defaults: 1024 entries, 12-cycle penalty. *)

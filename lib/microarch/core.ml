@@ -2,6 +2,8 @@ module Isa = Guillotine_isa.Isa
 module Encoding = Guillotine_isa.Encoding
 module Mmu = Guillotine_memory.Mmu
 module Tlb = Guillotine_memory.Tlb
+module Cache = Guillotine_memory.Cache
+module Dram = Guillotine_memory.Dram
 module Hierarchy = Guillotine_memory.Hierarchy
 
 type kind = Model_core | Hypervisor_core
@@ -94,6 +96,24 @@ let cc_exec = Cost_class.index Cost_class.Execute
 let cc_exc = Cost_class.index Cost_class.Exception_dispatch
 let cc_door = Cost_class.index Cost_class.Doorbell
 
+(* Per-translated-instruction fetch site: the static PC plus the memoised
+   translation/placement hints its fetches revalidate.  The hints are
+   host-only accelerators — every probe either replicates the exact
+   mutations of the function it short-circuits or falls back to it — so
+   a translated fetch moves TLB/cache/cycle state bit-identically to
+   [fetch_and_execute_fast]. *)
+type jit_fc = {
+  f_pc : int;
+  f_vpage : int;
+  mutable f_tlb_slot : int; (* hinted TLB entry index; -1 = unknown *)
+  mutable f_mmu_gen : int;  (* Mmu generation f_paddr was computed under; -1 forces a walk *)
+  mutable f_paddr : int;
+  mutable f_io : bool;      (* paddr routes to the uncached IO region *)
+  mutable f_set : int;      (* L1 placement of paddr (valid when not f_io) *)
+  mutable f_tag : int;
+  mutable f_way : int;      (* hinted L1 way *)
+}
+
 type t = {
   id : int;
   kind : kind;
@@ -151,6 +171,35 @@ type t = {
   mutable prof_mem : int;
   mutable prof_exc : int;
   mutable prof_door : int;
+  (* Threaded-code translation plane (see the block comment above
+     [jit_run_block]).  [jit = None] until a hypervisor installs a block
+     plan; the counters survive reinstalls. *)
+  mutable jit : jit_state option;
+  mutable jit_translations : int;
+  mutable jit_invalidations : int;
+  mutable jit_block_exits : int;
+}
+
+and jit_state = {
+  j_plan : Jit.plan;
+  j_block_at : int array; (* leader pc -> block id; -1 elsewhere *)
+  j_blocks : jit_block option array; (* by block id; None = untranslated *)
+  j_dead : bool array; (* translation failed; stop retrying until reinstall *)
+}
+
+and jit_block = {
+  jb_leader : int;
+  jb_pcs : int array;     (* contiguous: jb_pcs.(i+1) = jb_pcs.(i) + 1 *)
+  jb_words : int64 array; (* the words each op was compiled from *)
+  jb_fcs : jit_fc array;
+  jb_ops : (t -> bool) array;
+      (* Execute phase only (fetch/validate live in the runner); returns
+         true iff control fell through to the next sequential pc. *)
+  jb_has_irq : bool;
+      (* Block contains an [Irq] doorbell: its sink can queue an
+         interrupt mid-block, so the runner must re-check exit
+         conditions per instruction rather than once at entry. *)
+  mutable jb_valid : bool;
 }
 
 (* Trap ABI register assignments. *)
@@ -204,6 +253,10 @@ let create ~id ~kind ~hierarchy ?tlb ?bpred ?mmu () =
     prof_mem = 0;
     prof_exc = 0;
     prof_door = 0;
+    jit = None;
+    jit_translations = 0;
+    jit_invalidations = 0;
+    jit_block_exits = 0;
   }
 
 let id t = t.id
@@ -808,12 +861,792 @@ let step t =
     step_body t;
     true
 
-let run t ~fuel =
+(* ------------------------------------------------------------------ *)
+(* Threaded-code block translation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The predecode cache (above) killed the decode cost; what is left of
+   the dispatch overhead is paid once per *instruction*: the step loop,
+   the status/timer/irq checks, the full TLB scan, the MMU walk, the
+   L1 way scan, the instruction match.  The translation plane kills
+   that too.  At [Hypervisor.install_program] time the vet layer's CFG
+   recovery hands over a block plan ({!Jit.plan}); each basic block is
+   compiled into an array of closures — one per instruction, operands
+   unpacked, static next-pc and constants pre-boxed — and executed back
+   to back by [jit_run_block] with a single dispatch per block entry.
+
+   The contract is the same as the predecode cache's, only stricter
+   because more is inlined: translated execution is simulated-state
+   invisible.  Per instruction the runner still takes a TLB lookup, an
+   MMU translation, a hierarchy fetch and the word-level revalidation —
+   each either via the original function or via a hint probe that
+   replicates that function's mutations exactly — so cycle counts,
+   cache/TLB/predictor movement, profile residencies, trap ordering and
+   watchpoint behaviour are byte-identical to the interpreter.  The
+   equivalence suite diffs end states and scenario goldens across
+   GUILLOTINE_NO_JIT to enforce this.
+
+   Self-modification safety is word-granular rather than
+   generation-granular: every translated fetch compares the word the
+   hierarchy just returned against the word the op was compiled from
+   (the same discipline the predecode cache applies after a
+   [Dram.generation] bump).  Any mismatch — DMA patch, fault-injected
+   bit flip, snapshot restore, store to own code — invalidates the
+   translation and executes the fresh word through the interpreter;
+   the block is recompiled lazily on its next entry. *)
+
+let jit_fc_make t pc =
+  {
+    f_pc = pc;
+    f_vpage = vpage_of t pc;
+    f_tlb_slot = -1;
+    f_mmu_gen = -1;
+    f_paddr = -1;
+    f_io = false;
+    f_set = 0;
+    f_tag = 0;
+    f_way = 0;
+  }
+
+(* Per-instruction block-transition bookkeeping, identical to the
+   profiling preamble in [fetch_and_execute]. *)
+let jit_prof_enter t pc =
+  let b =
+    if pc >= 0 && pc < Array.length t.prof_block_of then t.prof_block_of.(pc)
+    else t.prof_nblocks
+  in
+  if b <> t.prof_block then begin
+    prof_flush t;
+    t.prof_block <- b
+  end
+
+(* Retirement accounting, identical to the tail of [execute_and_retire]
+   (the callers only reach this when the instruction did not trap). *)
+let jit_retire t pc instr =
+  t.instret <- t.instret + 1;
+  if t.prof_on then
+    t.prof_retired.(t.prof_block) <- t.prof_retired.(t.prof_block) + 1;
+  match t.retire_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun hook -> hook ~pc:pc instr) hooks
+
+(* Fetch the word at a translated site, charging exactly what
+   [fetch_and_execute_fast] charges before its decode step: TLB lookup
+   cost, then the hierarchy fetch cost.  On a fetch page fault the
+   exception is delivered here and [t.trapped] tells the runner.  The
+   hint probes are safe because TLB vpages are unique across valid
+   entries and cache tags are unique within a set. *)
+let jit_fetch t fc =
+  let tlb = t.tlb in
+  let slot = fc.f_tlb_slot in
+  let tlb_cost =
+    if
+      slot >= 0
+      && (Array.unsafe_get tlb.Tlb.entries slot).Tlb.vpage = fc.f_vpage
+    then begin
+      (* Replicates Tlb.lookup's hit path: clock, hit counter, stamp. *)
+      tlb.Tlb.clock <- tlb.Tlb.clock + 1;
+      tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+      (Array.unsafe_get tlb.Tlb.entries slot).Tlb.stamp <- tlb.Tlb.clock;
+      tlb.Tlb.hit_cost
+    end
+    else begin
+      let c = Tlb.lookup tlb ~vpage:fc.f_vpage in
+      fc.f_tlb_slot <- Tlb.slot_of tlb ~vpage:fc.f_vpage;
+      c
+    end
+  in
+  t.cycles <- t.cycles + tlb_cost;
+  if t.prof_on then t.prof_tlb <- t.prof_tlb + tlb_cost;
+  (if fc.f_mmu_gen <> t.mmu.Mmu.gen then begin
+     let paddr = Mmu.translate_raw t.mmu ~addr:fc.f_pc ~access:`X in
+     fc.f_mmu_gen <- t.mmu.Mmu.gen;
+     fc.f_paddr <- paddr;
+     if paddr >= 0 then begin
+       let h = t.hierarchy in
+       if paddr >= h.Hierarchy.io_base_addr then fc.f_io <- true
+       else begin
+         fc.f_io <- false;
+         fc.f_set <- Cache.set_of_addr h.Hierarchy.l1 paddr;
+         fc.f_tag <- Cache.tag_of_addr h.Hierarchy.l1 paddr;
+         fc.f_way <- 0
+       end
+     end
+   end);
+  let paddr = fc.f_paddr in
+  if paddr < 0 then begin
+    deliver_exception t (Isa.Page_fault fc.f_pc);
+    0L
+  end
+  else begin
+    let h = t.hierarchy in
+    if fc.f_io then begin
+      let c = h.Hierarchy.io_cost in
+      h.Hierarchy.cycles <- h.Hierarchy.cycles + c;
+      h.Hierarchy.last_cost <- c;
+      let word = Dram.read h.Hierarchy.io_dram (paddr - h.Hierarchy.io_base_addr) in
+      t.cycles <- t.cycles + c;
+      if t.prof_on then t.prof_fetch <- t.prof_fetch + c;
+      word
+    end
+    else begin
+      let l1 = h.Hierarchy.l1 in
+      let ways = Array.unsafe_get l1.Cache.ways fc.f_set in
+      let way = Array.unsafe_get ways fc.f_way in
+      let c =
+        if way.Cache.tag = fc.f_tag then begin
+          (* Replicates Cache.access's hit path at L1: clock, hit
+             counter, LRU stamp; lower levels are untouched on a hit. *)
+          l1.Cache.clock <- l1.Cache.clock + 1;
+          l1.Cache.hits <- l1.Cache.hits + 1;
+          way.Cache.stamp <- l1.Cache.clock;
+          l1.Cache.cfg.Cache.hit_cost
+        end
+        else begin
+          let c = Cache.access l1 ~addr:paddr in
+          let wi = Cache.way_of l1 ~set:fc.f_set ~tag:fc.f_tag in
+          fc.f_way <- (if wi >= 0 then wi else 0);
+          c
+        end
+      in
+      (* Field order matches Hierarchy.read_value: hierarchy cycle
+         accounting lands before the DRAM read (which can raise
+         Bus_error on a simulator bug). *)
+      h.Hierarchy.cycles <- h.Hierarchy.cycles + c;
+      h.Hierarchy.last_cost <- c;
+      let data = h.Hierarchy.dram.Dram.data in
+      let word =
+        (* paddr >= 0 was established above; the slow path exists only
+           to raise the same Bus_error Dram.read would. *)
+        if paddr < Array.length data then Array.unsafe_get data paddr
+        else Dram.read h.Hierarchy.dram paddr
+      in
+      t.cycles <- t.cycles + c;
+      if t.prof_on then t.prof_fetch <- t.prof_fetch + c;
+      word
+    end
+  end
+
+(* The fetched word no longer matches the word this block was compiled
+   from: drop the translation and run the word the machine actually
+   fetched through the interpreter — the same word-compare discipline
+   the predecode cache applies after a generation bump. *)
+let jit_diverge t jb word =
+  jb.jb_valid <- false;
+  t.jit_invalidations <- t.jit_invalidations + 1;
+  match Encoding.decode word with
+  | None -> deliver_exception t Isa.Bad_instruction
+  | Some instr -> execute_and_retire t instr
+
+(* Branch resolution with the predictor index baked in; state movement
+   and cost identical to [branch] (predict + predict_and_update). *)
+let jit_branch t pc target instr taken =
+  let bp = t.bpred in
+  let counters = bp.Bpred.counters in
+  let bi = pc land (Array.length counters - 1) in
+  let c0 = Array.unsafe_get counters bi in
+  let predicted = c0 >= 2 in
+  if predicted = taken then begin
+    bp.Bpred.correct <- bp.Bpred.correct + 1;
+    t.cycles <- t.cycles + 1
+  end
+  else begin
+    bp.Bpred.wrong <- bp.Bpred.wrong + 1;
+    t.cycles <- t.cycles + 1 + bp.Bpred.mispredict_penalty
+  end;
+  Array.unsafe_set counters bi
+    (if taken then (if c0 < 3 then c0 + 1 else 3)
+     else if c0 > 0 then c0 - 1
+     else 0);
+  if predicted <> taken && t.spec_depth > 0 then
+    transient_walk t ~start_pc:(if predicted then target else pc + 1);
+  if taken then t.pc <- target else t.pc <- pc + 1;
+  jit_retire t pc instr;
+  false
+
+(* Compile the execute phase of one instruction.  The closure runs after
+   the runner has fetched and revalidated the word, with fetch costs
+   already charged — so each arm mirrors the corresponding [execute] arm
+   plus the retire tail, with operands, next-pc and constant boxes
+   resolved at compile time.  Register indices are 4-bit fields, in
+   bounds by construction (see [reg_value]). *)
+let jit_compile_exec pc instr =
+  let pc1 = pc + 1 in
+  let open Isa in
+  match instr with
+  | Nop ->
+    fun t ->
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Halt ->
+    fun t ->
+      t.status <- Halted Halt_instruction;
+      jit_retire t pc instr;
+      false
+  | Movi (rd, v) ->
+    let v64 = Int64.of_int v in
+    fun t ->
+      Array.unsafe_set t.regs rd v64;
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Movhi (rd, v) ->
+    let hi = Int64.shift_left (Int64.of_int v) 32 in
+    fun t ->
+      Array.unsafe_set t.regs rd (Int64.logor (Array.unsafe_get t.regs rd) hi);
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Mov (rd, rs) ->
+    fun t ->
+      Array.unsafe_set t.regs rd (Array.unsafe_get t.regs rs);
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Add (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.add (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b));
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Sub (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.sub (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b));
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Mul (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.mul (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b));
+      t.cycles <- t.cycles + 3; (* 2 for the multiplier + 1 from alu3 *)
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Div (rd, a, b) ->
+    fun t ->
+      let bv = Array.unsafe_get t.regs b in
+      if Int64.equal bv 0L then begin
+        deliver_exception t Div_by_zero;
+        false
+      end
+      else begin
+        Array.unsafe_set t.regs rd (Int64.div (Array.unsafe_get t.regs a) bv);
+        t.cycles <- t.cycles + 11; (* 10 for the divider + 1 from alu3 *)
+        t.pc <- pc1;
+        jit_retire t pc instr;
+        true
+      end
+  | Rem (rd, a, b) ->
+    fun t ->
+      let bv = Array.unsafe_get t.regs b in
+      if Int64.equal bv 0L then begin
+        deliver_exception t Div_by_zero;
+        false
+      end
+      else begin
+        Array.unsafe_set t.regs rd (Int64.rem (Array.unsafe_get t.regs a) bv);
+        t.cycles <- t.cycles + 11;
+        t.pc <- pc1;
+        jit_retire t pc instr;
+        true
+      end
+  | And_ (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.logand (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b));
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Or_ (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.logor (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b));
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Xor_ (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.logxor (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b));
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Shl (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.shift_left (Array.unsafe_get t.regs a)
+           (Int64.to_int (Array.unsafe_get t.regs b) land 63));
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Shr (rd, a, b) ->
+    fun t ->
+      Array.unsafe_set t.regs rd
+        (Int64.shift_right_logical (Array.unsafe_get t.regs a)
+           (Int64.to_int (Array.unsafe_get t.regs b) land 63));
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Load (rd, rs, off) ->
+    fun t ->
+      let vaddr = Int64.to_int (Array.unsafe_get t.regs rs) + off in
+      if watch_data_hit t vaddr then begin
+        t.status <- Halted (Watchpoint vaddr);
+        jit_retire t pc instr;
+        false
+      end
+      else begin
+        let paddr = translate_data t ~vaddr ~access:`R in
+        if paddr >= 0 then begin
+          t.regs.(rd) <- Hierarchy.read_value t.hierarchy ~addr:paddr;
+          let cost = Hierarchy.read_cost t.hierarchy in
+          t.cycles <- t.cycles + cost;
+          if t.prof_on then t.prof_mem <- t.prof_mem + cost;
+          t.pc <- pc1;
+          jit_retire t pc instr;
+          true
+        end
+        else false (* page fault delivered: no retire *)
+      end
+  | Store (rd, rs, off) ->
+    fun t ->
+      let vaddr = Int64.to_int (Array.unsafe_get t.regs rd) + off in
+      if watch_data_hit t vaddr then begin
+        t.status <- Halted (Watchpoint vaddr);
+        jit_retire t pc instr;
+        false
+      end
+      else begin
+        let paddr = translate_data t ~vaddr ~access:`W in
+        if paddr >= 0 then begin
+          let cost =
+            Hierarchy.write t.hierarchy ~addr:paddr (Array.unsafe_get t.regs rs)
+          in
+          t.cycles <- t.cycles + cost;
+          if t.prof_on then t.prof_mem <- t.prof_mem + cost;
+          t.pc <- pc1;
+          jit_retire t pc instr;
+          true
+        end
+        else false
+      end
+  | Jmp a ->
+    fun t ->
+      t.cycles <- t.cycles + 1;
+      t.pc <- a;
+      jit_retire t pc instr;
+      false
+  | Jr rs ->
+    fun t ->
+      t.cycles <- t.cycles + 1;
+      t.pc <- Int64.to_int (Array.unsafe_get t.regs rs);
+      jit_retire t pc instr;
+      false
+  | Jal (rd, a) ->
+    let link = Int64.of_int (pc + 1) in
+    fun t ->
+      Array.unsafe_set t.regs rd link;
+      t.cycles <- t.cycles + 1;
+      t.pc <- a;
+      jit_retire t pc instr;
+      false
+  | Beq (a, b, tgt) ->
+    fun t ->
+      jit_branch t pc tgt instr
+        (Int64.equal (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b))
+  | Bne (a, b, tgt) ->
+    fun t ->
+      jit_branch t pc tgt instr
+        (not (Int64.equal (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b)))
+  | Blt (a, b, tgt) ->
+    fun t ->
+      jit_branch t pc tgt instr
+        (Int64.compare (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b) < 0)
+  | Bge (a, b, tgt) ->
+    fun t ->
+      jit_branch t pc tgt instr
+        (Int64.compare (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs b) >= 0)
+  | Irq line ->
+    fun t -> (
+      match t.irq_sink with
+      | None ->
+        deliver_exception t Bad_instruction;
+        false
+      | Some sink ->
+        t.cycles <- t.cycles + 5;
+        if t.prof_on then t.prof_door <- t.prof_door + 5;
+        sink ~line;
+        t.pc <- pc1;
+        jit_retire t pc instr;
+        true)
+  | Iret ->
+    fun t ->
+      if not t.in_handler then begin
+        deliver_exception t Bad_instruction;
+        false
+      end
+      else begin
+        t.in_handler <- false;
+        t.cycles <- t.cycles + 2;
+        t.pc <- t.epc;
+        jit_retire t pc instr;
+        false
+      end
+  | Rdcycle rd ->
+    fun t ->
+      t.regs.(rd) <- Int64.of_int t.cycles;
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Mfepc rd ->
+    fun t ->
+      t.regs.(rd) <- Int64.of_int t.epc;
+      t.cycles <- t.cycles + 1;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+  | Mtepc rs ->
+    fun t ->
+      if not t.in_handler then begin
+        deliver_exception t Bad_instruction;
+        false
+      end
+      else begin
+        t.epc <- Int64.to_int (Array.unsafe_get t.regs rs);
+        t.cycles <- t.cycles + 1;
+        t.pc <- pc1;
+        jit_retire t pc instr;
+        true
+      end
+  | Clflush (rs, off) ->
+    fun t ->
+      let vaddr = Int64.to_int (Array.unsafe_get t.regs rs) + off in
+      let paddr = translate_data t ~vaddr ~access:`R in
+      if paddr >= 0 then begin
+        Hierarchy.flush_line t.hierarchy ~addr:paddr;
+        t.cycles <- t.cycles + 20;
+        if t.prof_on then t.prof_mem <- t.prof_mem + 20;
+        t.pc <- pc1;
+        jit_retire t pc instr;
+        true
+      end
+      else false
+  | Fence ->
+    fun t ->
+      t.cycles <- t.cycles + 15;
+      t.pc <- pc1;
+      jit_retire t pc instr;
+      true
+
+(* Compile block [b] from the words currently in DRAM.  Host-side only:
+   reads go straight to DRAM (no cache, TLB or cycle movement) and the
+   MMU walk is the memoised no-cost [translate_raw].  Returns None — and
+   marks the block dead until the next install — when the block is
+   empty, lands in unmapped/IO/out-of-range memory, breaks pc
+   contiguity, or contains an undecodable word; those blocks simply
+   stay on the interpreter. *)
+let jit_translate_block t js b =
+  if Array.unsafe_get js.j_dead b then None
+  else begin
+    let pcs = js.j_plan.Jit.pcs.(b) in
+    let n = Array.length pcs in
+    let dram = t.hierarchy.Hierarchy.dram in
+    let dram_size = Dram.size dram in
+    let words = Array.make (max n 1) 0L in
+    let instrs = Array.make (max n 1) Isa.Nop in
+    let ok = ref (n > 0) in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let pc = pcs.(!i) in
+      if !i > 0 && pc <> pcs.(!i - 1) + 1 then ok := false
+      else begin
+        let paddr = Mmu.translate_raw t.mmu ~addr:pc ~access:`X in
+        if
+          paddr < 0
+          || paddr >= t.hierarchy.Hierarchy.io_base_addr
+          || paddr >= dram_size
+        then ok := false
+        else begin
+          let word = Dram.read dram paddr in
+          match Encoding.decode word with
+          | None -> ok := false
+          | Some instr ->
+            words.(!i) <- word;
+            instrs.(!i) <- instr;
+            incr i
+        end
+      end
+    done;
+    if not !ok then begin
+      js.j_dead.(b) <- true;
+      None
+    end
+    else begin
+      let jb =
+        {
+          jb_leader = pcs.(0);
+          jb_pcs = pcs;
+          jb_words = words;
+          jb_fcs = Array.map (fun pc -> jit_fc_make t pc) pcs;
+          jb_ops = Array.mapi (fun i pc -> jit_compile_exec pc instrs.(i)) pcs;
+          jb_has_irq =
+            Array.exists
+              (fun instr -> match instr with Isa.Irq _ -> true | _ -> false)
+              instrs;
+          jb_valid = true;
+        }
+      in
+      js.j_blocks.(b) <- Some jb;
+      t.jit_translations <- t.jit_translations + 1;
+      Some jb
+    end
+  end
+
+(* Execute a translated block starting at its leader (the caller has
+   checked [t.pc = jb_leader], Running status, no armed timer, no
+   pending interrupt, no code watchpoints).  Per instruction: re-check
+   the exit conditions (an op's irq sink or retire hook can arm them
+   mid-block), profile block transition, fetch + revalidate the word,
+   then the compiled execute phase.  A back-edge to our own leader
+   re-enters without a dispatch round trip.  Returns retired step
+   count.
+
+   The only instruction-level escapes from straight-line execution that
+   do NOT exit via an op returning false are an irq-sink call (the
+   [Irq] op falls through after ringing the doorbell, and the next
+   instruction must first deliver the now-pending interrupt) and a
+   retire hook (which may pause the core, arm a watchpoint, raise an
+   interrupt...).  When the block has no [Irq] and the core has no
+   retire hooks, neither exists, so the entry-time checks the caller
+   performed stay true for the whole block and the per-instruction
+   guard reduces to the fuel and cycle-target compares. *)
+let jit_run_block t jb ~fuel ~target =
+  let ops = jb.jb_ops in
+  let fcs = jb.jb_fcs in
+  let words = jb.jb_words in
+  let n = Array.length ops in
+  let quiet =
+    (match t.retire_hooks with [] -> true | _ :: _ -> false)
+    && not jb.jb_has_irq
+  in
+  (* Loop-invariant structure hoists for the inlined fetch fast path
+     below: a core's tlb/hierarchy/mmu bindings are immutable fields,
+     so no op can swap them mid-block. *)
+  let tlb = t.tlb in
+  let tlb_entries = tlb.Tlb.entries in
+  let tlb_hit_cost = tlb.Tlb.hit_cost in
+  let mmu = t.mmu in
+  let h = t.hierarchy in
+  let l1 = h.Hierarchy.l1 in
+  let l1_ways = l1.Cache.ways in
+  let l1_hit_cost = l1.Cache.cfg.Cache.hit_cost in
+  let data = h.Hierarchy.dram.Dram.data in
+  let data_len = Array.length data in
+  let steps = ref 0 in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if
+      !steps >= fuel
+      || t.cycles >= target
+      || ((not quiet)
+          && (t.timer_interval <> 0
+             || (not (Queue.is_empty t.pending_irqs))
+             || Hashtbl.length t.code_watch <> 0
+             || (match t.status with
+                | Running -> false
+                | Halted _ | Powered_off -> true)))
+    then continue := false
+    else begin
+      incr steps;
+      let fc = Array.unsafe_get fcs !i in
+      if t.prof_on then jit_prof_enter t fc.f_pc;
+      t.trapped <- false;
+      (* Inlined [jit_fetch] for the every-hint-valid case (TLB slot
+         hit, MMU generation unchanged, cached paddr in model DRAM, L1
+         way hit).  The checks are pure; the mutation sequence below —
+         TLB clock/hits/stamp, core tlb-cost cycles, L1 clock/hits/
+         stamp, hierarchy cycles/last_cost, core fetch-cost cycles —
+         replicates Tlb.lookup + Cache.access + Hierarchy.read_value in
+         exactly the interpreter's order.  Anything short of a full hit
+         takes the general path. *)
+      let slot = fc.f_tlb_slot in
+      let w =
+        if
+          slot >= 0
+          && (Array.unsafe_get tlb_entries slot).Tlb.vpage = fc.f_vpage
+          && fc.f_mmu_gen = mmu.Mmu.gen
+          && (not fc.f_io)
+          && fc.f_paddr >= 0
+          && fc.f_paddr < data_len
+        then begin
+          tlb.Tlb.clock <- tlb.Tlb.clock + 1;
+          tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+          (Array.unsafe_get tlb_entries slot).Tlb.stamp <- tlb.Tlb.clock;
+          t.cycles <- t.cycles + tlb_hit_cost;
+          if t.prof_on then t.prof_tlb <- t.prof_tlb + tlb_hit_cost;
+          let ways = Array.unsafe_get l1_ways fc.f_set in
+          let way = Array.unsafe_get ways fc.f_way in
+          let c =
+            if way.Cache.tag = fc.f_tag then begin
+              l1.Cache.clock <- l1.Cache.clock + 1;
+              l1.Cache.hits <- l1.Cache.hits + 1;
+              way.Cache.stamp <- l1.Cache.clock;
+              l1_hit_cost
+            end
+            else begin
+              let c = Cache.access l1 ~addr:fc.f_paddr in
+              let wi = Cache.way_of l1 ~set:fc.f_set ~tag:fc.f_tag in
+              fc.f_way <- (if wi >= 0 then wi else 0);
+              c
+            end
+          in
+          h.Hierarchy.cycles <- h.Hierarchy.cycles + c;
+          h.Hierarchy.last_cost <- c;
+          let word = Array.unsafe_get data fc.f_paddr in
+          t.cycles <- t.cycles + c;
+          if t.prof_on then t.prof_fetch <- t.prof_fetch + c;
+          word
+        end
+        else jit_fetch t fc
+      in
+      if t.trapped then continue := false
+      else if not (Int64.equal w (Array.unsafe_get words !i)) then begin
+        jit_diverge t jb w;
+        continue := false
+      end
+      else if (Array.unsafe_get ops !i) t then begin
+        incr i;
+        if !i >= n then continue := false (* fell through to the next block *)
+      end
+      else if
+        t.pc = jb.jb_leader && jb.jb_valid
+        && (match t.status with Running -> true | Halted _ | Powered_off -> false)
+      then i := 0
+      else continue := false
+    end
+  done;
+  !steps
+
+(* One dispatch: if the current pc leads a translated (or translatable)
+   block, run it and return the steps retired; 0 means the caller must
+   interpret. *)
+let jit_dispatch t ~fuel ~target =
+  match t.jit with
+  | None -> 0
+  | Some js ->
+    let pc = t.pc in
+    if pc < 0 || pc >= Array.length js.j_block_at then 0
+    else begin
+      let b = Array.unsafe_get js.j_block_at pc in
+      if b < 0 then 0
+      else begin
+        let jb_opt =
+          match Array.unsafe_get js.j_blocks b with
+          | Some jb when jb.jb_valid -> Some jb
+          | Some _ | None -> jit_translate_block t js b
+        in
+        match jb_opt with
+        | None -> 0
+        | Some jb ->
+          let steps = jit_run_block t jb ~fuel ~target in
+          t.jit_block_exits <- t.jit_block_exits + 1;
+          steps
+      end
+    end
+
+let set_jit enabled = Jit.set_enabled enabled
+let jit_enabled () = Jit.enabled ()
+
+let jit_stats t =
+  {
+    Jit.translations = t.jit_translations;
+    invalidations = t.jit_invalidations;
+    block_exits = t.jit_block_exits;
+  }
+
+let install_jit t (plan : Jit.plan) =
+  let nblocks = Array.length plan.Jit.leaders in
+  let block_at = Array.make (max plan.Jit.code_words 1) (-1) in
+  Array.iteri
+    (fun b leader ->
+      if leader >= 0 && leader < Array.length block_at then
+        block_at.(leader) <- b)
+    plan.Jit.leaders;
+  let js =
+    {
+      j_plan = plan;
+      j_block_at = block_at;
+      j_blocks = Array.make (max nblocks 1) None;
+      j_dead = Array.make (max nblocks 1) false;
+    }
+  in
+  t.jit <- Some js;
+  if !Jit.enabled_flag then begin
+    (* Eager translation, hottest blocks first when this core carries
+       profile data for a matching block map (i.e. a reinstall of a
+       profiled image); fresh installs rank as identity.  Order — like
+       everything else in this plane — is host-side only. *)
+    let hot = Array.make (max nblocks 1) 0 in
+    if t.prof_nblocks = nblocks && Array.length t.prof_cycles >= nblocks * n_classes
+    then
+      for b = 0 to nblocks - 1 do
+        let base = b * n_classes in
+        let s = ref 0 in
+        for c = 0 to n_classes - 1 do
+          s := !s + t.prof_cycles.(base + c)
+        done;
+        hot.(b) <- !s
+      done;
+    Array.iter
+      (fun b -> ignore (jit_translate_block t js b))
+      (Jit.rank plan ~hot)
+  end
+
+let exec_loop t ~fuel ~target =
   let executed = ref 0 in
-  while !executed < fuel && step t do
-    incr executed
+  let continue = ref true in
+  while !continue do
+    if !executed >= fuel || t.cycles >= target then continue := false
+    else begin
+      match t.status with
+      | Halted _ | Powered_off -> continue := false
+      | Running ->
+        let steps =
+          if
+            !Jit.enabled_flag
+            && t.timer_interval = 0
+            && Queue.is_empty t.pending_irqs
+            && Hashtbl.length t.code_watch = 0
+          then jit_dispatch t ~fuel:(fuel - !executed) ~target
+          else 0
+        in
+        if steps > 0 then executed := !executed + steps
+        else begin
+          step_body t;
+          incr executed
+        end
+    end
   done;
   !executed
+
+let run t ~fuel = exec_loop t ~fuel ~target:max_int
 
 (* Batched inner loop: advance this core by at least [cycles] simulated
    cycles (instruction granularity — the final instruction may overshoot
@@ -822,12 +1655,7 @@ let run t ~fuel =
    instruction. *)
 let run_cycles t ~cycles =
   if cycles < 0 then invalid_arg "Core.run_cycles: negative cycle budget";
-  let target = t.cycles + cycles in
-  let executed = ref 0 in
-  while t.cycles < target && step t do
-    incr executed
-  done;
-  !executed
+  exec_loop t ~fuel:max_int ~target:(t.cycles + cycles)
 
 (* ------------------------------------------------------------------ *)
 (* Hypervisor control plane                                           *)

@@ -107,6 +107,43 @@ val predecode_stats : t -> int * int
 (** [(hits, fills)]: fetches served from the predecode cache vs decode
     calls that filled a slot.  Host-perf observability only. *)
 
+(** {2 Threaded-code block translation}
+
+    The step above predecode: at [Hypervisor.install_program] time the
+    vet layer's CFG recovery supplies a basic-block plan
+    ({!Jit.plan}); each block is compiled into an array of closures —
+    one per instruction, operands and next-pc pre-resolved — and
+    executed with a single dispatch per block entry instead of per
+    instruction.  Same contract as the predecode cache, enforced the
+    same way: translated execution is simulated-state invisible (every
+    instruction still takes its TLB lookup, MMU translation, hierarchy
+    fetch, and cycle charges, bit-identically), and every translated
+    fetch revalidates the fetched word against the word it was
+    compiled from, so self-modifying, DMA-patched, fault-flipped, or
+    snapshot-restored code invalidates the translation and falls back
+    to the interpreter.  [GUILLOTINE_NO_JIT] (any value other than
+    empty or ["0"]) disables it at start-up. *)
+
+val set_jit : bool -> unit
+(** Process-wide override of block-translated execution (safe to toggle
+    at any time: translations are revalidated per fetch, never
+    trusted). *)
+
+val jit_enabled : unit -> bool
+
+val install_jit : t -> Jit.plan -> unit
+(** Install a block plan for the program just loaded and eagerly
+    translate its blocks — hottest first when the core still carries
+    {!profile_cycles} data for a matching block map (the
+    profile-guided reinstall path), identity order otherwise.
+    Replaces any previous plan.  Blocks that cannot be translated
+    (unmapped, IO-resident, undecodable, non-contiguous) stay on the
+    interpreter.  After an invalidation the block is recompiled lazily
+    on its next entry. *)
+
+val jit_stats : t -> Jit.stats
+(** Translation-cache counters (host-side observability only). *)
+
 (** {2 Cycle-attribution profiling}
 
     When profiling is on, every simulated cycle the core charges is

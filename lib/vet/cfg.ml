@@ -39,6 +39,30 @@ type t = {
   vector_escapes : (int * int) list;
 }
 
+type block_map = {
+  map_code_words : int;
+  map_block_of : int array;
+  map_leaders : int array;
+  map_pcs : int array array;
+}
+
+let block_map t =
+  let nblocks = List.length t.blocks in
+  let block_of = Array.make t.code_words nblocks in
+  let leaders = Array.make nblocks 0 in
+  let pcs = Array.make nblocks [||] in
+  List.iteri
+    (fun b (blk : block) ->
+      leaders.(b) <- blk.leader;
+      pcs.(b) <- Array.of_list (List.map fst blk.instrs);
+      List.iter
+        (fun (addr, _) ->
+          if addr >= 0 && addr < t.code_words then block_of.(addr) <- b)
+        blk.instrs)
+    t.blocks;
+  { map_code_words = t.code_words; map_block_of = block_of;
+    map_leaders = leaders; map_pcs = pcs }
+
 let instr_at t addr =
   if addr < 0 || addr >= t.code_words then None else t.instrs.(addr)
 

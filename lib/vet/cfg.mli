@@ -65,6 +65,24 @@ val build :
 (** Decode, walk reachability from the roots, compute SCCs and basic
     blocks.  Raises [Invalid_argument] if [code_pages <= 0]. *)
 
+type block_map = {
+  map_code_words : int;
+  map_block_of : int array;
+      (** [map_block_of.(addr)] = owning block id, or the number of
+          blocks for addresses owned by none (the profiler's
+          pseudo-block convention). *)
+  map_leaders : int array;  (** leader address per block id *)
+  map_pcs : int array array;
+      (** per block: decodable instruction addresses in fallthrough
+          order starting at the leader (contiguous) *)
+}
+
+val block_map : t -> block_map
+(** Flatten the reachable blocks into the install-time array form both
+    the profiler ([Core.set_profile_blocks]) and the block-translation
+    plane ([Core.install_jit]) consume, so the two are guaranteed to
+    agree on block identity. *)
+
 val instr_at : t -> int -> Isa.instr option
 (** [None] outside the code region or for undecodable words. *)
 
